@@ -1,0 +1,192 @@
+// Package autofeat is the public API of the AutoFeat reproduction:
+// ranking-based transitive feature discovery over join paths (Ionescu et
+// al., ICDE 2024). Given a base table with a classification label and a
+// collection of candidate tables, AutoFeat builds a Dataset Relation
+// Graph (DRG), explores multi-hop join paths breadth-first, prunes
+// low-quality joins, selects relevant and non-redundant features with
+// Spearman + MRMR, ranks the surviving paths without training a model,
+// and finally trains the target model only on the top-k paths.
+//
+// Typical usage:
+//
+//	tables, _ := autofeat.ReadTablesDir("lake/")
+//	g, _ := autofeat.DiscoverDRG(tables, 0.55)      // or BuildDRG with known KFKs
+//	d, _ := autofeat.NewDiscovery(g, "orders", "churned", autofeat.DefaultConfig())
+//	result, _ := d.Augment(autofeat.Model("lightgbm"))
+//	fmt.Println(result.Best.Path, result.Best.Eval.Accuracy)
+package autofeat
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"autofeat/internal/core"
+	"autofeat/internal/discovery"
+	"autofeat/internal/frame"
+	"autofeat/internal/fselect"
+	"autofeat/internal/graph"
+	"autofeat/internal/ml"
+)
+
+// Table is a named, typed, columnar table — the unit of the data lake.
+type Table = frame.Frame
+
+// Column is one typed column of a Table.
+type Column = frame.Column
+
+// Graph is the Dataset Relation Graph: an undirected weighted multigraph
+// of datasets and join opportunities.
+type Graph = graph.Graph
+
+// Edge is one join opportunity between two datasets.
+type Edge = graph.Edge
+
+// KFK declares a known key–foreign-key constraint for BuildDRG.
+type KFK = discovery.KFK
+
+// Config holds AutoFeat's hyper-parameters (τ, κ, metrics, top-k, ...).
+type Config = core.Config
+
+// Discovery is a configured AutoFeat run over a DRG.
+type Discovery = core.Discovery
+
+// Ranking is the ordered list of scored join paths a discovery produces.
+type Ranking = core.Ranking
+
+// RankedPath is one scored join path with its selected features.
+type RankedPath = core.RankedPath
+
+// AugmentResult is the end-to-end output: best path, augmented table,
+// trained feature set and timings.
+type AugmentResult = core.AugmentResult
+
+// ModelFactory builds fresh classifier instances for evaluation.
+type ModelFactory = ml.Factory
+
+// EvalResult reports a model evaluation (accuracy, AUC, F1).
+type EvalResult = ml.EvalResult
+
+// DefaultConfig returns the paper's evaluation configuration: τ = 0.65,
+// κ = 15, Spearman relevance, MRMR redundancy.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewDiscovery prepares an AutoFeat run: base names the base table node in
+// g, label the label column inside it.
+func NewDiscovery(g *Graph, base, label string, cfg Config) (*Discovery, error) {
+	return core.New(g, base, label, cfg)
+}
+
+// ReadTableCSV loads one CSV file (with header) as a Table; the table name
+// is the file name without extension. Column types are inferred.
+func ReadTableCSV(path string) (*Table, error) { return frame.ReadCSVFile(path) }
+
+// ReadTable parses CSV from a reader under the given table name.
+func ReadTable(name string, r io.Reader) (*Table, error) { return frame.ReadCSV(name, r) }
+
+// ReadTablesDir loads every *.csv in a directory as tables, sorted by
+// name.
+func ReadTablesDir(dir string) ([]*Table, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".csv") {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("autofeat: no CSV files in %q", dir)
+	}
+	tables := make([]*Table, 0, len(paths))
+	for _, p := range paths {
+		t, err := frame.ReadCSVFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("autofeat: read %q: %w", p, err)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// BuildDRG constructs the DRG from known KFK constraints (the curated
+// "benchmark setting"): every constraint becomes a weight-1 edge.
+func BuildDRG(tables []*Table, constraints []KFK) (*Graph, error) {
+	return discovery.BuildBenchmarkDRG(tables, constraints)
+}
+
+// DiscoverDRG constructs the DRG with the built-in COMA-style composite
+// matcher (the "data lake setting"): every column correspondence scoring
+// at or above threshold becomes a weighted edge. The paper uses threshold
+// 0.55.
+func DiscoverDRG(tables []*Table, threshold float64) (*Graph, error) {
+	return discovery.DiscoverDRG(tables, threshold, nil)
+}
+
+// DiscoverDRGSketched builds the DRG with MinHash-sketched instance
+// evidence instead of exact value-set intersection — constant-time column
+// comparisons for lakes whose tables are too large to intersect exactly.
+func DiscoverDRGSketched(tables []*Table, threshold float64) (*Graph, error) {
+	return discovery.DiscoverDRGSketched(tables, threshold)
+}
+
+// SaveGraph persists a DRG's structure (node names and edges, not table
+// data) as JSON — the offline phase's output. Reload with LoadGraph.
+func SaveGraph(g *Graph, path string) error { return g.SaveFile(path) }
+
+// LoadGraph reconstructs a DRG from a SaveGraph file, re-attaching the
+// given tables (every node must have a matching table).
+func LoadGraph(path string, tables []*Table) (*Graph, error) {
+	return graph.LoadFile(path, tables)
+}
+
+// TuneOutcome reports an AutoTune grid search.
+type TuneOutcome = core.TuneOutcome
+
+// TuneResult is one configuration evaluated by AutoTune.
+type TuneResult = core.TuneResult
+
+// AutoTune grid-searches the τ and κ hyper-parameters around cfg (the
+// paper's future-work "dynamic hyper-parameter tuning") and returns the
+// best configuration by model accuracy. Empty grids use the defaults
+// τ ∈ {0.5, 0.65, 0.8}, κ ∈ {10, 15, 20}.
+func AutoTune(g *Graph, base, label string, cfg Config, factory ModelFactory, taus []float64, kappas []int) (*TuneOutcome, error) {
+	return core.AutoTune(g, base, label, cfg, factory, taus, kappas)
+}
+
+// Relevance is a pluggable relevance metric for Config (ablation studies).
+type Relevance = fselect.Relevance
+
+// Redundancy is a pluggable redundancy metric for Config.
+type Redundancy = fselect.Redundancy
+
+// RelevanceMetric returns the named relevance metric: "spearman",
+// "pearson", "ig", "su", "relief". Unknown names return nil, which
+// disables the relevance stage.
+func RelevanceMetric(name string) Relevance { return fselect.RelevanceByName(name) }
+
+// RedundancyMetric returns the named redundancy metric: "mrmr", "mifs",
+// "cife", "jmi", "cmim". Unknown names return nil, which disables the
+// redundancy stage.
+func RedundancyMetric(name string) Redundancy { return fselect.RedundancyByName(name) }
+
+// Model returns the named model factory. Tree models: "lightgbm",
+// "xgboost", "randomforest", "extratrees"; others: "knn", "lr_l1".
+func Model(name string) ModelFactory {
+	f, ok := ml.FactoryByName(name)
+	if !ok {
+		panic(fmt.Sprintf("autofeat: unknown model %q (see Models())", name))
+	}
+	return f
+}
+
+// Models lists every available model factory.
+func Models() []ModelFactory {
+	return append(ml.TreeFactories(), ml.NonTreeFactories()...)
+}

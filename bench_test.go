@@ -1,0 +1,290 @@
+package autofeat
+
+// The benchmark suite regenerates every table and figure of the paper's
+// evaluation. Each BenchmarkX prints the corresponding report once to
+// stdout (the testing package would truncate long b.Log output) and
+// measures the end-to-end harness cost. The suite runs at "quick" scale
+// (datagen.QuickSpecs: rows ≤ 1200, ≤ 8 tables, ≤ 30 features);
+// cmd/experiments runs the same experiments at full Table II scale.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"autofeat/internal/bench"
+	"autofeat/internal/datagen"
+)
+
+var (
+	quickOnce   sync.Once
+	quickShared *bench.Runner
+)
+
+// quickRunner returns a shared runner so figures reuse cached sweeps,
+// exactly as cmd/experiments does.
+func quickRunner() *bench.Runner {
+	quickOnce.Do(func() {
+		quickShared = bench.NewRunner(datagen.QuickSpecs(), 7)
+	})
+	return quickShared
+}
+
+func logReport(b *testing.B, rep *bench.Report, i int) {
+	b.Helper()
+	if i == 0 {
+		// Printed to stdout, not b.Log: the testing package truncates
+		// long benchmark logs, and these tables ARE the deliverable.
+		fmt.Println(rep)
+	}
+}
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logReport(b, bench.TableI(), i)
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	r := quickRunner()
+	for i := 0; i < b.N; i++ {
+		rep, err := r.TableII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logReport(b, rep, i)
+	}
+}
+
+func BenchmarkFigure3a(b *testing.B) {
+	r := quickRunner()
+	for i := 0; i < b.N; i++ {
+		rep, err := r.Figure3a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logReport(b, rep, i)
+	}
+}
+
+func BenchmarkFigure3b(b *testing.B) {
+	r := quickRunner()
+	for i := 0; i < b.N; i++ {
+		rep, err := r.Figure3b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logReport(b, rep, i)
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	r := quickRunner()
+	for i := 0; i < b.N; i++ {
+		rep, err := r.Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logReport(b, rep, i)
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	r := quickRunner()
+	for i := 0; i < b.N; i++ {
+		rep, err := r.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logReport(b, rep, i)
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	r := quickRunner()
+	for i := 0; i < b.N; i++ {
+		rep, err := r.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logReport(b, rep, i)
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	r := quickRunner()
+	for i := 0; i < b.N; i++ {
+		rep, err := r.Figure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logReport(b, rep, i)
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	r := quickRunner()
+	for i := 0; i < b.N; i++ {
+		reps, err := r.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, rep := range reps {
+			logReport(b, rep, i)
+		}
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	r := quickRunner()
+	for i := 0; i < b.N; i++ {
+		rep, err := r.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logReport(b, rep, i)
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	r := quickRunner()
+	for i := 0; i < b.N; i++ {
+		rep, err := r.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logReport(b, rep, i)
+	}
+}
+
+func BenchmarkAblationTraversal(b *testing.B) {
+	r := quickRunner()
+	for i := 0; i < b.N; i++ {
+		rep, err := r.AblationTraversal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logReport(b, rep, i)
+	}
+}
+
+func BenchmarkAblationCardinality(b *testing.B) {
+	r := quickRunner()
+	for i := 0; i < b.N; i++ {
+		rep, err := r.AblationCardinality()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logReport(b, rep, i)
+	}
+}
+
+func BenchmarkAblationSimPrune(b *testing.B) {
+	r := quickRunner()
+	for i := 0; i < b.N; i++ {
+		rep, err := r.AblationSimPrune()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logReport(b, rep, i)
+	}
+}
+
+func BenchmarkAblationBins(b *testing.B) {
+	r := quickRunner()
+	for i := 0; i < b.N; i++ {
+		rep, err := r.AblationBins()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logReport(b, rep, i)
+	}
+}
+
+func BenchmarkAblationStreaming(b *testing.B) {
+	r := quickRunner()
+	for i := 0; i < b.N; i++ {
+		rep, err := r.AblationStreaming()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logReport(b, rep, i)
+	}
+}
+
+// Micro-benchmarks for the hot substrate paths, so regressions in the
+// engine itself are visible independent of the experiment harness.
+
+func BenchmarkMicroLeftJoin(b *testing.B) {
+	d, err := datagen.Generate(datagen.SmallSpecs()[1])
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := BuildDRG(d.Tables, d.KFKs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	disc, err := NewDiscovery(g, d.Base.Name(), d.Label, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ranking, err := disc.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(ranking.Paths) == 0 {
+		b.Fatal("no paths")
+	}
+	base := d.Base.Prefixed(d.Base.Name())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := disc.MaterializePath(ranking.Paths[0], base); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroDiscovery(b *testing.B) {
+	d, err := datagen.Generate(datagen.SmallSpecs()[1])
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := BuildDRG(d.Tables, d.KFKs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		disc, err := NewDiscovery(g, d.Base.Name(), d.Label, DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := disc.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroMatcher(b *testing.B) {
+	d, err := datagen.Generate(datagen.SmallSpecs()[1])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DiscoverDRG(d.Tables, 0.55); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationJoinType(b *testing.B) {
+	r := quickRunner()
+	for i := 0; i < b.N; i++ {
+		rep, err := r.AblationJoinType()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logReport(b, rep, i)
+	}
+}

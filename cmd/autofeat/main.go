@@ -1,0 +1,188 @@
+// Command autofeat runs transitive feature discovery over a directory of
+// CSV tables: it builds the Dataset Relation Graph (from a constraints
+// file when present, otherwise with the built-in schema matcher), ranks
+// join paths, trains the chosen model on the top-k paths and reports the
+// winner.
+//
+// Usage:
+//
+//	autofeat -dir lake/credit -base credit -label target
+//	autofeat -dir lake/credit -base credit -label target -model xgboost -tau 0.7 -kappa 10
+//	autofeat -dir lake/credit -base credit -label target -dot   # print the DRG and exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"autofeat"
+)
+
+func main() {
+	var (
+		dir       = flag.String("dir", "", "directory of CSV tables (required)")
+		base      = flag.String("base", "", "base table name (required)")
+		label     = flag.String("label", "target", "label column in the base table")
+		model     = flag.String("model", "lightgbm", "model: lightgbm|xgboost|randomforest|extratrees|knn|lr_l1")
+		tau       = flag.Float64("tau", 0.65, "data-quality pruning threshold")
+		kappa     = flag.Int("kappa", 15, "max features selected per table")
+		topK      = flag.Int("topk", 4, "ranked paths to train models on")
+		depth     = flag.Int("depth", 3, "max join path length")
+		threshold = flag.Float64("threshold", 0.55, "matcher threshold when no constraints file exists")
+		seed      = flag.Int64("seed", 1, "random seed")
+		dot       = flag.Bool("dot", false, "print the DRG in Graphviz DOT format and exit")
+		paths     = flag.Int("paths", 5, "ranked paths to print")
+		beam      = flag.Int("beam", 0, "beam width (0 = exhaustive BFS)")
+		sketched  = flag.Bool("sketched", false, "use MinHash-sketched discovery (large lakes)")
+		autotune  = flag.Bool("autotune", false, "grid-search tau and kappa before the final run")
+	)
+	flag.Parse()
+	if *dir == "" || *base == "" {
+		fmt.Fprintln(os.Stderr, "autofeat: -dir and -base are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := runOpts{
+		dir: *dir, base: *base, label: *label, model: *model,
+		tau: *tau, kappa: *kappa, topK: *topK, depth: *depth,
+		threshold: *threshold, seed: *seed, dot: *dot, paths: *paths,
+		beam: *beam, sketched: *sketched, autotune: *autotune,
+	}
+	if err := run(opts); err != nil {
+		fmt.Fprintf(os.Stderr, "autofeat: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runOpts bundles the CLI flags.
+type runOpts struct {
+	dir, base, label, model string
+	tau                     float64
+	kappa, topK, depth      int
+	threshold               float64
+	seed                    int64
+	dot                     bool
+	paths                   int
+	beam                    int
+	sketched                bool
+	autotune                bool
+}
+
+func run(o runOpts) error {
+	tables, err := autofeat.ReadTablesDir(o.dir)
+	if err != nil {
+		return err
+	}
+	g, setting, err := buildGraph(o.dir, tables, o.threshold, o.sketched)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("DRG (%s setting): %d tables, %d edges\n", setting, g.NumNodes(), g.NumEdges())
+	if o.dot {
+		fmt.Print(g.DOT())
+		return nil
+	}
+
+	cfg := autofeat.DefaultConfig()
+	cfg.Tau = o.tau
+	cfg.Kappa = o.kappa
+	cfg.TopK = o.topK
+	cfg.MaxDepth = o.depth
+	cfg.Seed = o.seed
+	cfg.BeamWidth = o.beam
+	base, label, model, nPaths := o.base, o.label, o.model, o.paths
+
+	if o.autotune {
+		out, err := autofeat.AutoTune(g, base, label, cfg, autofeat.Model(model), nil, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("autotune: best tau=%.2f kappa=%d (accuracy %.4f over %d configs in %v)\n",
+			out.Best.Tau, out.Best.Kappa, out.Best.Accuracy, len(out.Tried), out.Elapsed.Round(time.Millisecond))
+		cfg.Tau = out.Best.Tau
+		cfg.Kappa = out.Best.Kappa
+	}
+
+	disc, err := autofeat.NewDiscovery(g, base, label, cfg)
+	if err != nil {
+		return err
+	}
+	res, err := disc.Augment(autofeat.Model(model))
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nranked join paths (top %d of %d, explored %d, pruned %d):\n",
+		nPaths, len(res.Ranking.Paths), res.Ranking.PathsExplored, res.Ranking.PathsPruned)
+	for i, p := range res.Ranking.TopK(nPaths) {
+		fmt.Printf("  %d. %s\n", i+1, p)
+	}
+	fmt.Printf("\nmodel evaluations (%s):\n", model)
+	for _, pe := range res.Evaluated {
+		kind := "path"
+		if len(pe.Path.Edges) == 0 {
+			kind = "base"
+		}
+		fmt.Printf("  %-4s acc=%.4f auc=%.4f  %s\n", kind, pe.Eval.Accuracy, pe.Eval.AUC, pe.Path)
+	}
+	fmt.Printf("\nbest: %s\n", res.Best.Path)
+	fmt.Printf("accuracy %.4f (AUC %.4f) with %d features\n",
+		res.Best.Eval.Accuracy, res.Best.Eval.AUC, len(res.Features))
+	fmt.Printf("feature-selection time %v, total time %v\n", res.SelectionTime, res.TotalTime)
+	return nil
+}
+
+// buildGraph prefers a constraints.txt (benchmark setting); without one it
+// falls back to schema matching (data lake setting).
+func buildGraph(dir string, tables []*autofeat.Table, threshold float64, sketched bool) (*autofeat.Graph, string, error) {
+	kfks, err := readConstraints(filepath.Join(dir, "constraints.txt"))
+	switch {
+	case err == nil && len(kfks) > 0:
+		g, err := autofeat.BuildDRG(tables, kfks)
+		return g, "benchmark", err
+	case err != nil && !os.IsNotExist(err):
+		return nil, "", err
+	case sketched:
+		g, err := autofeat.DiscoverDRGSketched(tables, threshold)
+		return g, "lake (sketched)", err
+	default:
+		g, err := autofeat.DiscoverDRG(tables, threshold)
+		return g, "lake", err
+	}
+}
+
+// readConstraints parses lines of the form parent.col=child.col.
+func readConstraints(path string) ([]autofeat.KFK, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []autofeat.KFK
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad constraint line %q", line)
+		}
+		p := strings.SplitN(parts[0], ".", 2)
+		c := strings.SplitN(parts[1], ".", 2)
+		if len(p) != 2 || len(c) != 2 {
+			return nil, fmt.Errorf("bad constraint line %q", line)
+		}
+		out = append(out, autofeat.KFK{
+			ParentTable: p[0], ParentCol: p[1],
+			ChildTable: c[0], ChildCol: c[1],
+		})
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,96 @@
+// Command fselect runs the Section V feature-selection machinery on a
+// single CSV table: it ranks every feature with the chosen relevance
+// metric, optionally filters with a redundancy metric, and prints the
+// selected subset with scores — a building block for exploring a table
+// before pointing AutoFeat at a whole lake.
+//
+// Usage:
+//
+//	fselect -csv data.csv -label target
+//	fselect -csv data.csv -label target -relevance ig -redundancy jmi -k 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autofeat/internal/frame"
+	"autofeat/internal/fselect"
+)
+
+func main() {
+	var (
+		csvPath    = flag.String("csv", "", "input CSV file (required)")
+		label      = flag.String("label", "target", "label column")
+		relevance  = flag.String("relevance", "spearman", "relevance metric: spearman|pearson|ig|su|relief (empty disables)")
+		redundancy = flag.String("redundancy", "mrmr", "redundancy metric: mrmr|mifs|cife|jmi|cmim (empty disables)")
+		k          = flag.Int("k", 15, "max features to keep (κ)")
+		describe   = flag.Bool("describe", false, "print column summaries first")
+	)
+	flag.Parse()
+	if *csvPath == "" {
+		fmt.Fprintln(os.Stderr, "fselect: -csv is required")
+		os.Exit(2)
+	}
+	if err := run(*csvPath, *label, *relevance, *redundancy, *k, *describe); err != nil {
+		fmt.Fprintf(os.Stderr, "fselect: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(csvPath, label, relevance, redundancy string, k int, describe bool) error {
+	f, err := frame.ReadCSVFile(csvPath)
+	if err != nil {
+		return err
+	}
+	if describe {
+		fmt.Print(f.DescribeString())
+		fmt.Println()
+	}
+	if !f.HasColumn(label) {
+		return fmt.Errorf("no label column %q in %q", label, csvPath)
+	}
+	imputed := f.Imputed()
+	y, err := imputed.Labels(label)
+	if err != nil {
+		return err
+	}
+	var names []string
+	var cols [][]float64
+	for _, c := range imputed.Columns() {
+		if c.Name() == label {
+			continue
+		}
+		names = append(names, c.Name())
+		cols = append(cols, c.Floats())
+	}
+	if len(cols) == 0 {
+		return fmt.Errorf("no feature columns in %q", csvPath)
+	}
+
+	pipe := &fselect.Pipeline{
+		Relevance:  fselect.RelevanceByName(relevance),
+		Redundancy: fselect.RedundancyByName(redundancy),
+		K:          k,
+	}
+	res := pipe.Run(cols, nil, y)
+	if len(res.Kept) == 0 {
+		fmt.Println("no features survived selection (all irrelevant or redundant)")
+		return nil
+	}
+	fmt.Printf("selected %d of %d features (relevance=%s, redundancy=%s, k=%d):\n",
+		len(res.Kept), len(cols), orNone(relevance), orNone(redundancy), k)
+	fmt.Printf("%-30s %12s %12s\n", "feature", "relevance", "redundancy J")
+	for i, idx := range res.Kept {
+		fmt.Printf("%-30s %12.4f %12.4f\n", names[idx], res.RelScores[i], res.RedScores[i])
+	}
+	return nil
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}

@@ -1,0 +1,3 @@
+module autofeat
+
+go 1.22

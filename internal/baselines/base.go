@@ -1,0 +1,41 @@
+package baselines
+
+import (
+	"time"
+
+	"autofeat/internal/graph"
+	"autofeat/internal/ml"
+)
+
+// Base is the BASE baseline: train on the unaugmented base table. It
+// anchors the effectiveness comparison — every augmentation method is
+// judged by how far it lifts accuracy above this.
+type Base struct{}
+
+// NewBase returns the BASE baseline.
+func NewBase() *Base { return &Base{} }
+
+// Name implements Method.
+func (*Base) Name() string { return "base" }
+
+// Augment implements Method: no augmentation, just evaluate.
+func (*Base) Augment(g *graph.Graph, base, label string, factory ml.Factory, seed int64) (*Result, error) {
+	start := time.Now()
+	bt, qlabel, err := prefixedBase(g, base, label)
+	if err != nil {
+		return nil, err
+	}
+	features := featuresOf(bt, qlabel)
+	eval, err := evalFrame(bt, features, qlabel, factory, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Method:       "base",
+		Table:        bt,
+		Features:     features,
+		Eval:         eval,
+		TablesJoined: 0,
+		TotalTime:    time.Since(start),
+	}, nil
+}

@@ -1,0 +1,158 @@
+// Package baselines implements the comparison systems of Section VII-B:
+//
+//   - BASE: the unaugmented base table.
+//   - ARDA: single-hop (star schema) augmentation with random-injection
+//     feature selection, reimplemented from Chepurko et al. (as the
+//     AutoFeat authors did, the original source being unavailable).
+//   - MAB: multi-armed-bandit feature augmentation after Liu et al.,
+//     with the original's limitation that joins require identical join
+//     column names on both sides.
+//   - JoinAll: join every reachable table, no feature selection.
+//   - JoinAll+F: JoinAll followed by one filter feature-selection pass.
+//
+// All methods share the Method interface so the experiment harness can
+// sweep them uniformly. ARDA and MAB train the target model inside their
+// selection loops — the model-execution cost AutoFeat's ranking avoids —
+// so their SelectionTime is expected to dominate, reproducing the paper's
+// efficiency result.
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"autofeat/internal/frame"
+	"autofeat/internal/graph"
+	"autofeat/internal/ml"
+)
+
+// Result is a baseline's end-to-end outcome, mirroring the measurements in
+// Figures 4–7: accuracy, the feature-selection share of the runtime, and
+// the number of joined tables printed on the bars.
+type Result struct {
+	Method       string
+	Table        *frame.Frame
+	Features     []string
+	Eval         ml.EvalResult
+	TablesJoined int
+	// SelectionTime covers feature selection only; TotalTime adds joins
+	// and the final model training.
+	SelectionTime time.Duration
+	TotalTime     time.Duration
+}
+
+// Method is one augmentation strategy under evaluation.
+type Method interface {
+	// Name identifies the method in reports ("arda", "mab", ...).
+	Name() string
+	// Augment runs the strategy over the DRG for the given base table and
+	// label, training/evaluating with the factory's model.
+	Augment(g *graph.Graph, base, label string, factory ml.Factory, seed int64) (*Result, error)
+}
+
+// evalFrame trains the factory's model on a stratified 80/20 split and
+// returns the evaluation — the shared final step of every method.
+func evalFrame(f *frame.Frame, features []string, label string, factory ml.Factory, seed int64) (ml.EvalResult, error) {
+	return ml.EvaluateFrame(f, features, label, factory.New(seed), seed)
+}
+
+// qualifiedLabel maps an unqualified label to its prefixed form.
+func qualifiedLabel(base, label string) string { return base + "." + label }
+
+// prefixedBase fetches and prefixes the base table, failing when the base
+// or label is missing.
+func prefixedBase(g *graph.Graph, base, label string) (*frame.Frame, string, error) {
+	bt := g.Table(base)
+	if bt == nil {
+		return nil, "", fmt.Errorf("baselines: base table %q not in graph", base)
+	}
+	if !bt.HasColumn(label) {
+		return nil, "", fmt.Errorf("baselines: base table %q has no label %q", base, label)
+	}
+	return bt.Prefixed(base), qualifiedLabel(base, label), nil
+}
+
+// featuresOf lists a frame's columns minus the label.
+func featuresOf(f *frame.Frame, label string) []string {
+	out := make([]string, 0, f.NumCols()-1)
+	for _, name := range f.ColumnNames() {
+		if name != label {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// bestEdge returns the highest-weight edge between two nodes, oriented
+// from `from`; ok=false when none exists.
+func bestEdge(g *graph.Graph, from, to string) (graph.Edge, bool) {
+	edges := g.EdgesBetween(from, to)
+	if len(edges) == 0 {
+		return graph.Edge{}, false
+	}
+	best := edges[0]
+	for _, e := range edges[1:] {
+		if e.Weight > best.Weight {
+			best = e
+		}
+	}
+	return best, true
+}
+
+// trainValSplit splits a frame 75/25 with stratification for the
+// model-in-the-loop baselines' internal wrapper evaluations.
+func trainValSplit(f *frame.Frame, label string, seed int64) (*frame.Split, error) {
+	return f.Imputed().StratifiedSplit(label, 0.75, rand.New(rand.NewSource(seed)))
+}
+
+// fitAndScore trains a fresh model on the split restricted to features and
+// returns validation accuracy. This is the "expensive model execution
+// step" of ARDA and MAB.
+func fitAndScore(sp *frame.Split, features []string, label string, factory ml.Factory, seed int64) (float64, error) {
+	Xtr, err := sp.Train.Matrix(features)
+	if err != nil {
+		return 0, err
+	}
+	ytr, err := sp.Train.Labels(label)
+	if err != nil {
+		return 0, err
+	}
+	Xva, err := sp.Test.Matrix(features)
+	if err != nil {
+		return 0, err
+	}
+	yva, err := sp.Test.Labels(label)
+	if err != nil {
+		return 0, err
+	}
+	m := factory.New(seed)
+	if err := m.Fit(Xtr, ytr); err != nil {
+		return 0, err
+	}
+	return ml.Accuracy(m.Predict(Xva), yva), nil
+}
+
+// All returns every baseline in report order.
+func All() []Method {
+	return []Method{NewBase(), NewARDA(), NewMAB(), NewJoinAll(false), NewJoinAll(true)}
+}
+
+// ByName resolves a baseline by name (base, arda, mab, joinall,
+// joinall+f), or nil.
+func ByName(name string) Method {
+	switch name {
+	case "base":
+		return NewBase()
+	case "arda":
+		return NewARDA()
+	case "mab":
+		return NewMAB()
+	case "joinall":
+		return NewJoinAll(false)
+	case "joinall+f":
+		return NewJoinAll(true)
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,351 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"autofeat/internal/core"
+	"autofeat/internal/frame"
+	"autofeat/internal/fselect"
+	"autofeat/internal/ml"
+	"autofeat/internal/relational"
+)
+
+// AblationTraversal compares BFS and DFS exploration of the DRG (the
+// Section IV-A design choice): at which exploration position each order
+// first reaches the deepest signal-bearing table. BFS visits level by
+// level, so quality control happens per hop; DFS can wander down noise
+// branches first.
+func (r *Runner) AblationTraversal() (*Report, error) {
+	rep := &Report{
+		ID:     "ablation-traversal",
+		Title:  "BFS vs DFS: exploration position of the deepest signal table",
+		Header: []string{"dataset", "target table", "bfs position", "dfs position", "bfs levels"},
+		Notes:  []string{"the paper argues for BFS: level-by-level quality checks and contained join errors"},
+	}
+	for _, spec := range r.Specs {
+		d, err := r.Dataset(spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		g, err := r.DRG(spec.Name, Benchmark)
+		if err != nil {
+			return nil, err
+		}
+		// Deepest table that holds informative features.
+		target, depth := "", -1
+		for table, feats := range d.InformativeByTable {
+			if len(feats) > 0 && d.Depth[table] > depth {
+				target, depth = table, d.Depth[table]
+			}
+		}
+		levels := g.BFSLevels(d.Base.Name())
+		bfsPos := positionIn(flatten(levels), target)
+		dfsPos := positionIn(g.DFSOrder(d.Base.Name()), target)
+		rep.AddRow(spec.Name, target, bfsPos, dfsPos, len(levels))
+	}
+	return rep, nil
+}
+
+func flatten(levels [][]string) []string {
+	var out []string
+	for _, l := range levels {
+		out = append(out, l...)
+	}
+	return out
+}
+
+func positionIn(order []string, name string) int {
+	for i, n := range order {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// AblationCardinality demonstrates why AutoFeat normalises join
+// cardinality (Section IV-B): a duplicating 1:N left join inflates the
+// row count and skews the label distribution, while the normalised join
+// preserves both exactly.
+func (r *Runner) AblationCardinality() (*Report, error) {
+	rep := &Report{
+		ID:     "ablation-cardinality",
+		Title:  "Join cardinality normalisation on/off: rows and label skew",
+		Header: []string{"dataset", "base rows", "normalised rows", "duplicating rows", "label drift (duplicating)"},
+		Notes:  []string{"duplicating joins change the class balance, which Section IV-B identifies as harmful"},
+	}
+	for _, spec := range r.Specs[:min(3, len(r.Specs))] {
+		d, err := r.Dataset(spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		g, err := r.DRG(spec.Name, Benchmark)
+		if err != nil {
+			return nil, err
+		}
+		base := d.Base.Prefixed(d.Base.Name())
+		label := d.Base.Name() + "." + d.Label
+		baseDist, err := base.ClassDistribution(label)
+		if err != nil {
+			return nil, err
+		}
+		baseFrac := classFrac(baseDist)
+
+		// Take the first KFK edge and join both ways. The duplicating
+		// variant inflates the right side by repeating each key 3 times.
+		edges := g.EdgesFrom(d.Base.Name())
+		if len(edges) == 0 {
+			continue
+		}
+		e := edges[0]
+		right := g.Table(e.B)
+		norm, err := relational.LeftJoin(base, right, e.A+"."+e.ColA, e.ColB, relational.Options{})
+		if err != nil {
+			return nil, err
+		}
+		dup, err := duplicatingLeftJoin(base, right, e.A+"."+e.ColA, e.ColB, 3)
+		if err != nil {
+			return nil, err
+		}
+		dupDist, err := dup.ClassDistribution(label)
+		if err != nil {
+			return nil, err
+		}
+		drift := classFrac(dupDist) - baseFrac
+		if drift < 0 {
+			drift = -drift
+		}
+		rep.AddRow(spec.Name, base.NumRows(), norm.Frame.NumRows(), dup.NumRows(), drift)
+	}
+	return rep, nil
+}
+
+func classFrac(dist map[int]int) float64 {
+	total := 0
+	for _, n := range dist {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(dist[1]) / float64(total)
+}
+
+// duplicatingLeftJoin materialises what a naive left join would do on a
+// 1:N relationship: every matching right row produces an output row. The
+// right side is artificially inflated by `copies` to force 1:N.
+func duplicatingLeftJoin(left, right *frame.Frame, leftKey, rightKey string, copies int) (*frame.Frame, error) {
+	rc := right.Column(rightKey)
+	rows := make(map[string][]int, rc.Len())
+	for i, n := 0, rc.Len(); i < n; i++ {
+		if k, ok := rc.Key(i); ok {
+			for c := 0; c < copies; c++ {
+				rows[k] = append(rows[k], i)
+			}
+		}
+	}
+	lc := left.Column(leftKey)
+	if lc == nil {
+		return nil, fmt.Errorf("bench: no column %q", leftKey)
+	}
+	var leftIdx, rightIdx []int
+	for i, n := 0, lc.Len(); i < n; i++ {
+		k, ok := lc.Key(i)
+		if !ok {
+			leftIdx = append(leftIdx, i)
+			rightIdx = append(rightIdx, -1)
+			continue
+		}
+		matches := rows[k]
+		if len(matches) == 0 {
+			leftIdx = append(leftIdx, i)
+			rightIdx = append(rightIdx, -1)
+			continue
+		}
+		for _, m := range matches {
+			leftIdx = append(leftIdx, i)
+			rightIdx = append(rightIdx, m)
+		}
+	}
+	out := left.Take(leftIdx)
+	rightRows := right.Prefixed(right.Name() + "_dup").Take(rightIdx)
+	return out.ConcatCols(rightRows)
+}
+
+// AblationSimPrune measures the first pruning strategy in the lake
+// setting: similarity-score pruning on vs off (paths explored, selection
+// time, resulting accuracy).
+func (r *Runner) AblationSimPrune() (*Report, error) {
+	rep := &Report{
+		ID:     "ablation-simprune",
+		Title:  "Similarity-score pruning on/off (lake setting)",
+		Header: []string{"dataset", "pruning", "paths explored", "selection time", "accuracy"},
+		Notes:  []string{"without pruning every parallel edge is traversed; expect more paths and more time for similar accuracy"},
+	}
+	lgbm, _ := ml.FactoryByName("lightgbm")
+	for _, spec := range r.Specs[:min(3, len(r.Specs))] {
+		for _, pruning := range []bool{true, false} {
+			cfg := DefaultAutoFeatConfig(r.Seed)
+			cfg.SimilarityPruning = pruning
+			d, err := r.Dataset(spec.Name)
+			if err != nil {
+				return nil, err
+			}
+			g, err := r.DRG(spec.Name, Lake)
+			if err != nil {
+				return nil, err
+			}
+			disc, err := core.New(g, d.Base.Name(), d.Label, cfg)
+			if err != nil {
+				return nil, err
+			}
+			ranking, err := disc.Run()
+			if err != nil {
+				return nil, err
+			}
+			res, err := disc.EvaluateRanking(ranking, lgbm)
+			if err != nil {
+				return nil, err
+			}
+			label := "on"
+			if !pruning {
+				label = "off"
+			}
+			rep.AddRow(spec.Name, label, ranking.PathsExplored, ranking.SelectionTime, res.Best.Eval.Accuracy)
+		}
+	}
+	return rep, nil
+}
+
+// AblationBins sweeps the discretisation granularity used by the
+// information-theoretic metrics (an implementation choice the paper
+// inherits from its toolkit).
+func (r *Runner) AblationBins() (*Report, error) {
+	rep := &Report{
+		ID:     "ablation-bins",
+		Title:  "MI discretisation bins: accuracy and selection time (IG relevance)",
+		Header: []string{"bins", "mean accuracy", "total selection time"},
+	}
+	for _, bins := range []int{4, 10, 32} {
+		acc, elapsed, err := r.relevanceStudy(fselect.IGRelevance{Bins: bins})
+		if err != nil {
+			return nil, err
+		}
+		rep.AddRow(bins, acc, elapsed)
+	}
+	return rep, nil
+}
+
+// AblationStreaming compares AutoFeat's streaming per-join selection with
+// one-shot post-hoc selection over the fully joined wide table (the
+// JoinAll+F strategy upgraded to the same Spearman+MRMR pipeline).
+func (r *Runner) AblationStreaming() (*Report, error) {
+	rep := &Report{
+		ID:     "ablation-streaming",
+		Title:  "Streaming per-join selection vs one-shot post-hoc selection",
+		Header: []string{"dataset", "strategy", "accuracy", "selection time", "features kept"},
+		Notes:  []string{"streaming bounds each batch to the join's columns; post-hoc must rank the whole wide table at once"},
+	}
+	lgbm, _ := ml.FactoryByName("lightgbm")
+	for _, spec := range r.Specs[:min(4, len(r.Specs))] {
+		d, err := r.Dataset(spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		// Streaming: AutoFeat itself.
+		mr, err := r.RunMethod(spec.Name, Benchmark, "autofeat", lgbm)
+		if err != nil {
+			return nil, err
+		}
+		e, err := r.autofeatRanking(spec.Name, Benchmark, DefaultAutoFeatConfig(r.Seed))
+		if err != nil {
+			return nil, err
+		}
+		kept := 0
+		if len(e.ranking.Paths) > 0 {
+			kept = len(e.ranking.Paths[0].Features)
+		}
+		rep.AddRow(spec.Name, "streaming", mr.Accuracy, mr.SelectionTime, kept)
+
+		// Post-hoc: flatten everything, then one Spearman+MRMR pass.
+		flat, y, features, cols, err := r.flatStudy(spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		pipe := &fselect.Pipeline{Relevance: fselect.SpearmanRelevance{}, Redundancy: fselect.NewMRMR(), K: 15}
+		sel := pipe.Run(cols, nil, y)
+		selTime := time.Since(start)
+		names := make([]string, len(sel.Kept))
+		for i, k := range sel.Kept {
+			names[i] = features[k]
+		}
+		if len(names) == 0 {
+			names = features
+		}
+		eval, err := ml.EvaluateFrame(flat, names, "target", ml.NewLightGBM(r.Seed), r.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rep.AddRow(d.Spec.Name, "post-hoc", eval.Accuracy, selTime, len(sel.Kept))
+	}
+	return rep, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// AblationJoinType makes Section IV-B's join-type argument measurable:
+// along each dataset's first join, compare the left join (rows and label
+// balance preserved) with an inner join (rows dropped, balance skewed when
+// coverage correlates with anything).
+func (r *Runner) AblationJoinType() (*Report, error) {
+	rep := &Report{
+		ID:     "ablation-jointype",
+		Title:  "Left vs inner join: retained rows and label drift",
+		Header: []string{"dataset", "join", "rows", "label positive frac", "quality"},
+		Notes:  []string{"left joins keep the base table intact; inner joins shrink it whenever coverage < 100%"},
+	}
+	for _, spec := range r.Specs[:min(4, len(r.Specs))] {
+		d, err := r.Dataset(spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		g, err := r.DRG(spec.Name, Benchmark)
+		if err != nil {
+			return nil, err
+		}
+		base := d.Base.Prefixed(d.Base.Name())
+		label := d.Base.Name() + "." + d.Label
+		edges := g.EdgesFrom(d.Base.Name())
+		if len(edges) == 0 {
+			continue
+		}
+		e := edges[0]
+		right := g.Table(e.B)
+		left, err := relational.LeftJoin(base, right, e.A+"."+e.ColA, e.ColB, relational.Options{})
+		if err != nil {
+			return nil, err
+		}
+		inner, err := relational.InnerJoin(base, right, e.A+"."+e.ColA, e.ColB, relational.Options{})
+		if err != nil {
+			return nil, err
+		}
+		for _, tc := range []struct {
+			name string
+			res  *relational.Result
+		}{{"left", left}, {"inner", inner}} {
+			dist, err := tc.res.Frame.ClassDistribution(label)
+			if err != nil {
+				return nil, err
+			}
+			rep.AddRow(spec.Name, tc.name, tc.res.Frame.NumRows(), classFrac(dist), tc.res.Quality())
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,96 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (Table I, Table II, Figures 1 and 3–9)
+// as text reports. Each experiment has a function returning a *Report; the
+// root-level benchmark suite (bench_test.go) and cmd/experiments drive
+// them at quick and full scale respectively.
+//
+// The harness does not claim to match the paper's absolute numbers — the
+// substrate is a from-scratch Go stack on synthetic analogue datasets —
+// but the *shape* of every result is asserted in EXPERIMENTS.md: who wins,
+// by roughly what factor, and where the crossovers fall.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Report is one regenerated table or figure as rows of text cells.
+type Report struct {
+	// ID is the experiment identifier ("figure4", "table2", ...).
+	ID string
+	// Title describes what the paper shows there.
+	Title string
+	// Header labels the columns.
+	Header []string
+	// Rows are the data cells.
+	Rows [][]string
+	// Notes document substitutions, scaling and expectations.
+	Notes []string
+}
+
+// AddRow appends one row, stringifying each cell.
+func (r *Report) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = formatCell(c)
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+func formatCell(c any) string {
+	switch v := c.(type) {
+	case string:
+		return v
+	case float64:
+		return fmt.Sprintf("%.4f", v)
+	case time.Duration:
+		return v.Round(time.Millisecond).String()
+	case int:
+		return fmt.Sprintf("%d", v)
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}

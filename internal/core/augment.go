@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"autofeat/internal/frame"
+	"autofeat/internal/ml"
+	"autofeat/internal/relational"
+)
+
+// PathEval records the ML evaluation of one ranked path.
+type PathEval struct {
+	Path RankedPath
+	Eval ml.EvalResult
+}
+
+// AugmentResult is AutoFeat's end-to-end output: the best join path, the
+// fully-materialised augmented table, the features it was trained with and
+// the timing split the paper reports (feature-selection time vs total).
+type AugmentResult struct {
+	// Best is the winning path (highest model accuracy among the top-k).
+	Best PathEval
+	// Table is the augmented table materialised along the best path at
+	// full size (no sampling).
+	Table *frame.Frame
+	// Features is the trained feature set: base features plus the best
+	// path's selected features.
+	Features []string
+	// Evaluated lists every top-k path with its model score.
+	Evaluated []PathEval
+	// Ranking is the discovery output the evaluation started from.
+	Ranking *Ranking
+	// SelectionTime is the feature-discovery wall-clock time;
+	// TotalTime adds materialisation and model training on top.
+	SelectionTime time.Duration
+	TotalTime     time.Duration
+}
+
+// Augment runs the full AutoFeat pipeline against the discovery's graph:
+// discovery + ranking, then training the factory's model on each of the
+// top-k paths at full table size, returning the best-accuracy path
+// (Section VI, "From Ranked Paths to Training ML Models").
+func (d *Discovery) Augment(factory ml.Factory) (*AugmentResult, error) {
+	start := time.Now()
+	ranking, err := d.Run()
+	if err != nil {
+		return nil, err
+	}
+	res, err := d.EvaluateRanking(ranking, factory)
+	if err != nil {
+		return nil, err
+	}
+	res.TotalTime = time.Since(start)
+	return res, nil
+}
+
+// EvaluateRanking trains the factory's model on the top-k ranked paths of
+// a previously computed ranking and picks the best. Exposed separately so
+// harnesses can time discovery and evaluation independently and reuse one
+// ranking across model families.
+func (d *Discovery) EvaluateRanking(ranking *Ranking, factory ml.Factory) (*AugmentResult, error) {
+	start := time.Now()
+	res := &AugmentResult{Ranking: ranking, SelectionTime: ranking.SelectionTime}
+	base := ranking.Base
+
+	// Candidate 0 is always the base table alone, so AutoFeat never
+	// returns an augmentation that hurts the model.
+	candidates := []RankedPath{{Quality: 1}}
+	candidates = append(candidates, ranking.TopK(d.cfg.TopK)...)
+
+	bestAcc := -1.0
+	for _, p := range candidates {
+		table, features, err := d.MaterializePath(p, base)
+		if err != nil {
+			return nil, err
+		}
+		eval, err := ml.EvaluateFrame(table, features, ranking.Label, factory.New(d.cfg.Seed), d.cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		pe := PathEval{Path: p, Eval: eval}
+		res.Evaluated = append(res.Evaluated, pe)
+		if eval.Accuracy > bestAcc {
+			bestAcc = eval.Accuracy
+			res.Best = pe
+			res.Table = table
+			res.Features = features
+		}
+	}
+	res.TotalTime = ranking.SelectionTime + time.Since(start)
+	return res, nil
+}
+
+// MaterializePath joins the full base table along the path and returns the
+// augmented table plus the feature set to train with (base features + the
+// path's selected features, deduplicated).
+func (d *Discovery) MaterializePath(p RankedPath, base *frame.Frame) (*frame.Frame, []string, error) {
+	rp := make(relational.Path, len(p.Edges))
+	for i, e := range p.Edges {
+		to := d.g.Table(e.B)
+		if to == nil {
+			return nil, nil, fmt.Errorf("core: table %q vanished from graph", e.B)
+		}
+		rp[i] = relational.Hop{FromCol: e.A + "." + e.ColA, To: to, ToCol: e.ColB}
+	}
+	var joinRng *rand.Rand
+	if d.cfg.NormalizeJoins {
+		joinRng = rand.New(rand.NewSource(d.cfg.Seed))
+	}
+	table, _, err := rp.Materialize(base, relational.Options{Normalize: d.cfg.NormalizeJoins, Rng: joinRng})
+	if err != nil {
+		return nil, nil, err
+	}
+	features := make([]string, 0, len(d.baseFeaturesOf(base))+len(p.Features))
+	seen := make(map[string]bool)
+	for _, f := range append(d.baseFeaturesOf(base), p.Features...) {
+		if !seen[f] && table.HasColumn(f) {
+			seen[f] = true
+			features = append(features, f)
+		}
+	}
+	return table, features, nil
+}
+
+func (d *Discovery) baseFeaturesOf(base *frame.Frame) []string {
+	out := make([]string, 0, base.NumCols()-1)
+	for _, name := range base.ColumnNames() {
+		if name != d.label {
+			out = append(out, name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"autofeat/internal/graph"
+	"autofeat/internal/ml"
+)
+
+// TuneResult reports one hyper-parameter configuration evaluated by
+// AutoTune.
+type TuneResult struct {
+	Tau      float64
+	Kappa    int
+	Accuracy float64
+	// Paths is how many ranked paths the configuration produced; zero
+	// flags an over-restrictive τ (the Figure 8d failure mode).
+	Paths         int
+	SelectionTime time.Duration
+}
+
+// TuneOutcome is AutoTune's full report: every configuration tried plus
+// the winner.
+type TuneOutcome struct {
+	Best    TuneResult
+	Tried   []TuneResult
+	Elapsed time.Duration
+}
+
+// AutoTune implements the paper's future-work item "dynamic
+// hyper-parameter tuning, allowing the algorithm to adapt to different
+// data landscapes": it grid-searches τ and κ around the recommended
+// defaults, scoring each configuration by the accuracy of the factory's
+// model on the best ranked path, and returns the winning configuration.
+// Configurations whose τ prunes everything (no ranked paths) are recorded
+// but cannot win unless every configuration is empty.
+//
+// The search reuses one Discovery per configuration; the cost is dominated
+// by |taus|×|kappas| model trainings, so keep the grids small (the default
+// grids are 3×3).
+func AutoTune(g *graph.Graph, base, label string, cfg Config, factory ml.Factory, taus []float64, kappas []int) (*TuneOutcome, error) {
+	if len(taus) == 0 {
+		taus = []float64{0.5, 0.65, 0.8}
+	}
+	if len(kappas) == 0 {
+		kappas = []int{10, 15, 20}
+	}
+	start := time.Now()
+	out := &TuneOutcome{}
+	bestAcc := -1.0
+	for _, tau := range taus {
+		for _, kappa := range kappas {
+			c := cfg
+			c.Tau = tau
+			c.Kappa = kappa
+			d, err := New(g, base, label, c)
+			if err != nil {
+				return nil, fmt.Errorf("core: autotune tau=%v kappa=%d: %w", tau, kappa, err)
+			}
+			res, err := d.Augment(factory)
+			if err != nil {
+				return nil, fmt.Errorf("core: autotune tau=%v kappa=%d: %w", tau, kappa, err)
+			}
+			tr := TuneResult{
+				Tau:           tau,
+				Kappa:         kappa,
+				Accuracy:      res.Best.Eval.Accuracy,
+				Paths:         len(res.Ranking.Paths),
+				SelectionTime: res.SelectionTime,
+			}
+			out.Tried = append(out.Tried, tr)
+			// Prefer configurations that actually rank paths; among
+			// those, highest accuracy wins (ties keep the earlier, i.e.
+			// more permissive τ / smaller κ, configuration).
+			better := tr.Accuracy > bestAcc
+			if out.Best.Paths > 0 && tr.Paths == 0 {
+				better = false
+			}
+			if out.Best.Paths == 0 && tr.Paths > 0 && tr.Accuracy >= bestAcc-1e-12 {
+				better = true
+			}
+			if better {
+				bestAcc = tr.Accuracy
+				out.Best = tr
+			}
+		}
+	}
+	out.Elapsed = time.Since(start)
+	return out, nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"autofeat/internal/frame"
+	"autofeat/internal/graph"
+	"autofeat/internal/ml"
+)
+
+func TestAutoTune(t *testing.T) {
+	g := testLake(t, 400)
+	factory, _ := ml.FactoryByName("lightgbm")
+	out, err := AutoTune(g, "base", "y", DefaultConfig(), factory,
+		[]float64{0.3, 0.65}, []int{5, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tried) != 4 {
+		t.Fatalf("grid 2x2 must try 4 configs, got %d", len(out.Tried))
+	}
+	if out.Best.Accuracy < 0.8 {
+		t.Fatalf("best tuned accuracy %.3f too low", out.Best.Accuracy)
+	}
+	if out.Best.Paths == 0 {
+		t.Fatal("winner must have ranked paths")
+	}
+	if out.Elapsed <= 0 {
+		t.Fatal("elapsed must be recorded")
+	}
+}
+
+func TestAutoTuneDefaultGrids(t *testing.T) {
+	g := testLake(t, 200)
+	factory, _ := ml.FactoryByName("extratrees")
+	out, err := AutoTune(g, "base", "y", DefaultConfig(), factory, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tried) != 9 {
+		t.Fatalf("default grid is 3x3, got %d configs", len(out.Tried))
+	}
+}
+
+func TestAutoTunePrefersConfigWithPaths(t *testing.T) {
+	// A lake whose only join covers 90% of the base: τ=1.0 prunes it
+	// (the Figure 8d "school yields no output" failure mode), so the
+	// winner must come from the permissive side of the grid.
+	n := 300
+	ids := make([]int64, n)
+	y := make([]int64, n)
+	for i := range ids {
+		ids[i] = int64(i)
+		y[i] = int64(i % 2)
+	}
+	base := frame.New("base")
+	addCol(t, base, frame.NewIntColumn("id", ids, nil))
+	addCol(t, base, frame.NewIntColumn("y", y, nil))
+	k := n * 9 / 10
+	keys := make([]int64, k)
+	sig := make([]float64, k)
+	for i := range keys {
+		keys[i] = int64(i)
+		sig[i] = float64(y[i]) * 3
+	}
+	side := frame.New("side")
+	addCol(t, side, frame.NewIntColumn("sk", keys, nil))
+	addCol(t, side, frame.NewFloatColumn("sig", sig, nil))
+	g := graph.New()
+	g.AddTable(base)
+	g.AddTable(side)
+	mustEdge(t, g, graph.Edge{A: "base", B: "side", ColA: "id", ColB: "sk", Weight: 1, KFK: true})
+
+	factory, _ := ml.FactoryByName("lightgbm")
+	out, err := AutoTune(g, "base", "y", DefaultConfig(), factory,
+		[]float64{1.0, 0.65}, []int{15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Best.Tau != 0.65 {
+		t.Fatalf("winner must be the tau with paths, got %v (paths %d)", out.Best.Tau, out.Best.Paths)
+	}
+	if out.Tried[0].Paths != 0 {
+		t.Fatalf("tau=1.0 must prune the 90%%-coverage join, got %d paths", out.Tried[0].Paths)
+	}
+}
+
+func TestAutoTuneBadBase(t *testing.T) {
+	g := testLake(t, 100)
+	factory, _ := ml.FactoryByName("lightgbm")
+	if _, err := AutoTune(g, "ghost", "y", DefaultConfig(), factory, nil, nil); err == nil {
+		t.Fatal("unknown base must fail")
+	}
+}

@@ -1,0 +1,97 @@
+// Package core implements AutoFeat itself: ranking-based transitive
+// feature discovery over join paths (Section VI of the paper). Given a
+// Dataset Relation Graph and a base table with a label column, it
+// traverses the graph breadth-first, prunes join paths by similarity
+// score and data quality, pushes every surviving join through the
+// streaming feature-selection pipeline (relevance top-κ, then redundancy
+// against the global selected set), ranks paths with Algorithm 2, and
+// finally trains ML models on the top-k paths to pick the winner.
+package core
+
+import (
+	"fmt"
+
+	"autofeat/internal/fselect"
+)
+
+// Config holds AutoFeat's hyper-parameters. The zero value is not usable;
+// start from DefaultConfig.
+type Config struct {
+	// Tau is the data-quality threshold τ: a join whose completeness
+	// (non-null ratio over the added columns) falls below τ is pruned.
+	// The paper recommends and evaluates with τ = 0.65.
+	Tau float64
+	// Kappa is κ, the maximum number of features kept per joined table by
+	// the relevance analysis. The paper recommends κ in [10, 15] and
+	// evaluates with 15.
+	Kappa int
+	// Relevance is the relevance metric (Spearman in the paper's final
+	// configuration). Nil disables relevance analysis (Figure 9 ablation).
+	Relevance fselect.Relevance
+	// Redundancy is the redundancy metric (MRMR in the paper's final
+	// configuration). Nil disables redundancy analysis (Figure 9
+	// ablation).
+	Redundancy fselect.Redundancy
+	// TopK is the number of top-ranked join paths trained with the target
+	// ML model at the end of discovery.
+	TopK int
+	// MaxDepth caps the transitive join-path length (number of hops).
+	MaxDepth int
+	// SampleSize bounds the stratified sample of the base table used
+	// during feature selection (Section VI: sampling only affects
+	// selection, never model training).
+	SampleSize int
+	// MaxPaths caps how many join paths are scored before traversal
+	// stops, a safety valve for dense data-lake multigraphs. <= 0 means
+	// unlimited.
+	MaxPaths int
+	// BeamWidth, when > 0, keeps only the top-scoring BeamWidth states at
+	// each BFS level (beam search) — the "more aggressive pruning" the
+	// paper lists as future work for organisation-scale lakes. 0 disables
+	// beaming (the paper's exhaustive BFS).
+	BeamWidth int
+	// SimilarityPruning enables the first pruning strategy: among
+	// parallel edges to the same neighbour, keep only the top-scoring
+	// join column(s).
+	SimilarityPruning bool
+	// NormalizeJoins enables join-cardinality normalisation (group by the
+	// join column, pick one row at random).
+	NormalizeJoins bool
+	// Seed drives every random choice (sampling, join normalisation,
+	// model training), making runs reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's evaluation configuration:
+// τ = 0.65, κ = 15, Spearman relevance, MRMR redundancy.
+func DefaultConfig() Config {
+	return Config{
+		Tau:               0.65,
+		Kappa:             15,
+		Relevance:         fselect.SpearmanRelevance{},
+		Redundancy:        fselect.NewMRMR(),
+		TopK:              4,
+		MaxDepth:          3,
+		SampleSize:        1000,
+		MaxPaths:          3000,
+		SimilarityPruning: true,
+		NormalizeJoins:    true,
+		Seed:              1,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Tau < 0 || c.Tau > 1 {
+		return fmt.Errorf("core: tau %v out of [0,1]", c.Tau)
+	}
+	if c.Kappa < 1 {
+		return fmt.Errorf("core: kappa %d must be >= 1", c.Kappa)
+	}
+	if c.TopK < 1 {
+		return fmt.Errorf("core: topK %d must be >= 1", c.TopK)
+	}
+	if c.MaxDepth < 1 {
+		return fmt.Errorf("core: maxDepth %d must be >= 1", c.MaxDepth)
+	}
+	return nil
+}

@@ -1,0 +1,495 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"autofeat/internal/frame"
+	"autofeat/internal/fselect"
+	"autofeat/internal/graph"
+	"autofeat/internal/ml"
+)
+
+// testLake builds a small lake where the predictive feature lives two hops
+// from the base table:
+//
+//	base(id, noise, y) --id/pid--> bridge(pid, ref) --ref/key--> gold(key, signal)
+//	base --id/junk_id--> junk(junk_id half-overlapping, random values)
+//
+// signal determines y, so AutoFeat must walk the 2-hop path to win.
+func testLake(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	ids := make([]int64, n)
+	noise := make([]float64, n)
+	y := make([]int64, n)
+	pid := make([]int64, n)
+	ref := make([]int64, n)
+	key := make([]int64, n)
+	signal := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ids[i] = int64(i)
+		noise[i] = rng.NormFloat64()
+		y[i] = int64(i % 2)
+		pid[i] = int64(i)
+		ref[i] = int64(i + 1000)
+		key[i] = int64(i + 1000)
+		signal[i] = float64(y[i])*3 + rng.NormFloat64()*0.5
+	}
+	base := frame.New("base")
+	addCol(t, base, frame.NewIntColumn("id", ids, nil))
+	addCol(t, base, frame.NewFloatColumn("noise", noise, nil))
+	addCol(t, base, frame.NewIntColumn("y", y, nil))
+
+	bridge := frame.New("bridge")
+	addCol(t, bridge, frame.NewIntColumn("pid", pid, nil))
+	addCol(t, bridge, frame.NewIntColumn("ref", ref, nil))
+
+	gold := frame.New("gold")
+	addCol(t, gold, frame.NewIntColumn("key", key, nil))
+	addCol(t, gold, frame.NewFloatColumn("signal", signal, nil))
+
+	// junk joins on only 10% of base ids -> completeness ~0.1 < τ.
+	junkIDs := make([]int64, n/10)
+	junkVals := make([]float64, n/10)
+	for i := range junkIDs {
+		junkIDs[i] = int64(i)
+		junkVals[i] = rng.NormFloat64()
+	}
+	junk := frame.New("junk")
+	addCol(t, junk, frame.NewIntColumn("junk_id", junkIDs, nil))
+	addCol(t, junk, frame.NewFloatColumn("junk_val", junkVals, nil))
+
+	g := graph.New()
+	for _, f := range []*frame.Frame{base, bridge, gold, junk} {
+		g.AddTable(f)
+	}
+	mustEdge(t, g, graph.Edge{A: "base", B: "bridge", ColA: "id", ColB: "pid", Weight: 1, KFK: true})
+	mustEdge(t, g, graph.Edge{A: "bridge", B: "gold", ColA: "ref", ColB: "key", Weight: 1, KFK: true})
+	mustEdge(t, g, graph.Edge{A: "base", B: "junk", ColA: "id", ColB: "junk_id", Weight: 0.6})
+	return g
+}
+
+func addCol(t *testing.T, f *frame.Frame, c *frame.Column) {
+	t.Helper()
+	if err := f.AddColumn(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustEdge(t *testing.T, g *graph.Graph, e graph.Edge) {
+	t.Helper()
+	if err := g.AddEdge(e); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	g := testLake(t, 100)
+	if _, err := New(g, "ghost", "y", DefaultConfig()); err == nil {
+		t.Fatal("unknown base must fail")
+	}
+	if _, err := New(g, "base", "ghost", DefaultConfig()); err == nil {
+		t.Fatal("unknown label must fail")
+	}
+	bad := DefaultConfig()
+	bad.Tau = 2
+	if _, err := New(g, "base", "y", bad); err == nil {
+		t.Fatal("tau out of range must fail")
+	}
+	bad = DefaultConfig()
+	bad.Kappa = 0
+	if _, err := New(g, "base", "y", bad); err == nil {
+		t.Fatal("kappa < 1 must fail")
+	}
+	bad = DefaultConfig()
+	bad.TopK = 0
+	if _, err := New(g, "base", "y", bad); err == nil {
+		t.Fatal("topK < 1 must fail")
+	}
+	bad = DefaultConfig()
+	bad.MaxDepth = 0
+	if _, err := New(g, "base", "y", bad); err == nil {
+		t.Fatal("maxDepth < 1 must fail")
+	}
+}
+
+func TestRunFindsTransitivePath(t *testing.T) {
+	g := testLake(t, 500)
+	d, err := New(g, "base", "y", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Paths) == 0 {
+		t.Fatal("no paths found")
+	}
+	best := r.Paths[0]
+	if len(best.Edges) != 2 {
+		t.Fatalf("best path must be 2 hops (via bridge to gold), got %v", best)
+	}
+	if best.Edges[1].B != "gold" {
+		t.Fatalf("best path must end at gold: %v", best)
+	}
+	foundSignal := false
+	for _, f := range best.Features {
+		if f == "gold.signal" {
+			foundSignal = true
+		}
+	}
+	if !foundSignal {
+		t.Fatalf("gold.signal must be selected: %v", best.Features)
+	}
+	if best.Score <= 0 {
+		t.Fatalf("best score must be positive: %v", best.Score)
+	}
+	if r.SelectionTime <= 0 {
+		t.Fatal("selection time must be recorded")
+	}
+}
+
+func TestRunPrunesLowQualityJoin(t *testing.T) {
+	g := testLake(t, 500)
+	d, _ := New(g, "base", "y", DefaultConfig())
+	r, _ := d.Run()
+	for _, p := range r.Paths {
+		for _, e := range p.Edges {
+			if e.B == "junk" {
+				t.Fatalf("junk (10%% overlap) must be pruned by τ=0.65: %v", p)
+			}
+		}
+	}
+	if r.PathsPruned == 0 {
+		t.Fatal("the junk join must be counted as pruned")
+	}
+	if r.PathsExplored <= len(r.Paths) {
+		t.Fatal("explored must exceed surviving paths")
+	}
+}
+
+func TestRunTauZeroKeepsJunk(t *testing.T) {
+	g := testLake(t, 500)
+	cfg := DefaultConfig()
+	cfg.Tau = 0.05
+	d, _ := New(g, "base", "y", cfg)
+	r, _ := d.Run()
+	foundJunk := false
+	for _, p := range r.Paths {
+		for _, e := range p.Edges {
+			if e.B == "junk" {
+				foundJunk = true
+			}
+		}
+	}
+	if !foundJunk {
+		t.Fatal("with τ=0.05 the junk path must survive")
+	}
+}
+
+func TestRunMaxDepthOne(t *testing.T) {
+	g := testLake(t, 300)
+	cfg := DefaultConfig()
+	cfg.MaxDepth = 1
+	d, _ := New(g, "base", "y", cfg)
+	r, _ := d.Run()
+	for _, p := range r.Paths {
+		if len(p.Edges) > 1 {
+			t.Fatalf("maxDepth=1 must only yield single-hop paths: %v", p)
+		}
+	}
+}
+
+func TestRunMaxPathsCap(t *testing.T) {
+	g := testLake(t, 300)
+	cfg := DefaultConfig()
+	cfg.MaxPaths = 1
+	d, _ := New(g, "base", "y", cfg)
+	r, _ := d.Run()
+	if r.PathsExplored > 1 {
+		t.Fatalf("MaxPaths=1 must stop after one join, explored %d", r.PathsExplored)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	g := testLake(t, 300)
+	d1, _ := New(g, "base", "y", DefaultConfig())
+	d2, _ := New(g, "base", "y", DefaultConfig())
+	r1, _ := d1.Run()
+	r2, _ := d2.Run()
+	if len(r1.Paths) != len(r2.Paths) {
+		t.Fatal("same seed must give same path count")
+	}
+	for i := range r1.Paths {
+		if r1.Paths[i].Score != r2.Paths[i].Score || r1.Paths[i].String() != r2.Paths[i].String() {
+			t.Fatalf("path %d differs between runs", i)
+		}
+	}
+}
+
+func TestSimilarityPruningKeepsTopEdge(t *testing.T) {
+	g := testLake(t, 200)
+	// Add a second, weaker parallel edge base->bridge.
+	mustEdge(t, g, graph.Edge{A: "base", B: "bridge", ColA: "noise", ColB: "pid", Weight: 0.3})
+	d, _ := New(g, "base", "y", DefaultConfig())
+	edges := d.candidateEdges("base", "bridge")
+	if len(edges) != 1 || edges[0].Weight != 1 {
+		t.Fatalf("similarity pruning must keep only the weight-1 edge: %v", edges)
+	}
+	cfg := DefaultConfig()
+	cfg.SimilarityPruning = false
+	d2, _ := New(g, "base", "y", cfg)
+	if got := d2.candidateEdges("base", "bridge"); len(got) != 2 {
+		t.Fatalf("without pruning both edges survive: %v", got)
+	}
+}
+
+func TestSimilarityPruningTieKeepsBoth(t *testing.T) {
+	g := testLake(t, 200)
+	mustEdge(t, g, graph.Edge{A: "base", B: "bridge", ColA: "id", ColB: "ref", Weight: 1})
+	d, _ := New(g, "base", "y", DefaultConfig())
+	if got := d.candidateEdges("base", "bridge"); len(got) != 2 {
+		t.Fatalf("equal top scores are individual paths: %v", got)
+	}
+}
+
+func TestAugmentImprovesOverBase(t *testing.T) {
+	g := testLake(t, 600)
+	d, _ := New(g, "base", "y", DefaultConfig())
+	factory, _ := ml.FactoryByName("lightgbm")
+	res, err := d.Augment(factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Base-only evaluation is always candidate 0.
+	baseAcc := res.Evaluated[0].Eval.Accuracy
+	if res.Best.Eval.Accuracy < baseAcc {
+		t.Fatalf("best (%v) must be >= base (%v)", res.Best.Eval.Accuracy, baseAcc)
+	}
+	if res.Best.Eval.Accuracy < 0.85 {
+		t.Fatalf("augmented accuracy %.3f too low; gold.signal should be decisive", res.Best.Eval.Accuracy)
+	}
+	if baseAcc > 0.7 {
+		t.Fatalf("base (noise only) accuracy %.3f suspiciously high", baseAcc)
+	}
+	if len(res.Best.Path.Edges) != 2 {
+		t.Fatalf("winning path must be the 2-hop one: %v", res.Best.Path)
+	}
+	if !res.Table.HasColumn("gold.signal") {
+		t.Fatal("augmented table must contain the transitive feature")
+	}
+	has := false
+	for _, f := range res.Features {
+		if f == "gold.signal" {
+			has = true
+		}
+	}
+	if !has {
+		t.Fatalf("trained features must include gold.signal: %v", res.Features)
+	}
+	if res.TotalTime < res.SelectionTime {
+		t.Fatal("total time must include selection time")
+	}
+}
+
+func TestAugmentRowCountPreserved(t *testing.T) {
+	g := testLake(t, 400)
+	d, _ := New(g, "base", "y", DefaultConfig())
+	factory, _ := ml.FactoryByName("randomforest")
+	res, err := d.Augment(factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 400 {
+		t.Fatalf("augmented table has %d rows, want 400 (left joins preserve)", res.Table.NumRows())
+	}
+	dist, _ := res.Table.ClassDistribution("base.y")
+	if dist[0] != 200 || dist[1] != 200 {
+		t.Fatalf("label distribution changed: %v", dist)
+	}
+}
+
+func TestAblationConfigurations(t *testing.T) {
+	g := testLake(t, 300)
+	variants := []Config{
+		DefaultConfig(), // spearman + mrmr
+		func() Config {
+			c := DefaultConfig()
+			c.Relevance = fselect.PearsonRelevance{}
+			c.Redundancy = fselect.NewJMI()
+			return c
+		}(),
+		func() Config {
+			c := DefaultConfig()
+			c.Redundancy = nil // relevance-only
+			return c
+		}(),
+		func() Config {
+			c := DefaultConfig()
+			c.Relevance = nil // redundancy-only
+			return c
+		}(),
+	}
+	for i, cfg := range variants {
+		d, err := New(g, "base", "y", cfg)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		r, err := d.Run()
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if len(r.Paths) == 0 {
+			t.Fatalf("variant %d found no paths", i)
+		}
+	}
+}
+
+func TestComputeScore(t *testing.T) {
+	if got := computeScore(nil, nil); got != 0 {
+		t.Fatalf("empty scores -> 0, got %v", got)
+	}
+	if got := computeScore([]float64{0.8, 0.6}, nil); got != 0.35 {
+		t.Fatalf("rel-only score = %v, want 0.35", got)
+	}
+	if got := computeScore([]float64{1}, []float64{0.5}); got != 0.75 {
+		t.Fatalf("combined score = %v, want 0.75", got)
+	}
+}
+
+func TestRankedPathString(t *testing.T) {
+	p := RankedPath{Score: 0.5}
+	if !strings.Contains(p.String(), "base only") {
+		t.Fatal("empty path rendering")
+	}
+	p2 := RankedPath{
+		Edges: []graph.Edge{{A: "a", ColA: "x", B: "b", ColB: "y"}},
+		Score: 0.7, Features: []string{"b.f"},
+	}
+	s := p2.String()
+	if !strings.Contains(s, "a.x -> b.y") || !strings.Contains(s, "1 features") {
+		t.Fatalf("path rendering: %s", s)
+	}
+	if tabs := p2.Tables(); len(tabs) != 1 || tabs[0] != "b" {
+		t.Fatalf("Tables = %v", tabs)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	r := &Ranking{Paths: []RankedPath{{Score: 3}, {Score: 2}, {Score: 1}}}
+	if got := r.TopK(2); len(got) != 2 || got[0].Score != 3 {
+		t.Fatalf("TopK(2) = %v", got)
+	}
+	if got := r.TopK(10); len(got) != 3 {
+		t.Fatalf("TopK beyond length clamps: %v", got)
+	}
+}
+
+func TestExpandNeverJoinsOnLabel(t *testing.T) {
+	g := testLake(t, 200)
+	// Add an edge that would join base on its LABEL column.
+	mustEdge(t, g, graph.Edge{A: "base", B: "gold", ColA: "y", ColB: "key", Weight: 0.9})
+	d, _ := New(g, "base", "y", DefaultConfig())
+	r, _ := d.Run()
+	for _, p := range r.Paths {
+		for _, e := range p.Edges {
+			if e.A == "base" && e.ColA == "y" {
+				t.Fatalf("label column used as join key: %v", p)
+			}
+		}
+	}
+}
+
+func TestPerPathRedundancyIsolation(t *testing.T) {
+	// Two branches from the base carry the SAME signal: branchA holds the
+	// original, branchB a monotone copy. With per-path R_sel each branch
+	// must keep its own feature; a global R_sel would reject whichever is
+	// visited second.
+	n := 400
+	rng := rand.New(rand.NewSource(77))
+	ids := make([]int64, n)
+	y := make([]int64, n)
+	sig := make([]float64, n)
+	cpy := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ids[i] = int64(i)
+		y[i] = int64(i % 2)
+		sig[i] = float64(y[i])*3 + rng.NormFloat64()*0.5
+		cpy[i] = sig[i]*2 + 1
+	}
+	base := frame.New("base")
+	addCol(t, base, frame.NewIntColumn("id", ids, nil))
+	addCol(t, base, frame.NewIntColumn("y", y, nil))
+	branchA := frame.New("brancha")
+	addCol(t, branchA, frame.NewIntColumn("ka", ids, nil))
+	addCol(t, branchA, frame.NewFloatColumn("sig", sig, nil))
+	branchB := frame.New("branchb")
+	addCol(t, branchB, frame.NewIntColumn("kb", ids, nil))
+	addCol(t, branchB, frame.NewFloatColumn("sigcopy", cpy, nil))
+	g := graph.New()
+	g.AddTable(base)
+	g.AddTable(branchA)
+	g.AddTable(branchB)
+	mustEdge(t, g, graph.Edge{A: "base", B: "brancha", ColA: "id", ColB: "ka", Weight: 1, KFK: true})
+	mustEdge(t, g, graph.Edge{A: "base", B: "branchb", ColA: "id", ColB: "kb", Weight: 1, KFK: true})
+	cfg := DefaultConfig()
+	cfg.MaxDepth = 1
+	d, _ := New(g, "base", "y", cfg)
+	r, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := map[string]bool{}
+	for _, p := range r.Paths {
+		for _, f := range p.Features {
+			kept[f] = true
+		}
+	}
+	if !kept["brancha.sig"] || !kept["branchb.sigcopy"] {
+		t.Fatalf("each branch must keep its own copy of the signal: %v", kept)
+	}
+}
+
+func TestBeamWidthLimitsFrontier(t *testing.T) {
+	g := testLake(t, 300)
+	// Widen the lake: several parallel two-level branches off the base,
+	// so exhaustive BFS pays for exploring each one at depth 2.
+	for i := 0; i < 4; i++ {
+		name := "extra" + string(rune('a'+i))
+		tab := frame.New(name)
+		leaf := frame.New(name + "leaf")
+		ids := make([]int64, 300)
+		vals := make([]float64, 300)
+		for j := range ids {
+			ids[j] = int64(j)
+			vals[j] = float64(j % 7)
+		}
+		addCol(t, tab, frame.NewIntColumn("k", ids, nil))
+		addCol(t, tab, frame.NewIntColumn("leafref", ids, nil))
+		addCol(t, leaf, frame.NewIntColumn("lk", ids, nil))
+		addCol(t, leaf, frame.NewFloatColumn("v", vals, nil))
+		g.AddTable(tab)
+		g.AddTable(leaf)
+		mustEdge(t, g, graph.Edge{A: "base", B: name, ColA: "id", ColB: "k", Weight: 1, KFK: true})
+		mustEdge(t, g, graph.Edge{A: name, B: name + "leaf", ColA: "leafref", ColB: "lk", Weight: 1, KFK: true})
+	}
+	full := DefaultConfig()
+	dFull, _ := New(g, "base", "y", full)
+	rFull, _ := dFull.Run()
+
+	beam := DefaultConfig()
+	beam.BeamWidth = 1
+	dBeam, _ := New(g, "base", "y", beam)
+	rBeam, _ := dBeam.Run()
+
+	if rBeam.PathsExplored >= rFull.PathsExplored {
+		t.Fatalf("beam must explore fewer joins: %d vs %d", rBeam.PathsExplored, rFull.PathsExplored)
+	}
+	// The golden 2-hop path must survive beaming (it scores highest).
+	if len(rBeam.Paths) == 0 || rBeam.Paths[0].Edges[len(rBeam.Paths[0].Edges)-1].B != "gold" {
+		t.Fatalf("beam lost the golden path: %v", rBeam.Paths)
+	}
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"autofeat/internal/frame"
+	"autofeat/internal/fselect"
+	"autofeat/internal/graph"
+	"autofeat/internal/relational"
+)
+
+// Discovery is one configured AutoFeat run over a Dataset Relation Graph.
+type Discovery struct {
+	cfg      Config
+	g        *graph.Graph
+	baseName string
+	// label is the fully-qualified label column ("base.label").
+	label string
+}
+
+// New prepares a discovery run. base must be a node of g; label is the
+// label column inside the base table (unqualified).
+func New(g *graph.Graph, base, label string, cfg Config) (*Discovery, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	bt := g.Table(base)
+	if bt == nil {
+		return nil, fmt.Errorf("core: base table %q not in graph", base)
+	}
+	if !bt.HasColumn(label) {
+		return nil, fmt.Errorf("core: base table %q has no label column %q", base, label)
+	}
+	return &Discovery{cfg: cfg, g: g, baseName: base, label: base + "." + label}, nil
+}
+
+// Ranking is the output of the discovery phase: join paths ordered by
+// descending Algorithm 2 score, plus everything needed to materialise and
+// evaluate them.
+type Ranking struct {
+	// Base is the base table with qualified column names.
+	Base *frame.Frame
+	// BaseFeatures are the base table's own feature columns (label
+	// excluded), always part of any trained feature set.
+	BaseFeatures []string
+	// Label is the fully-qualified label column.
+	Label string
+	// Paths is the ranked list, best first.
+	Paths []RankedPath
+	// PathsExplored counts every join evaluated, including pruned ones.
+	PathsExplored int
+	// PathsPruned counts joins discarded by the two pruning strategies.
+	PathsPruned int
+	// SelectionTime is the wall-clock feature-discovery time — the
+	// efficiency metric of Section VII ("feature selection time").
+	SelectionTime time.Duration
+}
+
+// TopK returns the best k paths (fewer when the ranking is shorter).
+func (r *Ranking) TopK(k int) []RankedPath {
+	if k > len(r.Paths) {
+		k = len(r.Paths)
+	}
+	return r.Paths[:k]
+}
+
+// state is one BFS frontier entry: a materialised (sampled) join result
+// with its path and the features selected along it.
+type state struct {
+	node    string // frontier table
+	f       *frame.Frame
+	edges   []graph.Edge
+	visited map[string]bool
+	// features and scores accumulated along this path.
+	features  []string
+	relScores []float64
+	redScores []float64
+	quality   float64
+	// selCols is R_sel for THIS path: the base features plus the columns
+	// selected along the path, in sample-row space. Redundancy is
+	// "conditioned on a feature subset" (Section III-A); the subset that
+	// matters is the one the path's final model will train on, so R_sel
+	// is tracked per path rather than globally.
+	selCols [][]float64
+}
+
+// Run executes Algorithm 1: BFS traversal with similarity-score and
+// data-quality pruning, streaming feature selection per join, and
+// Algorithm 2 ranking of every surviving path.
+func (d *Discovery) Run() (*Ranking, error) {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(d.cfg.Seed))
+
+	base := d.g.Table(d.baseName).Prefixed(d.baseName)
+	// Sample the base table for selection only (Section VI): the sample
+	// bounds selection cost, never training data.
+	sample := base
+	if d.cfg.SampleSize > 0 {
+		var err error
+		sample, err = base.StratifiedSample(d.label, d.cfg.SampleSize, rng)
+		if err != nil {
+			return nil, err
+		}
+	}
+	y, err := sample.Labels(d.label)
+	if err != nil {
+		return nil, err
+	}
+
+	baseFeatures := make([]string, 0, sample.NumCols()-1)
+	for _, name := range base.ColumnNames() {
+		if name != d.label {
+			baseFeatures = append(baseFeatures, name)
+		}
+	}
+	// R_sel starts as the base table's features (Section VI).
+	selected := make([][]float64, 0, len(baseFeatures))
+	for _, name := range baseFeatures {
+		selected = append(selected, sample.Column(name).Floats())
+	}
+
+	pipeline := &fselect.Pipeline{
+		Relevance:  d.cfg.Relevance,
+		Redundancy: d.cfg.Redundancy,
+		K:          d.cfg.Kappa,
+	}
+
+	rank := &Ranking{Base: base, BaseFeatures: baseFeatures, Label: d.label}
+	frontier := []*state{{
+		node:    d.baseName,
+		f:       sample,
+		visited: map[string]bool{d.baseName: true},
+		quality: 1,
+		selCols: selected,
+	}}
+
+	for depth := 0; depth < d.cfg.MaxDepth && len(frontier) > 0; depth++ {
+		var next []*state
+		for _, st := range frontier {
+			if d.cfg.MaxPaths > 0 && rank.PathsExplored >= d.cfg.MaxPaths {
+				break
+			}
+			for _, nb := range d.g.Neighbors(st.node) {
+				if st.visited[nb] {
+					continue
+				}
+				for _, e := range d.candidateEdges(st.node, nb) {
+					if d.cfg.MaxPaths > 0 && rank.PathsExplored >= d.cfg.MaxPaths {
+						break
+					}
+					rank.PathsExplored++
+					child, ok := d.expand(st, e, y, pipeline, rng)
+					if !ok {
+						rank.PathsPruned++
+						continue
+					}
+					rank.Paths = append(rank.Paths, RankedPath{
+						Edges:     child.edges,
+						Score:     computeScore(child.relScores, child.redScores),
+						Features:  child.features,
+						RelScores: child.relScores,
+						RedScores: child.redScores,
+						Quality:   child.quality,
+					})
+					next = append(next, child)
+				}
+			}
+		}
+		if d.cfg.BeamWidth > 0 && len(next) > d.cfg.BeamWidth {
+			// Beam search: keep the most promising states, judged by the
+			// same Algorithm 2 score the ranking uses.
+			sort.SliceStable(next, func(i, j int) bool {
+				return computeScore(next[i].relScores, next[i].redScores) >
+					computeScore(next[j].relScores, next[j].redScores)
+			})
+			next = next[:d.cfg.BeamWidth]
+		}
+		frontier = next
+	}
+
+	sort.SliceStable(rank.Paths, func(i, j int) bool {
+		if rank.Paths[i].Score != rank.Paths[j].Score {
+			return rank.Paths[i].Score > rank.Paths[j].Score
+		}
+		// Prefer shorter paths on ties: fewer joins, same information.
+		return len(rank.Paths[i].Edges) < len(rank.Paths[j].Edges)
+	})
+	rank.SelectionTime = time.Since(start)
+	return rank, nil
+}
+
+// candidateEdges applies the first pruning strategy (Section IV-C): with
+// similarity pruning on, only the top-scoring join column(s) between the
+// frontier and the neighbour survive; equal top scores each stay an
+// individual join path.
+func (d *Discovery) candidateEdges(from, to string) []graph.Edge {
+	edges := d.g.EdgesBetween(from, to)
+	if !d.cfg.SimilarityPruning || len(edges) <= 1 {
+		return edges
+	}
+	best := edges[0].Weight
+	for _, e := range edges[1:] {
+		if e.Weight > best {
+			best = e.Weight
+		}
+	}
+	var out []graph.Edge
+	for _, e := range edges {
+		if e.Weight == best {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// expand performs one join of Algorithm 1's inner loop: join, data-quality
+// pruning, relevance and redundancy analysis, and R_sel update. It returns
+// the child state, or ok=false when the path is pruned.
+func (d *Discovery) expand(st *state, e graph.Edge, y []int, pipeline *fselect.Pipeline, rng *rand.Rand) (*state, bool) {
+	leftKey := e.A + "." + e.ColA
+	if leftKey == d.label {
+		// The label column must never act as a join key: matching rows
+		// by label value would leak the target into the joined features.
+		return nil, false
+	}
+	right := d.g.Table(e.B)
+	var joinRng *rand.Rand
+	if d.cfg.NormalizeJoins {
+		joinRng = rng
+	}
+	res, err := relational.LeftJoin(st.f, right, leftKey, e.ColB, relational.Options{
+		Normalize: d.cfg.NormalizeJoins,
+		Rng:       joinRng,
+	})
+	if err != nil || res.MatchedRows == 0 {
+		// "If the join is not possible, prune."
+		return nil, false
+	}
+	quality := res.Quality()
+	if quality < d.cfg.Tau {
+		// Second pruning strategy: data quality below τ.
+		return nil, false
+	}
+
+	// Streaming feature selection over the columns this join added.
+	candidates := make([][]float64, 0, len(res.AddedColumns))
+	names := make([]string, 0, len(res.AddedColumns))
+	for _, name := range res.AddedColumns {
+		candidates = append(candidates, res.Frame.Column(name).Floats())
+		names = append(names, name)
+	}
+	sel := pipeline.Run(candidates, st.selCols, y)
+
+	child := &state{
+		node:    e.B,
+		f:       res.Frame,
+		edges:   appendEdge(st.edges, e),
+		visited: copyVisited(st.visited, e.B),
+		quality: math.Min(st.quality, quality),
+	}
+	child.features = append(append([]string{}, st.features...), pick(names, sel.Kept)...)
+	child.relScores = append(append([]float64{}, st.relScores...), sel.RelScores...)
+	child.redScores = append(append([]float64{}, st.redScores...), sel.RedScores...)
+
+	// R_sel = R_sel ∪ R_red (Algorithm 1, line 18), tracked per path.
+	// Even when the join adds nothing, the path survives as a stepping
+	// stone to multi-hop paths (Section V-A: intermediate joins must not
+	// be pruned).
+	child.selCols = make([][]float64, len(st.selCols), len(st.selCols)+len(sel.Kept))
+	copy(child.selCols, st.selCols)
+	for _, k := range sel.Kept {
+		child.selCols = append(child.selCols, candidates[k])
+	}
+	return child, true
+}
+
+func appendEdge(edges []graph.Edge, e graph.Edge) []graph.Edge {
+	out := make([]graph.Edge, len(edges)+1)
+	copy(out, edges)
+	out[len(edges)] = e
+	return out
+}
+
+func copyVisited(v map[string]bool, add string) map[string]bool {
+	out := make(map[string]bool, len(v)+1)
+	for k := range v {
+		out[k] = true
+	}
+	out[add] = true
+	return out
+}
+
+func pick(names []string, idx []int) []string {
+	out := make([]string, len(idx))
+	for i, k := range idx {
+		out[i] = names[k]
+	}
+	return out
+}

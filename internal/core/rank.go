@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"autofeat/internal/graph"
+)
+
+// RankedPath is one scored join path in AutoFeat's output ranking.
+type RankedPath struct {
+	// Edges is the join path from the base table, oriented hop by hop.
+	Edges []graph.Edge
+	// Score is the Algorithm 2 ranking score accumulated over the path.
+	Score float64
+	// Features are the fully-qualified ("table.column") features selected
+	// along the path, in selection order.
+	Features []string
+	// RelScores and RedScores align with Features: the relevance and
+	// redundancy scores each feature was selected with.
+	RelScores []float64
+	RedScores []float64
+	// Quality is the lowest join completeness observed along the path.
+	Quality float64
+}
+
+// String renders the path in the paper's arrow notation with its score.
+func (p RankedPath) String() string {
+	if len(p.Edges) == 0 {
+		return fmt.Sprintf("(base only, score %.4f)", p.Score)
+	}
+	parts := make([]string, len(p.Edges))
+	for i, e := range p.Edges {
+		parts[i] = fmt.Sprintf("%s.%s -> %s.%s", e.A, e.ColA, e.B, e.ColB)
+	}
+	return fmt.Sprintf("%s (score %.4f, %d features)", strings.Join(parts, " ; "), p.Score, len(p.Features))
+}
+
+// Tables returns the table names joined along the path, in hop order.
+func (p RankedPath) Tables() []string {
+	out := make([]string, len(p.Edges))
+	for i, e := range p.Edges {
+		out[i] = e.B
+	}
+	return out
+}
+
+// computeScore implements Algorithm 2: the mean of relevance scores and
+// the mean of redundancy scores, combined with equal weight ("the sum of
+// sum_rel and sum_red, weighted by their common divisor").
+func computeScore(relScores, redScores []float64) float64 {
+	sumRel := meanOrZero(relScores)
+	sumRed := meanOrZero(redScores)
+	return (sumRel + sumRed) / 2
+}
+
+func meanOrZero(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,356 @@
+// Package datagen synthesises the evaluation data lakes. The paper
+// evaluates on eight OpenML/Kaggle/UCI datasets (Table II) split into
+// joinable tables; those exact files are not available offline, so this
+// package generates analogues with the same shape — row count, number of
+// joinable tables, total feature count — and, crucially, with a controlled
+// ground truth: which features carry signal and in which table (at which
+// join depth) they live.
+//
+// Placement follows the paper's central observation: "the most relevant
+// features reside via transitive joins". The strongest informative
+// features are dealt to the deepest tables of a snowflake topology, the
+// base table keeps mostly weak/noise columns, and every lake includes a
+// low-coverage "spurious" table that the τ data-quality pruning should
+// eliminate. Large datasets are scaled down (documented per spec) so the
+// full harness runs at laptop scale; the scaling preserves the
+// relationships the experiments measure.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"autofeat/internal/discovery"
+	"autofeat/internal/frame"
+)
+
+// Spec describes one dataset analogue.
+type Spec struct {
+	// Name matches the paper's dataset name.
+	Name string
+	// Rows is the generated row count (scaled from the paper where
+	// noted by PaperRows).
+	Rows int
+	// PaperRows is the original Table II row count, for reporting.
+	PaperRows int
+	// JoinableTables is the number of tables besides the base.
+	JoinableTables int
+	// TotalFeatures is the total feature count across all tables
+	// (scaled from the paper where noted by PaperFeatures).
+	TotalFeatures int
+	// PaperFeatures is the original Table II feature count.
+	PaperFeatures int
+	// BestAccuracy is the best accuracy reported on OpenML (Table II).
+	BestAccuracy float64
+	// Seed makes the dataset reproducible.
+	Seed int64
+}
+
+// PaperSpecs returns the eight Table II dataset analogues in paper order.
+// covertype, jannis and miniboone rows and the two very wide feature
+// counts are scaled down for laptop-scale runtimes.
+func PaperSpecs() []Spec {
+	return []Spec{
+		{Name: "credit", Rows: 1001, PaperRows: 1001, JoinableTables: 5, TotalFeatures: 21, PaperFeatures: 21, BestAccuracy: 0.99, Seed: 101},
+		{Name: "eyemove", Rows: 7609, PaperRows: 7609, JoinableTables: 6, TotalFeatures: 24, PaperFeatures: 24, BestAccuracy: 0.894, Seed: 102},
+		{Name: "covertype", Rows: 20000, PaperRows: 423682, JoinableTables: 12, TotalFeatures: 21, PaperFeatures: 21, BestAccuracy: 0.99, Seed: 103},
+		{Name: "jannis", Rows: 12000, PaperRows: 57581, JoinableTables: 12, TotalFeatures: 55, PaperFeatures: 55, BestAccuracy: 0.875, Seed: 104},
+		{Name: "miniboone", Rows: 15000, PaperRows: 73000, JoinableTables: 15, TotalFeatures: 51, PaperFeatures: 51, BestAccuracy: 0.9465, Seed: 105},
+		{Name: "steel", Rows: 1943, PaperRows: 1943, JoinableTables: 15, TotalFeatures: 34, PaperFeatures: 34, BestAccuracy: 1.0, Seed: 106},
+		{Name: "school", Rows: 1775, PaperRows: 1775, JoinableTables: 16, TotalFeatures: 160, PaperFeatures: 731, BestAccuracy: 0.831, Seed: 107},
+		{Name: "bioresponse", Rows: 3435, PaperRows: 3435, JoinableTables: 24, TotalFeatures: 180, PaperFeatures: 420, BestAccuracy: 0.885, Seed: 108},
+	}
+}
+
+// SpecByName returns the paper spec with the given name, or ok=false.
+func SpecByName(name string) (Spec, bool) {
+	for _, s := range PaperSpecs() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// SectionVSpecs returns the six datasets used by the Section V metric
+// study ("varying in domains, ratio of rows to columns, and types of
+// features") — the six smaller paper analogues.
+func SectionVSpecs() []Spec {
+	all := PaperSpecs()
+	return []Spec{all[0], all[1], all[3], all[5], all[6], all[2]}
+}
+
+// QuickSpecs returns reduced-scale versions of all eight paper datasets:
+// same names and topology style, but rows capped at 1200, tables at 8 and
+// features at 30. The experiment harness uses them for fast bench runs
+// (`go test -bench`); cmd/experiments runs the full PaperSpecs.
+func QuickSpecs() []Spec {
+	out := PaperSpecs()
+	for i := range out {
+		if out[i].Rows > 1200 {
+			out[i].Rows = 1200
+		}
+		if out[i].JoinableTables > 8 {
+			out[i].JoinableTables = 8
+		}
+		if out[i].TotalFeatures > 30 {
+			out[i].TotalFeatures = 30
+		}
+		out[i].Seed += 1000
+	}
+	return out
+}
+
+// SmallSpecs returns quick low-cost specs for tests and -short benches.
+func SmallSpecs() []Spec {
+	return []Spec{
+		{Name: "tiny", Rows: 400, PaperRows: 400, JoinableTables: 4, TotalFeatures: 12, PaperFeatures: 12, BestAccuracy: 0.95, Seed: 201},
+		{Name: "smol", Rows: 600, PaperRows: 600, JoinableTables: 6, TotalFeatures: 18, PaperFeatures: 18, BestAccuracy: 0.9, Seed: 202},
+	}
+}
+
+// Dataset is one generated lake: the base table, all joinable tables, the
+// ground-truth KFK constraints, and bookkeeping for the harness.
+type Dataset struct {
+	Spec Spec
+	// Base holds the entity key ("id"), the label ("target") and the base
+	// feature columns.
+	Base *frame.Frame
+	// Tables lists every table including Base.
+	Tables []*frame.Frame
+	// KFKs are the ground-truth constraints of the benchmark setting.
+	KFKs []discovery.KFK
+	// Label is the label column name inside Base (unqualified).
+	Label string
+	// InformativeByTable maps table name -> informative feature columns
+	// placed there (ground truth for tests).
+	InformativeByTable map[string][]string
+	// Depth maps table name -> join depth from the base (base = 0).
+	Depth map[string]int
+	// SpuriousTable is the low-coverage table τ-pruning should remove.
+	SpuriousTable string
+}
+
+// tableLayout captures the topology decided before feature placement.
+type tableLayout struct {
+	name     string
+	parent   string // table name ("" for children of base)
+	depth    int
+	keyCol   string // this table's key column
+	fkCol    string // FK column added to the parent
+	coverage float64
+	features []featureSpec
+}
+
+type featureSpec struct {
+	name   string
+	weight float64 // contribution to the label score; 0 = noise
+	// kind: 0 continuous, 1 small-int categorical (spurious-join bait),
+	// 2 redundant copy of another feature.
+	kind     int
+	redundOf string // for kind 2: qualified source feature
+	nullFrac float64
+}
+
+// Generate builds the dataset for a spec. The same spec always yields the
+// same dataset.
+func Generate(spec Spec) (*Dataset, error) {
+	if spec.Rows < 10 || spec.JoinableTables < 1 || spec.TotalFeatures < spec.JoinableTables+2 {
+		return nil, fmt.Errorf("datagen: degenerate spec %+v", spec)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	layouts := planTopology(spec, rng)
+	baseFeats := planFeatures(spec, layouts, rng)
+	return materialize(spec, layouts, baseFeats, rng)
+}
+
+// planTopology arranges the joinable tables into a snowflake: roughly half
+// hang directly off the base, the rest chain to depth 2 and 3. One table
+// is designated spurious (coverage 0.3 < τ).
+func planTopology(spec Spec, rng *rand.Rand) []*tableLayout {
+	n := spec.JoinableTables
+	layouts := make([]*tableLayout, n)
+	depth1 := (n + 1) / 2
+	if depth1 < 1 {
+		depth1 = 1
+	}
+	depth2 := (n - depth1 + 1) / 2
+	for i := 0; i < n; i++ {
+		l := &tableLayout{
+			name:     fmt.Sprintf("%s_t%02d", spec.Name, i),
+			keyCol:   fmt.Sprintf("key_%02d", i),
+			coverage: 0.8 + 0.2*rng.Float64(),
+		}
+		switch {
+		case i < depth1:
+			l.parent = "" // child of base
+			l.depth = 1
+		case i < depth1+depth2:
+			l.parent = layouts[(i-depth1)%depth1].name
+			l.depth = 2
+		default:
+			l.parent = layouts[depth1+(i-depth1-depth2)%depth2].name
+			l.depth = 3
+		}
+		// MAB's same-name restriction: give even-indexed tables an FK
+		// whose name equals the key column, odd-indexed a distinct name.
+		if i%2 == 0 {
+			l.fkCol = l.keyCol
+		} else {
+			l.fkCol = fmt.Sprintf("fk_%02d", i)
+		}
+		layouts[i] = l
+	}
+	// The last depth-1 table becomes the spurious one.
+	layouts[depth1-1].coverage = 0.3
+	return layouts
+}
+
+// planFeatures deals the feature budget across the base and the tables.
+// The design centres on a "golden chain" — the deepest root-to-leaf path
+// of the topology — which receives most of the label's signal, deepest
+// table strongest. This encodes the paper's premise that "the most
+// relevant features reside via transitive joins": a method that can walk
+// the chain recovers most of the signal; single-hop methods cannot. The
+// base table keeps two weak features, a little signal is scattered over
+// other tables (so shallow methods still gain something), and the rest of
+// the budget is noise, small-int categorical bait for the lake matcher,
+// and redundant copies of informative features. It returns the base
+// table's feature plan.
+func planFeatures(spec Spec, layouts []*tableLayout, rng *rand.Rand) []featureSpec {
+	budget := spec.TotalFeatures
+
+	featID := 0
+	newName := func() string {
+		featID++
+		return fmt.Sprintf("f%03d", featID)
+	}
+
+	// Golden chain: walk parents up from the deepest non-spurious table.
+	deepest := layouts[0]
+	for _, l := range layouts {
+		if l.depth > deepest.depth && l.coverage >= 0.5 {
+			deepest = l
+		}
+	}
+	byName := make(map[string]*tableLayout, len(layouts))
+	for _, l := range layouts {
+		byName[l.name] = l
+	}
+	var chain []*tableLayout // deepest first
+	for l := deepest; l != nil; l = byName[l.parent] {
+		chain = append(chain, l)
+	}
+	// High coverage along the chain so multi-hop joins survive τ.
+	for _, l := range chain {
+		l.coverage = 0.96 + 0.04*rng.Float64()
+	}
+
+	// Signal placement: the deepest chain table gets 3 strong features,
+	// the next 2 medium ones, then 1 weaker feature per remaining hop.
+	goldenCounts := []int{3, 2, 1, 1}
+	goldenWeights := [][2]float64{{1.6, 2.4}, {0.8, 1.2}, {0.5, 0.8}, {0.4, 0.6}}
+	informativeUsed := 0
+	for i, l := range chain {
+		if i >= len(goldenCounts) {
+			break
+		}
+		for c := 0; c < goldenCounts[i]; c++ {
+			lo, hi := goldenWeights[i][0], goldenWeights[i][1]
+			w := lo + (hi-lo)*rng.Float64()
+			if rng.Intn(2) == 0 {
+				w = -w
+			}
+			l.features = append(l.features, featureSpec{
+				name: newName(), weight: w, nullFrac: 0.02 * rng.Float64(),
+			})
+			informativeUsed++
+		}
+	}
+
+	// Two weak base features.
+	var basePlan []featureSpec
+	for i := 0; i < 2; i++ {
+		basePlan = append(basePlan, featureSpec{
+			name: newName(), weight: 0.1 + 0.15*rng.Float64(),
+		})
+		informativeUsed++
+	}
+
+	// Scatter mild signal over non-spurious, non-chain tables so shallow
+	// methods see some lift.
+	onChain := make(map[string]bool, len(chain))
+	for _, l := range chain {
+		onChain[l.name] = true
+	}
+	nInformative := budget / 3
+	if nInformative < informativeUsed {
+		nInformative = informativeUsed
+	}
+	for i := 0; i < nInformative-informativeUsed && informativeUsed < budget; i++ {
+		l := layouts[rng.Intn(len(layouts))]
+		if l.coverage < 0.5 || onChain[l.name] {
+			continue // spurious and chain tables get no scatter
+		}
+		w := 0.2 + 0.3*rng.Float64()
+		if rng.Intn(2) == 0 {
+			w = -w
+		}
+		l.features = append(l.features, featureSpec{
+			name: newName(), weight: w, nullFrac: 0.08 * rng.Float64(),
+		})
+		informativeUsed++
+	}
+
+	// Remaining budget: noise, categorical bait and redundant copies.
+	// Bait columns take names from a small realistic pool (code, type,
+	// ...) that repeats across tables, so the lake matcher finds the
+	// name+instance collisions that make real lakes densely connected.
+	baitPool := []string{"code", "type", "status", "category", "region", "grade", "level", "segment"}
+	baitCount := map[string]int{}
+	remaining := budget - informativeUsed
+	targets := append([]*tableLayout{nil}, layouts...) // nil = base
+	for i := 0; i < remaining; i++ {
+		l := targets[rng.Intn(len(targets))]
+		owner := ""
+		if l != nil {
+			owner = l.name
+		}
+		fs := featureSpec{nullFrac: 0.08 * rng.Float64()}
+		switch rng.Intn(4) {
+		case 0, 1:
+			fs.kind = 1 // categorical bait for the lake matcher
+			fs.name = baitPool[baitCount[owner]%len(baitPool)]
+			baitCount[owner]++
+		case 2:
+			if src := randomInformative(layouts, rng); src != "" {
+				fs.kind = 2
+				fs.redundOf = src
+			}
+		}
+		if fs.name == "" {
+			fs.name = newName()
+		}
+		if l == nil {
+			basePlan = append(basePlan, fs)
+		} else {
+			l.features = append(l.features, fs)
+		}
+	}
+	return basePlan
+}
+
+func randomInformative(layouts []*tableLayout, rng *rand.Rand) string {
+	var pool []string
+	for _, l := range layouts {
+		for _, f := range l.features {
+			if f.weight != 0 {
+				pool = append(pool, l.name+"\x00"+f.name)
+			}
+		}
+	}
+	if len(pool) == 0 {
+		return ""
+	}
+	return pool[rng.Intn(len(pool))]
+}

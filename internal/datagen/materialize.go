@@ -1,0 +1,243 @@
+package datagen
+
+import (
+	"math/rand"
+	"sort"
+
+	"autofeat/internal/discovery"
+	"autofeat/internal/frame"
+)
+
+// keyOffset spaces each table's key range so unrelated keys never collide.
+const keyOffset = 100000
+
+// materialize turns the planned topology and feature specs into frames.
+func materialize(spec Spec, layouts []*tableLayout, baseFeats []featureSpec, rng *rand.Rand) (*Dataset, error) {
+	n := spec.Rows
+
+	// Pass 1: generate raw per-entity values for every non-redundant
+	// feature, keyed by "table\x00feature" ("" table = base).
+	values := make(map[string][]float64)
+	gen := func(owner string, fs featureSpec) {
+		key := owner + "\x00" + fs.name
+		if fs.kind == 2 {
+			return // pass 2
+		}
+		v := make([]float64, n)
+		for i := range v {
+			if fs.kind == 1 {
+				v[i] = float64(rng.Intn(10))
+			} else {
+				v[i] = rng.NormFloat64()
+			}
+		}
+		values[key] = v
+	}
+	for _, fs := range baseFeats {
+		gen("", fs)
+	}
+	for _, l := range layouts {
+		for _, fs := range l.features {
+			gen(l.name, fs)
+		}
+	}
+	// Pass 2: redundant copies are monotone transforms of their source.
+	copyRedundant := func(owner string, fs featureSpec) {
+		if fs.kind != 2 {
+			return
+		}
+		src := values[fs.redundOf]
+		key := owner + "\x00" + fs.name
+		if src == nil {
+			// Source vanished (shouldn't happen); degrade to noise.
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = rng.NormFloat64()
+			}
+			values[key] = v
+			return
+		}
+		a := 0.5 + rng.Float64()
+		b := rng.NormFloat64()
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = a*src[i] + b
+		}
+		values[key] = v
+	}
+	for _, fs := range baseFeats {
+		copyRedundant("", fs)
+	}
+	for _, l := range layouts {
+		for _, fs := range l.features {
+			copyRedundant(l.name, fs)
+		}
+	}
+
+	// Label: weighted sum of the informative features plus noise,
+	// thresholded at the median for balanced classes.
+	score := make([]float64, n)
+	addSignal := func(owner string, fs featureSpec) {
+		if fs.weight == 0 || fs.kind == 2 {
+			return
+		}
+		v := values[owner+"\x00"+fs.name]
+		for i := range score {
+			score[i] += fs.weight * v[i]
+		}
+	}
+	for _, fs := range baseFeats {
+		addSignal("", fs)
+	}
+	for _, l := range layouts {
+		for _, fs := range l.features {
+			addSignal(l.name, fs)
+		}
+	}
+	for i := range score {
+		score[i] += rng.NormFloat64() * 0.5
+	}
+	sorted := append([]float64(nil), score...)
+	sort.Float64s(sorted)
+	median := sorted[n/2]
+	labels := make([]int64, n)
+	for i, s := range score {
+		if s > median {
+			labels[i] = 1
+		}
+	}
+
+	// Base table: id, base features, FKs to depth-1 tables, target.
+	base := frame.New(spec.Name)
+	ids := make([]int64, n)
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	if err := base.AddColumn(frame.NewIntColumn("id", ids, nil)); err != nil {
+		return nil, err
+	}
+	for _, fs := range baseFeats {
+		if err := base.AddColumn(featureColumn(fs, values["\x00"+fs.name], nil, rng)); err != nil {
+			return nil, err
+		}
+	}
+
+	ds := &Dataset{
+		Spec:               spec,
+		Label:              "target",
+		InformativeByTable: make(map[string][]string),
+		Depth:              map[string]int{spec.Name: 0},
+	}
+
+	// Joinable tables: each covers a sampled subset of entities.
+	frames := make(map[string]*frame.Frame, len(layouts))
+	rowsOf := make(map[string][]int, len(layouts)) // table -> covered entity ids
+	for ti, l := range layouts {
+		cover := pickEntities(n, l.coverage, rng)
+		rowsOf[l.name] = cover
+		f := frame.New(l.name)
+		keys := make([]int64, len(cover))
+		for i, e := range cover {
+			keys[i] = int64(e + (ti+1)*keyOffset)
+		}
+		if err := f.AddColumn(frame.NewIntColumn(l.keyCol, keys, nil)); err != nil {
+			return nil, err
+		}
+		for _, fs := range l.features {
+			full := values[l.name+"\x00"+fs.name]
+			sub := make([]float64, len(cover))
+			for i, e := range cover {
+				sub[i] = full[e]
+			}
+			if err := f.AddColumn(featureColumn(fs, sub, nil, rng)); err != nil {
+				return nil, err
+			}
+			if fs.weight != 0 {
+				ds.InformativeByTable[l.name] = append(ds.InformativeByTable[l.name], fs.name)
+			}
+		}
+		frames[l.name] = f
+		ds.Depth[l.name] = l.depth
+		if l.coverage < 0.5 {
+			ds.SpuriousTable = l.name
+		}
+	}
+
+	// FK columns: each table's parent (base or another table) gets a
+	// column of this table's keys, null where... every parent row gets a
+	// candidate key; unmatched keys simply find no partner at join time.
+	for ti, l := range layouts {
+		fk := func(entity int) int64 { return int64(entity + (ti+1)*keyOffset) }
+		if l.parent == "" {
+			vals := make([]int64, n)
+			for i := range vals {
+				vals[i] = fk(i)
+			}
+			if err := base.AddColumn(frame.NewIntColumn(l.fkCol, vals, nil)); err != nil {
+				return nil, err
+			}
+			ds.KFKs = append(ds.KFKs, discovery.KFK{
+				ParentTable: l.name, ParentCol: l.keyCol,
+				ChildTable: spec.Name, ChildCol: l.fkCol,
+			})
+		} else {
+			pf := frames[l.parent]
+			pRows := rowsOf[l.parent]
+			vals := make([]int64, len(pRows))
+			for i, e := range pRows {
+				vals[i] = fk(e)
+			}
+			if err := pf.AddColumn(frame.NewIntColumn(l.fkCol, vals, nil)); err != nil {
+				return nil, err
+			}
+			ds.KFKs = append(ds.KFKs, discovery.KFK{
+				ParentTable: l.name, ParentCol: l.keyCol,
+				ChildTable: l.parent, ChildCol: l.fkCol,
+			})
+		}
+	}
+
+	if err := base.AddColumn(frame.NewIntColumn("target", labels, nil)); err != nil {
+		return nil, err
+	}
+	ds.Base = base
+	ds.Tables = append(ds.Tables, base)
+	for _, l := range layouts {
+		ds.Tables = append(ds.Tables, frames[l.name])
+	}
+	return ds, nil
+}
+
+// featureColumn renders one feature spec as a typed column with nulls
+// injected at the planned rate.
+func featureColumn(fs featureSpec, vals []float64, _ []bool, rng *rand.Rand) *frame.Column {
+	var valid []bool
+	if fs.nullFrac > 0 {
+		valid = make([]bool, len(vals))
+		for i := range valid {
+			valid[i] = rng.Float64() >= fs.nullFrac
+		}
+	}
+	if fs.kind == 1 {
+		ints := make([]int64, len(vals))
+		for i, v := range vals {
+			ints[i] = int64(v)
+		}
+		return frame.NewIntColumn(fs.name, ints, valid)
+	}
+	return frame.NewFloatColumn(fs.name, vals, valid)
+}
+
+// pickEntities samples ceil(coverage*n) distinct entity ids, sorted.
+func pickEntities(n int, coverage float64, rng *rand.Rand) []int {
+	k := int(coverage*float64(n) + 0.5)
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	perm := rng.Perm(n)[:k]
+	sort.Ints(perm)
+	return perm
+}

@@ -1,0 +1,169 @@
+package discovery
+
+import (
+	"hash/fnv"
+	"math"
+
+	"autofeat/internal/frame"
+	"autofeat/internal/graph"
+)
+
+// MinHashSketch is a fixed-size signature of a column's distinct value
+// set, supporting constant-time Jaccard and containment estimation — the
+// technique Lazo (Castro Fernandez et al., ICDE 2019) uses to scale
+// joinability discovery to large lakes. Sketching a column is O(values);
+// comparing two sketches is O(k) regardless of column size.
+type MinHashSketch struct {
+	mins []uint64
+	// Cardinality is the exact distinct count observed while sketching
+	// (cheap to carry along and needed for containment estimation).
+	Cardinality int
+}
+
+// DefaultSketchSize is the number of hash slots; 128 gives a standard
+// error of about 1/sqrt(128) ≈ 0.09 on Jaccard estimates.
+const DefaultSketchSize = 128
+
+// Sketch builds a MinHash signature of the column's distinct join keys.
+// k <= 0 uses DefaultSketchSize.
+func Sketch(c *frame.Column, k int) *MinHashSketch {
+	if k <= 0 {
+		k = DefaultSketchSize
+	}
+	s := &MinHashSketch{mins: make([]uint64, k)}
+	for i := range s.mins {
+		s.mins[i] = math.MaxUint64
+	}
+	seen := make(map[string]struct{}, 256)
+	for i, n := 0, c.Len(); i < n; i++ {
+		key, ok := c.Key(i)
+		if !ok {
+			continue
+		}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		h := hash64(key)
+		// k permutations simulated by k cheap derived hashes
+		// (h XOR salt, remixed), the standard one-hash trick.
+		for j := range s.mins {
+			hj := remix(h ^ salts[j%len(salts)]*uint64(j+1))
+			if hj < s.mins[j] {
+				s.mins[j] = hj
+			}
+		}
+	}
+	s.Cardinality = len(seen)
+	return s
+}
+
+var salts = [...]uint64{
+	0x9e3779b97f4a7c15, 0xbf58476d1ce4e5b9, 0x94d049bb133111eb,
+	0x2545f4914f6cdd1d, 0xd6e8feb86659fd93, 0xa5a5a5a5a5a5a5a5,
+	0x123456789abcdef1, 0xfedcba9876543211,
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// remix is a 64-bit finaliser (splitmix64's last stage) giving each slot
+// an independent-looking permutation.
+func remix(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Jaccard estimates |A ∩ B| / |A ∪ B| as the fraction of matching slots.
+func (s *MinHashSketch) Jaccard(o *MinHashSketch) float64 {
+	if len(s.mins) != len(o.mins) || len(s.mins) == 0 {
+		return 0
+	}
+	if s.Cardinality == 0 || o.Cardinality == 0 {
+		return 0
+	}
+	match := 0
+	for i := range s.mins {
+		if s.mins[i] == o.mins[i] {
+			match++
+		}
+	}
+	return float64(match) / float64(len(s.mins))
+}
+
+// Containment estimates |A ∩ B| / |A| (how much of s is inside o) from
+// the Jaccard estimate and the two cardinalities — the Lazo rescaling:
+//
+//	|A ∩ B| = J/(1+J) · (|A| + |B|),   containment = |A ∩ B| / |A|.
+func (s *MinHashSketch) Containment(o *MinHashSketch) float64 {
+	if s.Cardinality == 0 {
+		return 0
+	}
+	j := s.Jaccard(o)
+	inter := j / (1 + j) * float64(s.Cardinality+o.Cardinality)
+	c := inter / float64(s.Cardinality)
+	return math.Max(0, math.Min(1, c))
+}
+
+// SketchMatcher is an alternative Matcher backend that estimates instance
+// similarity from MinHash sketches instead of exact value sets, trading a
+// little precision for constant-time column comparisons. It implements
+// the same scoring contract as Matcher and can be swapped into
+// DiscoverDRGWith.
+type SketchMatcher struct {
+	NameWeight     float64
+	InstanceWeight float64
+	SketchSize     int
+
+	cache map[*frame.Column]*MinHashSketch
+}
+
+// NewSketchMatcher returns the sketch-backed matcher with the same
+// weights as NewMatcher.
+func NewSketchMatcher() *SketchMatcher {
+	return &SketchMatcher{
+		NameWeight:     0.4,
+		InstanceWeight: 0.6,
+		SketchSize:     DefaultSketchSize,
+		cache:          make(map[*frame.Column]*MinHashSketch),
+	}
+}
+
+func (m *SketchMatcher) sketch(c *frame.Column) *MinHashSketch {
+	if s, ok := m.cache[c]; ok {
+		return s
+	}
+	s := Sketch(c, m.SketchSize)
+	m.cache[c] = s
+	return s
+}
+
+// MatchColumns scores a column pair like Matcher.MatchColumns but with
+// sketched containment as the instance evidence.
+func (m *SketchMatcher) MatchColumns(a, b *frame.Column) float64 {
+	if !joinCandidate(a) || !joinCandidate(b) {
+		return 0
+	}
+	name := NameSimilarity(a.Name(), b.Name())
+	sa, sb := m.sketch(a), m.sketch(b)
+	inst := math.Max(sa.Containment(sb), sb.Containment(sa))
+	wsum := m.NameWeight + m.InstanceWeight
+	if wsum == 0 {
+		return 0
+	}
+	return (m.NameWeight*name + m.InstanceWeight*inst) / wsum
+}
+
+// DiscoverDRGSketched builds the lake DRG with the MinHash-backed matcher;
+// useful when tables are too large for exact value-set intersection.
+func DiscoverDRGSketched(tables []*frame.Frame, threshold float64) (*graph.Graph, error) {
+	m := NewSketchMatcher()
+	return discoverWith(tables, threshold, m.MatchColumns)
+}

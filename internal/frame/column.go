@@ -1,0 +1,469 @@
+// Package frame implements the columnar table substrate used throughout the
+// AutoFeat reproduction. It plays the role the pandas DataFrame plays in the
+// original system: typed columns with null bitmaps, CSV ingestion with schema
+// inference, group-by, imputation, stratified sampling and numeric encoding.
+//
+// The package is deliberately self-contained (stdlib only) and deterministic:
+// every operation that involves randomness takes an explicit *rand.Rand.
+package frame
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Kind enumerates the physical column types supported by the engine.
+type Kind uint8
+
+// Supported column kinds.
+const (
+	Float  Kind = iota // float64 storage
+	Int                // int64 storage
+	String             // string storage
+	Bool               // bool storage
+)
+
+// String returns the human-readable name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Float:
+		return "float"
+	case Int:
+		return "int"
+	case String:
+		return "string"
+	case Bool:
+		return "bool"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// IsNumeric reports whether values of this kind can be used directly as
+// numeric features without label encoding.
+func (k Kind) IsNumeric() bool { return k == Float || k == Int || k == Bool }
+
+// Column is a single named, typed column with an optional null bitmap.
+// Exactly one of the backing slices is populated, matching the column kind.
+// A nil valid slice means every cell is valid (non-null).
+type Column struct {
+	name   string
+	kind   Kind
+	floats []float64
+	ints   []int64
+	strs   []string
+	bools  []bool
+	valid  []bool
+}
+
+// NewFloatColumn builds a float column. valid may be nil (all valid).
+func NewFloatColumn(name string, values []float64, valid []bool) *Column {
+	checkValid(len(values), valid)
+	return &Column{name: name, kind: Float, floats: values, valid: valid}
+}
+
+// NewIntColumn builds an int column. valid may be nil (all valid).
+func NewIntColumn(name string, values []int64, valid []bool) *Column {
+	checkValid(len(values), valid)
+	return &Column{name: name, kind: Int, ints: values, valid: valid}
+}
+
+// NewStringColumn builds a string column. valid may be nil (all valid).
+func NewStringColumn(name string, values []string, valid []bool) *Column {
+	checkValid(len(values), valid)
+	return &Column{name: name, kind: String, strs: values, valid: valid}
+}
+
+// NewBoolColumn builds a bool column. valid may be nil (all valid).
+func NewBoolColumn(name string, values []bool, valid []bool) *Column {
+	checkValid(len(values), valid)
+	return &Column{name: name, kind: Bool, bools: values, valid: valid}
+}
+
+func checkValid(n int, valid []bool) {
+	if valid != nil && len(valid) != n {
+		panic(fmt.Sprintf("frame: valid bitmap length %d does not match %d values", len(valid), n))
+	}
+}
+
+// Name returns the column name.
+func (c *Column) Name() string { return c.name }
+
+// Kind returns the physical type of the column.
+func (c *Column) Kind() Kind { return c.kind }
+
+// Len returns the number of cells in the column.
+func (c *Column) Len() int {
+	switch c.kind {
+	case Float:
+		return len(c.floats)
+	case Int:
+		return len(c.ints)
+	case String:
+		return len(c.strs)
+	default:
+		return len(c.bools)
+	}
+}
+
+// WithName returns a shallow copy of the column under a new name. The backing
+// storage is shared; columns are treated as immutable once inside a Frame.
+func (c *Column) WithName(name string) *Column {
+	cp := *c
+	cp.name = name
+	return &cp
+}
+
+// IsValid reports whether cell i holds a non-null value.
+func (c *Column) IsValid(i int) bool {
+	return c.valid == nil || c.valid[i]
+}
+
+// NullCount returns the number of null cells.
+func (c *Column) NullCount() int {
+	if c.valid == nil {
+		return 0
+	}
+	n := 0
+	for _, v := range c.valid {
+		if !v {
+			n++
+		}
+	}
+	return n
+}
+
+// NullRatio returns NullCount/Len, or 0 for an empty column.
+func (c *Column) NullRatio() float64 {
+	n := c.Len()
+	if n == 0 {
+		return 0
+	}
+	return float64(c.NullCount()) / float64(n)
+}
+
+// Float returns cell i as float64. The column must be of kind Float.
+func (c *Column) Float(i int) float64 { return c.floats[i] }
+
+// Int returns cell i as int64. The column must be of kind Int.
+func (c *Column) Int(i int) int64 { return c.ints[i] }
+
+// Str returns cell i as string. The column must be of kind String.
+func (c *Column) Str(i int) string { return c.strs[i] }
+
+// Bool returns cell i as bool. The column must be of kind Bool.
+func (c *Column) Bool(i int) bool { return c.bools[i] }
+
+// Value returns cell i boxed as any, or nil when the cell is null.
+func (c *Column) Value(i int) any {
+	if !c.IsValid(i) {
+		return nil
+	}
+	switch c.kind {
+	case Float:
+		return c.floats[i]
+	case Int:
+		return c.ints[i]
+	case String:
+		return c.strs[i]
+	default:
+		return c.bools[i]
+	}
+}
+
+// FormatCell renders cell i for CSV output. Nulls render as the empty string.
+func (c *Column) FormatCell(i int) string {
+	if !c.IsValid(i) {
+		return ""
+	}
+	switch c.kind {
+	case Float:
+		return strconv.FormatFloat(c.floats[i], 'g', -1, 64)
+	case Int:
+		return strconv.FormatInt(c.ints[i], 10)
+	case String:
+		return c.strs[i]
+	default:
+		return strconv.FormatBool(c.bools[i])
+	}
+}
+
+// Key returns a comparable join key for cell i. Null cells return ("",
+// false). Int and Float cells that hold the same integral value produce the
+// same key, so an int64 FK can join a float64 PK.
+func (c *Column) Key(i int) (string, bool) {
+	if !c.IsValid(i) {
+		return "", false
+	}
+	switch c.kind {
+	case Float:
+		f := c.floats[i]
+		if f == math.Trunc(f) && !math.IsInf(f, 0) && math.Abs(f) < 1e15 {
+			return strconv.FormatInt(int64(f), 10), true
+		}
+		return strconv.FormatFloat(f, 'g', -1, 64), true
+	case Int:
+		return strconv.FormatInt(c.ints[i], 10), true
+	case String:
+		return c.strs[i], true
+	default:
+		return strconv.FormatBool(c.bools[i]), true
+	}
+}
+
+// Take returns a new column containing the cells at the given row indices, in
+// order. An index of -1 yields a null cell (used by left joins for unmatched
+// rows).
+func (c *Column) Take(idx []int) *Column {
+	out := &Column{name: c.name, kind: c.kind}
+	needValid := c.valid != nil
+	for _, i := range idx {
+		if i < 0 {
+			needValid = true
+			break
+		}
+	}
+	if needValid {
+		out.valid = make([]bool, len(idx))
+	}
+	switch c.kind {
+	case Float:
+		out.floats = make([]float64, len(idx))
+	case Int:
+		out.ints = make([]int64, len(idx))
+	case String:
+		out.strs = make([]string, len(idx))
+	default:
+		out.bools = make([]bool, len(idx))
+	}
+	for j, i := range idx {
+		if i < 0 {
+			continue // leave zero value, invalid
+		}
+		switch c.kind {
+		case Float:
+			out.floats[j] = c.floats[i]
+		case Int:
+			out.ints[j] = c.ints[i]
+		case String:
+			out.strs[j] = c.strs[i]
+		default:
+			out.bools[j] = c.bools[i]
+		}
+		if out.valid != nil {
+			out.valid[j] = c.IsValid(i)
+		}
+	}
+	return out
+}
+
+// Floats returns the column as a dense []float64 suitable for statistics.
+// Null cells become NaN. String columns are label-encoded: distinct values
+// are sorted lexicographically and mapped to 0..k-1, which preserves rank
+// semantics for ordinal string data and is stable across calls.
+func (c *Column) Floats() []float64 {
+	n := c.Len()
+	out := make([]float64, n)
+	switch c.kind {
+	case Float:
+		for i := 0; i < n; i++ {
+			if c.IsValid(i) {
+				out[i] = c.floats[i]
+			} else {
+				out[i] = math.NaN()
+			}
+		}
+	case Int:
+		for i := 0; i < n; i++ {
+			if c.IsValid(i) {
+				out[i] = float64(c.ints[i])
+			} else {
+				out[i] = math.NaN()
+			}
+		}
+	case Bool:
+		for i := 0; i < n; i++ {
+			switch {
+			case !c.IsValid(i):
+				out[i] = math.NaN()
+			case c.bools[i]:
+				out[i] = 1
+			}
+		}
+	case String:
+		codes := c.stringCodes()
+		for i := 0; i < n; i++ {
+			if c.IsValid(i) {
+				out[i] = float64(codes[i])
+			} else {
+				out[i] = math.NaN()
+			}
+		}
+	}
+	return out
+}
+
+// stringCodes label-encodes a string column by sorted distinct value.
+func (c *Column) stringCodes() []int {
+	distinct := make(map[string]struct{}, 16)
+	for i, s := range c.strs {
+		if c.IsValid(i) {
+			distinct[s] = struct{}{}
+		}
+	}
+	vals := make([]string, 0, len(distinct))
+	for s := range distinct {
+		vals = append(vals, s)
+	}
+	sort.Strings(vals)
+	code := make(map[string]int, len(vals))
+	for i, s := range vals {
+		code[s] = i
+	}
+	out := make([]int, len(c.strs))
+	for i, s := range c.strs {
+		if c.IsValid(i) {
+			out[i] = code[s]
+		}
+	}
+	return out
+}
+
+// DistinctCount returns the number of distinct non-null values.
+func (c *Column) DistinctCount() int {
+	seen := make(map[string]struct{}, 16)
+	for i, n := 0, c.Len(); i < n; i++ {
+		if k, ok := c.Key(i); ok {
+			seen[k] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// Mode returns the most frequent non-null value as a formatted cell string
+// and reports whether any non-null value exists. Ties break toward the
+// lexicographically smallest key for determinism.
+func (c *Column) Mode() (string, bool) {
+	counts := make(map[string]int, 16)
+	for i, n := 0, c.Len(); i < n; i++ {
+		if k, ok := c.Key(i); ok {
+			counts[k]++
+		}
+	}
+	if len(counts) == 0 {
+		return "", false
+	}
+	best, bestN := "", -1
+	for k, n := range counts {
+		if n > bestN || (n == bestN && k < best) {
+			best, bestN = k, n
+		}
+	}
+	return best, true
+}
+
+// Imputed returns a copy of the column with nulls replaced by the most
+// frequent value (the paper's imputation strategy). Columns without nulls
+// are returned unchanged. If every cell is null, zeros are imputed.
+func (c *Column) Imputed() *Column {
+	if c.valid == nil || c.NullCount() == 0 {
+		return c
+	}
+	mode, ok := c.Mode()
+	out := &Column{name: c.name, kind: c.kind}
+	n := c.Len()
+	switch c.kind {
+	case Float:
+		fill := 0.0
+		if ok {
+			fill, _ = strconv.ParseFloat(mode, 64)
+		}
+		out.floats = make([]float64, n)
+		copy(out.floats, c.floats)
+		for i := 0; i < n; i++ {
+			if !c.valid[i] {
+				out.floats[i] = fill
+			}
+		}
+	case Int:
+		var fill int64
+		if ok {
+			fill, _ = strconv.ParseInt(mode, 10, 64)
+		}
+		out.ints = make([]int64, n)
+		copy(out.ints, c.ints)
+		for i := 0; i < n; i++ {
+			if !c.valid[i] {
+				out.ints[i] = fill
+			}
+		}
+	case String:
+		out.strs = make([]string, n)
+		copy(out.strs, c.strs)
+		for i := 0; i < n; i++ {
+			if !c.valid[i] {
+				out.strs[i] = mode
+			}
+		}
+	case Bool:
+		fill := mode == "true"
+		out.bools = make([]bool, n)
+		copy(out.bools, c.bools)
+		for i := 0; i < n; i++ {
+			if !c.valid[i] {
+				out.bools[i] = fill
+			}
+		}
+	}
+	return out
+}
+
+// ValueSet returns the set of distinct non-null join keys, used by the
+// instance-based discovery matcher to estimate joinability.
+func (c *Column) ValueSet() map[string]struct{} {
+	set := make(map[string]struct{}, 64)
+	for i, n := 0, c.Len(); i < n; i++ {
+		if k, ok := c.Key(i); ok {
+			set[k] = struct{}{}
+		}
+	}
+	return set
+}
+
+// Equal reports deep equality of names, kinds, validity and values.
+// Float cells compare with exact equality except that two NaNs are equal.
+func (c *Column) Equal(o *Column) bool {
+	if c.name != o.name || c.kind != o.kind || c.Len() != o.Len() {
+		return false
+	}
+	for i, n := 0, c.Len(); i < n; i++ {
+		if c.IsValid(i) != o.IsValid(i) {
+			return false
+		}
+		if !c.IsValid(i) {
+			continue
+		}
+		switch c.kind {
+		case Float:
+			a, b := c.floats[i], o.floats[i]
+			if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+				return false
+			}
+		case Int:
+			if c.ints[i] != o.ints[i] {
+				return false
+			}
+		case String:
+			if c.strs[i] != o.strs[i] {
+				return false
+			}
+		case Bool:
+			if c.bools[i] != o.bools[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,160 @@
+package frame
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// ReadCSV parses a CSV stream with a header row into a Frame, inferring a
+// type per column: int64 if every non-empty cell parses as an integer, else
+// float64, else bool, else string. Empty cells are nulls.
+func ReadCSV(name string, r io.Reader) (*Frame, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = false
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("frame: read csv header for %q: %w", name, err)
+	}
+	raw := make([][]string, len(header))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("frame: read csv row for %q: %w", name, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("frame: csv row has %d fields, want %d", len(rec), len(header))
+		}
+		for j, cell := range rec {
+			raw[j] = append(raw[j], cell)
+		}
+	}
+	f := New(name)
+	for j, colName := range header {
+		if err := f.AddColumn(inferColumn(colName, raw[j])); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// ReadCSVFile reads a CSV file; the table name is the base filename without
+// its extension.
+func ReadCSVFile(path string) (*Frame, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	base := filepath.Base(path)
+	name := strings.TrimSuffix(base, filepath.Ext(base))
+	return ReadCSV(name, fh)
+}
+
+// WriteCSV serialises the frame with a header row. Nulls become empty cells.
+func (f *Frame) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(f.ColumnNames()); err != nil {
+		return err
+	}
+	row := make([]string, f.NumCols())
+	for i, n := 0, f.NumRows(); i < n; i++ {
+		for j, c := range f.cols {
+			row[j] = c.FormatCell(i)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the frame to the given path, creating parent
+// directories as needed.
+func (f *Frame) WriteCSVFile(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.WriteCSV(fh); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}
+
+// inferColumn picks the narrowest type that parses every non-empty cell.
+func inferColumn(name string, cells []string) *Column {
+	allInt, allFloat, allBool := true, true, true
+	anyNull := false
+	for _, s := range cells {
+		if s == "" {
+			anyNull = true
+			continue
+		}
+		if allInt {
+			if _, err := strconv.ParseInt(s, 10, 64); err != nil {
+				allInt = false
+			}
+		}
+		if allFloat {
+			if _, err := strconv.ParseFloat(s, 64); err != nil {
+				allFloat = false
+			}
+		}
+		if allBool {
+			if s != "true" && s != "false" {
+				allBool = false
+			}
+		}
+	}
+	var valid []bool
+	if anyNull {
+		valid = make([]bool, len(cells))
+		for i, s := range cells {
+			valid[i] = s != ""
+		}
+	}
+	switch {
+	case allInt:
+		vals := make([]int64, len(cells))
+		for i, s := range cells {
+			if s != "" {
+				vals[i], _ = strconv.ParseInt(s, 10, 64)
+			}
+		}
+		return NewIntColumn(name, vals, valid)
+	case allFloat:
+		vals := make([]float64, len(cells))
+		for i, s := range cells {
+			if s != "" {
+				vals[i], _ = strconv.ParseFloat(s, 64)
+			}
+		}
+		return NewFloatColumn(name, vals, valid)
+	case allBool:
+		vals := make([]bool, len(cells))
+		for i, s := range cells {
+			if s != "" {
+				vals[i] = s == "true"
+			}
+		}
+		return NewBoolColumn(name, vals, valid)
+	default:
+		vals := make([]string, len(cells))
+		copy(vals, cells)
+		return NewStringColumn(name, vals, valid)
+	}
+}

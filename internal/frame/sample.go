@@ -1,0 +1,108 @@
+package frame
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Split holds the result of a train/test partition.
+type Split struct {
+	Train *Frame
+	Test  *Frame
+	// TrainIdx and TestIdx are the source row indices of each partition.
+	TrainIdx []int
+	TestIdx  []int
+}
+
+// StratifiedSplit partitions the frame into train/test with the given train
+// fraction, preserving the per-class proportions of the label column
+// (Section V-B uses an 80%-20% stratified split). The split is deterministic
+// for a given rng seed.
+func (f *Frame) StratifiedSplit(label string, trainFrac float64, rng *rand.Rand) (*Split, error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, fmt.Errorf("frame: train fraction %v out of (0,1)", trainFrac)
+	}
+	y, err := f.Labels(label)
+	if err != nil {
+		return nil, err
+	}
+	byClass := make(map[int][]int)
+	for i, c := range y {
+		byClass[c] = append(byClass[c], i)
+	}
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	var trainIdx, testIdx []int
+	for _, c := range classes {
+		rows := byClass[c]
+		rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+		nTrain := int(float64(len(rows))*trainFrac + 0.5)
+		if nTrain == 0 && len(rows) > 0 {
+			nTrain = 1
+		}
+		if nTrain == len(rows) && len(rows) > 1 {
+			nTrain--
+		}
+		trainIdx = append(trainIdx, rows[:nTrain]...)
+		testIdx = append(testIdx, rows[nTrain:]...)
+	}
+	sort.Ints(trainIdx)
+	sort.Ints(testIdx)
+	return &Split{
+		Train:    f.Take(trainIdx),
+		Test:     f.Take(testIdx),
+		TrainIdx: trainIdx,
+		TestIdx:  testIdx,
+	}, nil
+}
+
+// StratifiedSample returns at most n rows sampled without replacement while
+// preserving the label distribution. AutoFeat samples the base table this
+// way before feature selection to bound selection cost (Section VI); model
+// training still sees the full data.
+func (f *Frame) StratifiedSample(label string, n int, rng *rand.Rand) (*Frame, error) {
+	total := f.NumRows()
+	if n >= total {
+		return f, nil
+	}
+	y, err := f.Labels(label)
+	if err != nil {
+		return nil, err
+	}
+	byClass := make(map[int][]int)
+	for i, c := range y {
+		byClass[c] = append(byClass[c], i)
+	}
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	frac := float64(n) / float64(total)
+	var pick []int
+	for _, c := range classes {
+		rows := byClass[c]
+		rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+		k := int(float64(len(rows))*frac + 0.5)
+		if k == 0 && len(rows) > 0 {
+			k = 1
+		}
+		pick = append(pick, rows[:k]...)
+	}
+	sort.Ints(pick)
+	return f.Take(pick), nil
+}
+
+// Shuffled returns a row-shuffled copy of the frame.
+func (f *Frame) Shuffled(rng *rand.Rand) *Frame {
+	idx := make([]int, f.NumRows())
+	for i := range idx {
+		idx[i] = i
+	}
+	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	return f.Take(idx)
+}

@@ -1,0 +1,355 @@
+package fselect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthCols builds a small dataset with one strongly relevant feature, one
+// redundant copy of it, and one noise feature.
+func synthCols(n int, seed int64) (cols [][]float64, names []string, y []int) {
+	rng := rand.New(rand.NewSource(seed))
+	relevant := make([]float64, n)
+	redundant := make([]float64, n)
+	noise := make([]float64, n)
+	y = make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % 2
+		y[i] = cls
+		relevant[i] = float64(cls)*4 + rng.NormFloat64()*0.5
+		redundant[i] = relevant[i]*2 + 1 // monotone transform: same info
+		noise[i] = rng.NormFloat64()
+	}
+	return [][]float64{relevant, redundant, noise}, []string{"relevant", "redundant", "noise"}, y
+}
+
+func TestRelevanceMetricsRankRelevantFirst(t *testing.T) {
+	cols, _, y := synthCols(400, 3)
+	for _, m := range AllRelevance() {
+		scores := m.Scores(cols, y)
+		if len(scores) != 3 {
+			t.Fatalf("%s: %d scores", m.Name(), len(scores))
+		}
+		if scores[0] <= scores[2] {
+			t.Errorf("%s: relevant %.3f must outscore noise %.3f", m.Name(), scores[0], scores[2])
+		}
+		for i, s := range scores {
+			if s < 0 || math.IsNaN(s) {
+				t.Errorf("%s: score[%d] = %v must be non-negative", m.Name(), i, s)
+			}
+		}
+	}
+}
+
+func TestRelevanceNames(t *testing.T) {
+	want := []string{"ig", "su", "pearson", "spearman", "relief"}
+	for i, m := range AllRelevance() {
+		if m.Name() != want[i] {
+			t.Errorf("metric %d name = %q, want %q", i, m.Name(), want[i])
+		}
+		if RelevanceByName(m.Name()) == nil {
+			t.Errorf("RelevanceByName(%q) = nil", m.Name())
+		}
+	}
+	if RelevanceByName("nope") != nil {
+		t.Error("unknown name must return nil")
+	}
+}
+
+func TestSpearmanRelevanceMonotoneEquivalence(t *testing.T) {
+	cols, _, y := synthCols(300, 5)
+	scores := SpearmanRelevance{}.Scores(cols, y)
+	if math.Abs(scores[0]-scores[1]) > 1e-9 {
+		t.Fatalf("monotone transform must not change spearman relevance: %v vs %v", scores[0], scores[1])
+	}
+}
+
+func TestReliefRelevanceEmptyAndDeterministic(t *testing.T) {
+	if got := (ReliefRelevance{}).Scores(nil, nil); got != nil {
+		t.Fatal("no columns -> nil")
+	}
+	cols, _, y := synthCols(100, 7)
+	a := ReliefRelevance{Seed: 42}.Scores(cols, y)
+	b := ReliefRelevance{Seed: 42}.Scores(cols, y)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same relief scores")
+		}
+	}
+}
+
+func TestSelectKBest(t *testing.T) {
+	scores := []float64{0.9, 0, 0.5, math.NaN(), 0.7, -0.1}
+	idx, sc := SelectKBest(scores, 2)
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 4 {
+		t.Fatalf("idx = %v, want [0 4]", idx)
+	}
+	if sc[0] != 0.9 || sc[1] != 0.7 {
+		t.Fatalf("scores = %v", sc)
+	}
+	// k bigger than positives keeps all positives.
+	idx2, _ := SelectKBest(scores, 10)
+	if len(idx2) != 3 {
+		t.Fatalf("idx2 = %v, want 3 positive entries", idx2)
+	}
+	// k < 0 means unlimited.
+	idx3, _ := SelectKBest(scores, -1)
+	if len(idx3) != 3 {
+		t.Fatalf("unlimited must keep all positives: %v", idx3)
+	}
+	// zero and NaN and negative never selected
+	for _, i := range idx2 {
+		if i == 1 || i == 3 || i == 5 {
+			t.Fatal("non-positive scores must never be selected")
+		}
+	}
+}
+
+func TestSelectKBestTieBreak(t *testing.T) {
+	idx, _ := SelectKBest([]float64{0.5, 0.5, 0.5}, 2)
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 1 {
+		t.Fatalf("ties must break by index: %v", idx)
+	}
+}
+
+func TestRedundancyRejectsDuplicate(t *testing.T) {
+	cols, _, y := synthCols(400, 11)
+	relevant, redundant := cols[0], cols[1]
+	for _, m := range AllRedundancy() {
+		// With relevant already selected, its duplicate must be rejected.
+		accepted, scores := m.Select([][]float64{redundant}, [][]float64{relevant}, y)
+		if len(accepted) != 0 {
+			t.Errorf("%s: duplicate feature accepted with scores %v", m.Name(), scores)
+		}
+	}
+}
+
+func TestRedundancyAcceptsFreshRelevant(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 400
+	y := make([]int, n)
+	a := make([]float64, n) // relevant dimension 1
+	b := make([]float64, n) // complementary relevant dimension
+	for i := 0; i < n; i++ {
+		y[i] = i % 2
+		a[i] = float64(y[i])*3 + rng.NormFloat64()
+		b[i] = float64(y[i])*3 - rng.NormFloat64()*2 + rng.Float64()
+	}
+	for _, m := range AllRedundancy() {
+		accepted, scores := m.Select([][]float64{b}, [][]float64{a}, y)
+		if len(accepted) != 1 {
+			t.Errorf("%s: fresh informative feature rejected", m.Name())
+			continue
+		}
+		if scores[0] <= 0 {
+			t.Errorf("%s: accepted score must be positive, got %v", m.Name(), scores[0])
+		}
+	}
+}
+
+func TestRedundancyEmptySelectedAcceptsInformative(t *testing.T) {
+	cols, _, y := synthCols(200, 17)
+	for _, m := range AllRedundancy() {
+		accepted, _ := m.Select([][]float64{cols[0]}, nil, y)
+		if len(accepted) != 1 {
+			t.Errorf("%s: with empty S, an informative feature must pass", m.Name())
+		}
+	}
+}
+
+func TestRedundancyRejectsPureNoiseCMIMStyle(t *testing.T) {
+	// Pure noise has I(Xk;Y) ≈ 0 but discretisation noise can make it
+	// slightly positive; verify noise scores well below informative.
+	cols, _, y := synthCols(500, 19)
+	m := NewMRMR()
+	accInfo, sInfo := m.Select([][]float64{cols[0]}, nil, y)
+	_, sNoise := m.Select([][]float64{cols[2]}, nil, y)
+	if len(accInfo) != 1 {
+		t.Fatal("informative must pass")
+	}
+	if len(sNoise) == 1 && sNoise[0] > sInfo[0]/3 {
+		t.Fatalf("noise score %v too close to informative %v", sNoise[0], sInfo[0])
+	}
+}
+
+func TestRedundancyNames(t *testing.T) {
+	want := []string{"mifs", "mrmr", "cife", "jmi", "cmim"}
+	for i, m := range AllRedundancy() {
+		if m.Name() != want[i] {
+			t.Errorf("metric %d name = %q, want %q", i, m.Name(), want[i])
+		}
+		if RedundancyByName(m.Name()) == nil {
+			t.Errorf("RedundancyByName(%q) = nil", m.Name())
+		}
+	}
+	if RedundancyByName("nope") != nil {
+		t.Error("unknown name must return nil")
+	}
+}
+
+func TestCLMGreedyUpdatesSelectedSet(t *testing.T) {
+	// Submit the same informative feature twice in one batch: the first
+	// must be accepted, the second rejected as redundant with the first.
+	cols, _, y := synthCols(400, 23)
+	dup := make([]float64, len(cols[0]))
+	copy(dup, cols[0])
+	accepted, _ := NewMRMR().Select([][]float64{cols[0], dup}, nil, y)
+	if len(accepted) != 1 || accepted[0] != 0 {
+		t.Fatalf("greedy pass must reject in-batch duplicate: %v", accepted)
+	}
+	acceptedC, _ := NewCMIM().Select([][]float64{cols[0], dup}, nil, y)
+	if len(acceptedC) != 1 {
+		t.Fatalf("cmim greedy pass must reject in-batch duplicate: %v", acceptedC)
+	}
+}
+
+func TestPipelineFull(t *testing.T) {
+	cols, _, y := synthCols(400, 29)
+	p := &Pipeline{Relevance: SpearmanRelevance{}, Redundancy: NewMRMR(), K: 15}
+	res := p.Run(cols, nil, y)
+	if len(res.Kept) == 0 {
+		t.Fatal("pipeline must keep the relevant feature")
+	}
+	has := func(i int) bool {
+		for _, k := range res.Kept {
+			if k == i {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(0) {
+		t.Fatalf("relevant feature dropped: kept %v", res.Kept)
+	}
+	if has(0) && has(1) {
+		t.Fatalf("redundant duplicate survived: kept %v", res.Kept)
+	}
+	if len(res.RelScores) != len(res.Kept) || len(res.RedScores) != len(res.Kept) {
+		t.Fatal("score slices must align with Kept")
+	}
+	for _, s := range res.RedScores {
+		if s <= 0 {
+			t.Fatal("kept features must have positive J score")
+		}
+	}
+}
+
+func TestPipelineKCap(t *testing.T) {
+	cols, _, y := synthCols(200, 31)
+	p := &Pipeline{Relevance: SpearmanRelevance{}, K: 1}
+	res := p.Run(cols, nil, y)
+	if len(res.Kept) != 1 || res.Kept[0] != 0 && res.Kept[0] != 1 {
+		t.Fatalf("K=1 must keep exactly the single best: %v", res.Kept)
+	}
+}
+
+func TestPipelineStagesDisabled(t *testing.T) {
+	cols, _, y := synthCols(200, 37)
+	// No stages: everything passes (bounded by K).
+	p := &Pipeline{K: -1}
+	res := p.Run(cols, nil, y)
+	if len(res.Kept) != 3 {
+		t.Fatalf("no-op pipeline must keep all: %v", res.Kept)
+	}
+	// Relevance disabled, K caps the passthrough.
+	p2 := &Pipeline{K: 2}
+	res2 := p2.Run(cols, nil, y)
+	if len(res2.Kept) != 2 {
+		t.Fatalf("K cap without relevance: %v", res2.Kept)
+	}
+	// Redundancy-only.
+	p3 := &Pipeline{Redundancy: NewMRMR(), K: -1}
+	res3 := p3.Run(cols, nil, y)
+	for _, k := range res3.Kept {
+		if k == 1 && contains(res3.Kept, 0) {
+			t.Fatal("redundancy-only must still reject the duplicate")
+		}
+	}
+	// Empty batch.
+	if got := p.Run(nil, nil, y); len(got.Kept) != 0 {
+		t.Fatal("empty batch keeps nothing")
+	}
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPipelineAllIrrelevant(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n := 300
+	y := make([]int, n)
+	noise1 := make([]float64, n)
+	noise2 := make([]float64, n)
+	for i := range y {
+		y[i] = rng.Intn(2)
+		noise1[i] = rng.NormFloat64()
+		noise2[i] = rng.NormFloat64()
+	}
+	p := &Pipeline{Relevance: SpearmanRelevance{}, Redundancy: NewMRMR(), K: 15}
+	res := p.Run([][]float64{noise1, noise2}, nil, y)
+	// Spearman of pure noise is near 0 but rarely exactly 0; redundancy's
+	// MI threshold usually rejects. Accept either empty or tiny scores.
+	for i := range res.Kept {
+		if res.RelScores[i] > 0.2 {
+			t.Fatalf("noise feature with high relevance score %v", res.RelScores[i])
+		}
+	}
+}
+
+func TestGroupPipelineAdmitsSignalGroup(t *testing.T) {
+	cols, _, y := synthCols(400, 43)
+	p := &GroupPipeline{
+		Pipeline:     Pipeline{Relevance: SpearmanRelevance{}, Redundancy: NewMRMR(), K: 15},
+		MinGroupGain: 0.01,
+	}
+	res := p.Run(cols, nil, y)
+	if !res.Admitted {
+		t.Fatalf("group with real signal must be admitted (gain %v)", res.GroupGain)
+	}
+	if len(res.Kept) == 0 {
+		t.Fatal("admitted group keeps its features")
+	}
+}
+
+func TestGroupPipelineRejectsNoiseGroup(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	n := 300
+	y := make([]int, n)
+	noise1 := make([]float64, n)
+	noise2 := make([]float64, n)
+	for i := range y {
+		y[i] = rng.Intn(2)
+		noise1[i] = rng.NormFloat64()
+		noise2[i] = rng.NormFloat64()
+	}
+	p := &GroupPipeline{
+		Pipeline:     Pipeline{Relevance: SpearmanRelevance{}, Redundancy: NewMRMR(), K: 15},
+		MinGroupGain: 0.05,
+	}
+	res := p.Run([][]float64{noise1, noise2}, nil, y)
+	if res.Admitted {
+		t.Fatalf("pure-noise group must be rejected (gain %v)", res.GroupGain)
+	}
+	if len(res.Kept) != 0 {
+		t.Fatal("rejected group keeps nothing")
+	}
+}
+
+func TestGroupPipelineRelevanceOnlyGain(t *testing.T) {
+	cols, _, y := synthCols(300, 53)
+	p := &GroupPipeline{
+		Pipeline:     Pipeline{Relevance: SpearmanRelevance{}, K: 15},
+		MinGroupGain: 0.1,
+	}
+	res := p.Run(cols, nil, y)
+	if !res.Admitted || res.GroupGain <= 0 {
+		t.Fatalf("relevance mass must drive the gain when redundancy is off: %+v", res.GroupGain)
+	}
+}

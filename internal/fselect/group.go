@@ -1,0 +1,46 @@
+package fselect
+
+// GroupPipeline adds group-level decisions on top of the streaming
+// pipeline, following the group-and-streaming feature selection family
+// the paper surveys in Section V-A (Li et al., "Group feature selection
+// with streaming features"): each arriving batch is first evaluated as a
+// whole, and batches whose total information contribution is below
+// MinGroupGain are rejected outright — intra-group selection only runs
+// for groups that clear the bar. In AutoFeat terms a group is the set of
+// columns one join contributes, so group rejection prunes an entire
+// table's features in one decision.
+type GroupPipeline struct {
+	Pipeline
+	// MinGroupGain is the minimum summed redundancy-framework J score a
+	// batch must reach to be admitted at all. Zero admits any batch with
+	// at least one selected feature (plain streaming behaviour).
+	MinGroupGain float64
+}
+
+// GroupResult extends Result with the group decision.
+type GroupResult struct {
+	Result
+	// Admitted reports whether the batch cleared the group-level bar.
+	Admitted bool
+	// GroupGain is the summed J score of the batch's kept features.
+	GroupGain float64
+}
+
+// Run evaluates one batch with group semantics.
+func (p *GroupPipeline) Run(candidates, selected [][]float64, y []int) GroupResult {
+	inner := p.Pipeline.Run(candidates, selected, y)
+	gain := 0.0
+	for _, j := range inner.RedScores {
+		gain += j
+	}
+	// When the redundancy stage is disabled, fall back to relevance mass.
+	if p.Redundancy == nil {
+		for _, r := range inner.RelScores {
+			gain += r
+		}
+	}
+	if gain < p.MinGroupGain || len(inner.Kept) == 0 {
+		return GroupResult{Admitted: false, GroupGain: gain}
+	}
+	return GroupResult{Result: inner, Admitted: true, GroupGain: gain}
+}

@@ -1,0 +1,77 @@
+package fselect
+
+// Pipeline is the streaming feature-selection pipeline of Section VI: each
+// batch of candidate features (the columns added by one join) first passes
+// relevance analysis — rank by the relevance metric and keep the top-κ with
+// positive scores — and the survivors then pass redundancy analysis against
+// the features selected so far. Either stage may be disabled (nil) for the
+// Figure 9 ablation.
+type Pipeline struct {
+	// Relevance ranks candidates against the label; nil skips the stage
+	// (all candidates proceed with zero relevance scores).
+	Relevance Relevance
+	// Redundancy filters relevant candidates against the selected set;
+	// nil skips the stage (all relevant candidates are kept).
+	Redundancy Redundancy
+	// K caps how many candidates survive relevance analysis (the paper's
+	// κ, default 15 in the evaluation). K < 0 means unlimited.
+	K int
+}
+
+// Result reports one pipeline run over a candidate batch.
+type Result struct {
+	// Kept holds indices into the candidate batch that survived both
+	// stages, ascending.
+	Kept []int
+	// RelScores aligns with Kept: the relevance score of each kept
+	// feature (zero when the relevance stage is disabled).
+	RelScores []float64
+	// RedScores aligns with Kept: the redundancy J score of each kept
+	// feature (zero when the redundancy stage is disabled).
+	RedScores []float64
+}
+
+// Run pushes one batch of candidate columns through the pipeline. selected
+// holds the columns already in the selected feature set R_sel; y is the
+// label. Candidates are column-major []float64 with NaN nulls.
+func (p *Pipeline) Run(candidates, selected [][]float64, y []int) Result {
+	if len(candidates) == 0 {
+		return Result{}
+	}
+
+	// Stage 1: relevance analysis, keep top-κ (Algorithm 1, line 16).
+	relIdx := make([]int, len(candidates))
+	relScores := make([]float64, len(candidates))
+	if p.Relevance != nil {
+		scores := p.Relevance.Scores(candidates, y)
+		relIdx, relScores = SelectKBest(scores, p.K)
+	} else {
+		for i := range relIdx {
+			relIdx[i] = i
+		}
+		if p.K >= 0 && len(relIdx) > p.K {
+			relIdx = relIdx[:p.K]
+			relScores = relScores[:p.K]
+		}
+	}
+	if len(relIdx) == 0 {
+		return Result{}
+	}
+
+	// Stage 2: redundancy analysis against R_sel (Algorithm 1, line 17).
+	if p.Redundancy == nil {
+		return Result{Kept: relIdx, RelScores: relScores, RedScores: make([]float64, len(relIdx))}
+	}
+	relCols := make([][]float64, len(relIdx))
+	for j, i := range relIdx {
+		relCols[j] = candidates[i]
+	}
+	accepted, redScores := p.Redundancy.Select(relCols, selected, y)
+	kept := make([]int, len(accepted))
+	keptRel := make([]float64, len(accepted))
+	for j, a := range accepted {
+		kept[j] = relIdx[a]
+		keptRel[j] = relScores[a]
+	}
+	return Result{Kept: kept, RelScores: keptRel, RedScores: redScores}
+}

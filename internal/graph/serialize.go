@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"autofeat/internal/frame"
+)
+
+// The DRG's offline/online split (Section III-C: graph construction is
+// the offline component) makes edge persistence valuable: schema matching
+// over every table pair is the expensive part, while the edges it yields
+// are tiny. Save/Load serialise the edge structure as JSON; tables are
+// NOT serialised (they live in their own CSV files) and must be
+// re-attached on load.
+
+// edgeJSON is the wire form of an Edge.
+type edgeJSON struct {
+	A      string  `json:"a"`
+	ColA   string  `json:"col_a"`
+	B      string  `json:"b"`
+	ColB   string  `json:"col_b"`
+	Weight float64 `json:"weight"`
+	KFK    bool    `json:"kfk,omitempty"`
+}
+
+type graphJSON struct {
+	Nodes []string   `json:"nodes"`
+	Edges []edgeJSON `json:"edges"`
+}
+
+// Save writes the graph structure (node names and edges, not table data)
+// as JSON.
+func (g *Graph) Save(w io.Writer) error {
+	doc := graphJSON{Nodes: g.Nodes()}
+	seen := make(map[string]bool)
+	for _, n := range g.Nodes() {
+		for _, e := range g.EdgesFrom(n) {
+			key := edgeKey(e)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			doc.Edges = append(doc.Edges, edgeJSON{
+				A: e.A, ColA: e.ColA, B: e.B, ColB: e.ColB,
+				Weight: e.Weight, KFK: e.KFK,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// SaveFile writes the graph structure to a file.
+func (g *Graph) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reconstructs a graph from JSON, attaching the given tables. Every
+// node in the document must have a matching table (the edges reference
+// their columns), and every edge is re-validated against the tables.
+func Load(r io.Reader, tables []*frame.Frame) (*Graph, error) {
+	var doc graphJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("graph: decode: %w", err)
+	}
+	byName := make(map[string]*frame.Frame, len(tables))
+	for _, t := range tables {
+		byName[t.Name()] = t
+	}
+	g := New()
+	for _, n := range doc.Nodes {
+		t, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("graph: node %q has no table attached", n)
+		}
+		g.AddTable(t)
+	}
+	for _, e := range doc.Edges {
+		err := g.AddEdge(Edge{
+			A: e.A, ColA: e.ColA, B: e.B, ColB: e.ColB,
+			Weight: e.Weight, KFK: e.KFK,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("graph: load edge: %w", err)
+		}
+	}
+	return g, nil
+}
+
+// LoadFile reconstructs a graph from a JSON file.
+func LoadFile(path string, tables []*frame.Frame) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, tables)
+}

@@ -1,0 +1,108 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// CVResult summarises a k-fold cross-validation.
+type CVResult struct {
+	Model   string
+	FoldAcc []float64
+	FoldAUC []float64
+	MeanAcc float64
+	MeanAUC float64
+	StdAcc  float64
+}
+
+// CrossValidate runs stratified k-fold cross-validation of the factory's
+// model over a dense matrix. Each fold trains a fresh model; folds are
+// stratified so every fold keeps the class balance.
+func CrossValidate(f Factory, X [][]float64, y []int, k int, seed int64) (*CVResult, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("ml: k-fold needs k >= 2, got %d", k)
+	}
+	if _, err := checkXY(X, y); err != nil {
+		return nil, err
+	}
+	folds, err := stratifiedFolds(y, k, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	res := &CVResult{Model: f.Name}
+	for fi := 0; fi < k; fi++ {
+		var Xtr, Xte [][]float64
+		var ytr, yte []int
+		for fj, rows := range folds {
+			for _, r := range rows {
+				if fj == fi {
+					Xte = append(Xte, X[r])
+					yte = append(yte, y[r])
+				} else {
+					Xtr = append(Xtr, X[r])
+					ytr = append(ytr, y[r])
+				}
+			}
+		}
+		m := f.New(seed + int64(fi))
+		if err := m.Fit(Xtr, ytr); err != nil {
+			return nil, fmt.Errorf("ml: fold %d: %w", fi, err)
+		}
+		proba := m.PredictProba(Xte)
+		res.FoldAcc = append(res.FoldAcc, Accuracy(hardLabels(proba), yte))
+		res.FoldAUC = append(res.FoldAUC, AUC(proba, yte))
+	}
+	for i := range res.FoldAcc {
+		res.MeanAcc += res.FoldAcc[i]
+		res.MeanAUC += res.FoldAUC[i]
+	}
+	res.MeanAcc /= float64(k)
+	res.MeanAUC /= float64(k)
+	for _, a := range res.FoldAcc {
+		d := a - res.MeanAcc
+		res.StdAcc += d * d
+	}
+	res.StdAcc = sqrt(res.StdAcc / float64(k))
+	return res, nil
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton iterations suffice for the few digits we report.
+	z := x
+	for i := 0; i < 30; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// stratifiedFolds assigns each row to one of k folds preserving class
+// proportions. Classes smaller than k spread their rows round-robin.
+func stratifiedFolds(y []int, k int, rng *rand.Rand) ([][]int, error) {
+	byClass := make(map[int][]int)
+	for i, c := range y {
+		byClass[c] = append(byClass[c], i)
+	}
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	folds := make([][]int, k)
+	for _, c := range classes {
+		rows := byClass[c]
+		rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+		for i, r := range rows {
+			folds[i%k] = append(folds[i%k], r)
+		}
+	}
+	for fi, rows := range folds {
+		if len(rows) == 0 {
+			return nil, fmt.Errorf("ml: fold %d empty (too few rows for k=%d)", fi, k)
+		}
+	}
+	return folds, nil
+}

@@ -1,0 +1,169 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCrossValidate(t *testing.T) {
+	X, y := synth(300, 5, 21)
+	f, _ := FactoryByName("lightgbm")
+	res, err := CrossValidate(f, X, y, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FoldAcc) != 5 || len(res.FoldAUC) != 5 {
+		t.Fatalf("5 folds expected, got %d", len(res.FoldAcc))
+	}
+	if res.MeanAcc < 0.8 {
+		t.Fatalf("CV accuracy %.3f too low on separable task", res.MeanAcc)
+	}
+	if res.StdAcc < 0 || res.StdAcc > 0.3 {
+		t.Fatalf("fold std %.3f implausible", res.StdAcc)
+	}
+	if res.Model != "lightgbm" {
+		t.Fatal("model name missing")
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	X, y := synth(50, 3, 23)
+	f, _ := FactoryByName("knn")
+	if _, err := CrossValidate(f, X, y, 1, 1); err == nil {
+		t.Fatal("k<2 must fail")
+	}
+	if _, err := CrossValidate(f, nil, nil, 3, 1); err == nil {
+		t.Fatal("empty data must fail")
+	}
+	// More folds than rows must fail with the empty-fold error.
+	tiny := [][]float64{{1}, {2}}
+	if _, err := CrossValidate(f, tiny, []int{0, 1}, 5, 1); err == nil {
+		t.Fatal("k > n must fail")
+	}
+}
+
+func TestCrossValidateStratification(t *testing.T) {
+	// 10% positives: stratified folds must all contain a positive.
+	n := 200
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		X[i] = []float64{float64(i)}
+		if i%10 == 0 {
+			y[i] = 1
+		}
+	}
+	folds, err := stratifiedFolds(y, 4, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fi, rows := range folds {
+		pos := 0
+		for _, r := range rows {
+			pos += y[r]
+		}
+		if pos == 0 {
+			t.Fatalf("fold %d has no positives", fi)
+		}
+	}
+	// All rows covered exactly once.
+	seen := map[int]bool{}
+	total := 0
+	for _, rows := range folds {
+		for _, r := range rows {
+			if seen[r] {
+				t.Fatal("row in two folds")
+			}
+			seen[r] = true
+			total++
+		}
+	}
+	if total != n {
+		t.Fatalf("folds cover %d rows, want %d", total, n)
+	}
+}
+
+func TestGBDTEarlyStopping(t *testing.T) {
+	X, y := synth(500, 5, 29)
+	full := NewLightGBM(1)
+	if err := full.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	early := NewLightGBM(1).WithEarlyStopping(5, 0.15)
+	if err := early.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if early.TrainedRounds() >= full.TrainedRounds() {
+		t.Fatalf("early stopping should trim rounds: %d vs %d", early.TrainedRounds(), full.TrainedRounds())
+	}
+	if early.TrainedRounds() < 3 {
+		t.Fatalf("early stopping too aggressive: %d rounds", early.TrainedRounds())
+	}
+	// Accuracy must not collapse.
+	Xte, yte := synth(200, 5, 31)
+	if acc := Accuracy(early.Predict(Xte), yte); acc < 0.8 {
+		t.Fatalf("early-stopped accuracy %.3f too low", acc)
+	}
+}
+
+func TestGBDTEarlyStoppingDefaults(t *testing.T) {
+	m := NewXGBoost(1).WithEarlyStopping(3, -1)
+	if m.ValidationFrac != 0.1 {
+		t.Fatalf("bad frac must default to 0.1, got %v", m.ValidationFrac)
+	}
+}
+
+func TestGBDTFeatureImportances(t *testing.T) {
+	X, y := synth(400, 6, 37)
+	m := NewLightGBM(1)
+	if m.FeatureImportances() != nil {
+		t.Fatal("importances must be nil before Fit")
+	}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	imp := m.FeatureImportances()
+	if len(imp) != 6 {
+		t.Fatalf("importances length %d", len(imp))
+	}
+	sum := 0.0
+	for _, v := range imp {
+		if v < 0 {
+			t.Fatal("importances must be non-negative")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importances must sum to 1, got %v", sum)
+	}
+	// Informative features (0,1) must dominate noise.
+	if imp[0]+imp[1] < 0.5 {
+		t.Fatalf("informative features carry too little importance: %v", imp)
+	}
+}
+
+func TestForestFeatureImportances(t *testing.T) {
+	X, y := synth(400, 6, 41)
+	for _, name := range []string{"randomforest", "extratrees"} {
+		f, _ := FactoryByName(name)
+		m := f.New(1).(*Forest)
+		if m.FeatureImportances() != nil {
+			t.Fatalf("%s: importances before Fit", name)
+		}
+		if err := m.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		imp := m.FeatureImportances()
+		sum := 0.0
+		for _, v := range imp {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%s: importances sum %v", name, sum)
+		}
+		if imp[0]+imp[1] < 0.4 {
+			t.Fatalf("%s: informative importance too low: %v", name, imp)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+
+	"autofeat/internal/frame"
+)
+
+// EvalResult is one train/test evaluation outcome.
+type EvalResult struct {
+	Model    string
+	Accuracy float64
+	AUC      float64
+	F1       float64
+}
+
+// EvaluateFrame trains the classifier on a stratified 80/20 split of the
+// frame restricted to the given feature columns, then scores it on the
+// held-out test rows — the Section V-B methodology (imputation with the
+// most frequent value, stratified split, accuracy on the test set).
+func EvaluateFrame(f *frame.Frame, features []string, label string, c Classifier, seed int64) (EvalResult, error) {
+	if len(features) == 0 {
+		return EvalResult{}, fmt.Errorf("ml: no features to evaluate")
+	}
+	imputed := f.Imputed()
+	split, err := imputed.StratifiedSplit(label, 0.8, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return EvalResult{}, err
+	}
+	return evaluateSplit(split.Train, split.Test, features, label, c)
+}
+
+func evaluateSplit(train, test *frame.Frame, features []string, label string, c Classifier) (EvalResult, error) {
+	Xtr, err := train.Matrix(features)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	ytr, err := train.Labels(label)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	Xte, err := test.Matrix(features)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	yte, err := test.Labels(label)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	if err := c.Fit(Xtr, ytr); err != nil {
+		return EvalResult{}, err
+	}
+	proba := c.PredictProba(Xte)
+	pred := hardLabels(proba)
+	return EvalResult{
+		Model:    c.Name(),
+		Accuracy: Accuracy(pred, yte),
+		AUC:      AUC(proba, yte),
+		F1:       F1(pred, yte),
+	}, nil
+}

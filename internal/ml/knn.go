@@ -1,0 +1,131 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// KNN is a brute-force K-nearest-neighbours classifier over standardised
+// features. Distances are Euclidean; the predicted probability is the
+// positive fraction among the k nearest training rows. To keep prediction
+// cost bounded on large tables the reference set is capped at MaxTrain
+// rows (an evenly-strided subsample), the standard condensation shortcut
+// for brute-force KNN.
+type KNN struct {
+	k int
+	// MaxTrain caps the stored reference rows; <= 0 means unlimited.
+	MaxTrain int
+
+	train [][]float64
+	y     []int
+	means []float64
+	stds  []float64
+}
+
+// NewKNN builds a KNN classifier with the given neighbourhood size and the
+// default 2000-row reference cap.
+func NewKNN(k int) *KNN {
+	if k < 1 {
+		k = 1
+	}
+	return &KNN{k: k, MaxTrain: 2000}
+}
+
+// Name implements Classifier.
+func (m *KNN) Name() string { return "knn" }
+
+// Fit implements Classifier.
+func (m *KNN) Fit(X [][]float64, y []int) error {
+	if _, err := checkXY(X, y); err != nil {
+		return err
+	}
+	imputed, means := meanImpute(X)
+	m.means = means
+	m.stds = columnStds(imputed, means)
+	train := standardize(imputed, means, m.stds)
+	labels := append([]int(nil), y...)
+	if m.MaxTrain > 0 && len(train) > m.MaxTrain {
+		stride := float64(len(train)) / float64(m.MaxTrain)
+		sub := make([][]float64, 0, m.MaxTrain)
+		subY := make([]int, 0, m.MaxTrain)
+		for i := 0; i < m.MaxTrain; i++ {
+			j := int(float64(i) * stride)
+			sub = append(sub, train[j])
+			subY = append(subY, labels[j])
+		}
+		train, labels = sub, subY
+	}
+	m.train = train
+	m.y = labels
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (m *KNN) PredictProba(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	if m.train == nil {
+		return out
+	}
+	q := standardize(applyImpute(X, m.means), m.means, m.stds)
+	k := m.k
+	if k > len(m.train) {
+		k = len(m.train)
+	}
+	type dn struct {
+		d float64
+		y int
+	}
+	for i, row := range q {
+		ds := make([]dn, len(m.train))
+		for t, tr := range m.train {
+			s := 0.0
+			for j := range tr {
+				diff := tr[j] - row[j]
+				s += diff * diff
+			}
+			ds[t] = dn{d: s, y: m.y[t]}
+		}
+		sort.Slice(ds, func(a, b int) bool { return ds[a].d < ds[b].d })
+		pos := 0
+		for _, n := range ds[:k] {
+			pos += n.y
+		}
+		out[i] = float64(pos) / float64(k)
+	}
+	return out
+}
+
+// Predict implements Classifier.
+func (m *KNN) Predict(X [][]float64) []int { return hardLabels(m.PredictProba(X)) }
+
+// columnStds returns per-feature standard deviations given the means;
+// zero-variance features get std 1 so standardisation is a no-op there.
+func columnStds(X [][]float64, means []float64) []float64 {
+	d := len(means)
+	stds := make([]float64, d)
+	for _, r := range X {
+		for j, v := range r {
+			diff := v - means[j]
+			stds[j] += diff * diff
+		}
+	}
+	for j := range stds {
+		stds[j] = math.Sqrt(stds[j] / float64(len(X)))
+		if stds[j] == 0 {
+			stds[j] = 1
+		}
+	}
+	return stds
+}
+
+func standardize(X [][]float64, means, stds []float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, r := range X {
+		row := make([]float64, len(r))
+		for j, v := range r {
+			row[j] = (v - means[j]) / stds[j]
+		}
+		out[i] = row
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package ml
+
+import "sort"
+
+// Accuracy returns the fraction of matching predictions.
+func Accuracy(pred, truth []int) float64 {
+	if len(pred) != len(truth) {
+		panic("ml: Accuracy length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	ok := 0
+	for i := range pred {
+		if pred[i] == truth[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(pred))
+}
+
+// AUC returns the area under the ROC curve via the rank statistic
+// (Mann–Whitney U), with tie correction. Returns 0.5 when a class is
+// absent, the uninformative default.
+func AUC(proba []float64, truth []int) float64 {
+	if len(proba) != len(truth) {
+		panic("ml: AUC length mismatch")
+	}
+	type pt struct {
+		p float64
+		y int
+	}
+	pts := make([]pt, len(proba))
+	nPos, nNeg := 0, 0
+	for i := range proba {
+		pts[i] = pt{proba[i], truth[i]}
+		if truth[i] == 1 {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].p < pts[j].p })
+	// Average ranks with tie handling, then the Mann–Whitney statistic.
+	rankSumPos := 0.0
+	for i := 0; i < len(pts); {
+		j := i
+		for j < len(pts) && pts[j].p == pts[i].p {
+			j++
+		}
+		avgRank := (float64(i+1) + float64(j)) / 2
+		for k := i; k < j; k++ {
+			if pts[k].y == 1 {
+				rankSumPos += avgRank
+			}
+		}
+		i = j
+	}
+	u := rankSumPos - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg))
+}
+
+// F1 returns the F1 score for the positive class; 0 when precision and
+// recall are both zero.
+func F1(pred, truth []int) float64 {
+	if len(pred) != len(truth) {
+		panic("ml: F1 length mismatch")
+	}
+	tp, fp, fn := 0, 0, 0
+	for i := range pred {
+		switch {
+		case pred[i] == 1 && truth[i] == 1:
+			tp++
+		case pred[i] == 1 && truth[i] == 0:
+			fp++
+		case pred[i] == 0 && truth[i] == 1:
+			fn++
+		}
+	}
+	if tp == 0 {
+		return 0
+	}
+	precision := float64(tp) / float64(tp+fp)
+	recall := float64(tp) / float64(tp+fn)
+	return 2 * precision * recall / (precision + recall)
+}

@@ -1,0 +1,167 @@
+// Package ml is the machine-learning substrate of the reproduction. The
+// paper evaluates augmented tables with AutoGluon-hosted models: four tree
+// ensembles (LightGBM, XGBoost, Random Forest, Extremely Randomised Trees)
+// plus KNN and L1-regularised linear classification. This package
+// implements from-scratch, stdlib-only equivalents:
+//
+//   - CART decision trees over histogram-binned features,
+//   - bagged forests (bootstrap + feature subsampling) and extra-trees
+//     (random thresholds),
+//   - gradient-boosted trees with logistic loss in two flavours:
+//     leaf-wise growth ("lightgbm") and depth-wise growth with L2
+//     regularisation ("xgboost"),
+//   - K-nearest neighbours and L1 logistic regression.
+//
+// All models handle binary classification (the paper's task setting),
+// expect row-major float64 feature matrices, tolerate NaN cells (treated
+// as a dedicated "missing" bin by trees, imputed to the feature mean by
+// KNN/linear), and are deterministic for a fixed seed.
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Classifier is a binary classifier over dense feature matrices.
+type Classifier interface {
+	// Name identifies the model in reports.
+	Name() string
+	// Fit trains on row-major X with labels y in {0,1}.
+	Fit(X [][]float64, y []int) error
+	// PredictProba returns P(class=1) per row.
+	PredictProba(X [][]float64) []float64
+	// Predict returns hard labels (proba >= 0.5).
+	Predict(X [][]float64) []int
+}
+
+// Factory constructs a fresh classifier; harnesses use factories so each
+// evaluation trains an untouched model.
+type Factory struct {
+	Name string
+	New  func(seed int64) Classifier
+}
+
+// TreeFactories returns the four tree-ensemble models of Section VII-A in
+// paper order: LightGBM, Extremely Randomised Trees, Random Forest,
+// XGBoost.
+func TreeFactories() []Factory {
+	return []Factory{
+		{Name: "lightgbm", New: func(seed int64) Classifier { return NewLightGBM(seed) }},
+		{Name: "extratrees", New: func(seed int64) Classifier { return NewExtraTrees(seed) }},
+		{Name: "randomforest", New: func(seed int64) Classifier { return NewRandomForest(seed) }},
+		{Name: "xgboost", New: func(seed int64) Classifier { return NewXGBoost(seed) }},
+	}
+}
+
+// NonTreeFactories returns the Figure 5/7 models: KNN and L1-regularised
+// linear classification.
+func NonTreeFactories() []Factory {
+	return []Factory{
+		{Name: "knn", New: func(seed int64) Classifier { return NewKNN(5) }},
+		{Name: "lr_l1", New: func(seed int64) Classifier { return NewLogRegL1(seed) }},
+	}
+}
+
+// FactoryByName resolves any model by its report name, or returns ok=false.
+func FactoryByName(name string) (Factory, bool) {
+	for _, f := range append(TreeFactories(), NonTreeFactories()...) {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Factory{}, false
+}
+
+var (
+	errNoData     = errors.New("ml: empty training set")
+	errNotTrained = errors.New("ml: model not trained")
+)
+
+// checkXY validates training input shape and the binary label range.
+func checkXY(X [][]float64, y []int) (nFeatures int, err error) {
+	if len(X) == 0 || len(y) == 0 {
+		return 0, errNoData
+	}
+	if len(X) != len(y) {
+		return 0, fmt.Errorf("ml: %d rows but %d labels", len(X), len(y))
+	}
+	d := len(X[0])
+	for i, r := range X {
+		if len(r) != d {
+			return 0, fmt.Errorf("ml: ragged row %d (%d features, want %d)", i, len(r), d)
+		}
+	}
+	for i, v := range y {
+		if v != 0 && v != 1 {
+			return 0, fmt.Errorf("ml: label %d at row %d is not binary", v, i)
+		}
+	}
+	return d, nil
+}
+
+// hardLabels thresholds probabilities at 0.5.
+func hardLabels(proba []float64) []int {
+	out := make([]int, len(proba))
+	for i, p := range proba {
+		if p >= 0.5 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// sigmoid is the logistic link, clamped to avoid overflow.
+func sigmoid(z float64) float64 {
+	if z > 35 {
+		return 1
+	}
+	if z < -35 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// meanImpute replaces NaN cells with the per-feature mean computed on the
+// training matrix; means default to 0 for all-NaN features. Returns the
+// imputed copy and the means for reuse at prediction time.
+func meanImpute(X [][]float64) ([][]float64, []float64) {
+	if len(X) == 0 {
+		return nil, nil
+	}
+	d := len(X[0])
+	means := make([]float64, d)
+	counts := make([]int, d)
+	for _, r := range X {
+		for j, v := range r {
+			if !math.IsNaN(v) {
+				means[j] += v
+				counts[j]++
+			}
+		}
+	}
+	for j := range means {
+		if counts[j] > 0 {
+			means[j] /= float64(counts[j])
+		}
+	}
+	out := applyImpute(X, means)
+	return out, means
+}
+
+func applyImpute(X [][]float64, means []float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, r := range X {
+		row := make([]float64, len(r))
+		for j, v := range r {
+			if math.IsNaN(v) {
+				row[j] = means[j]
+			} else {
+				row[j] = v
+			}
+		}
+		out[i] = row
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package relational
+
+import (
+	"fmt"
+
+	"autofeat/internal/frame"
+)
+
+// InnerJoin joins left with right keeping only matching rows. AutoFeat
+// itself never uses inner joins — Section IV-B argues they remove rows and
+// skew the class distribution — but the implementation exists so the
+// join-type ablation can demonstrate exactly that effect, and so the
+// relational engine is complete for downstream users.
+//
+// Cardinality is normalised the same way as LeftJoin (one representative
+// right row per key), so the damage shown by the ablation is purely the
+// row-removal effect the paper warns about.
+func InnerJoin(left, right *frame.Frame, leftKey, rightKey string, opt Options) (*Result, error) {
+	lc := left.Column(leftKey)
+	if lc == nil {
+		return nil, fmt.Errorf("relational: left table %q has no column %q", left.Name(), leftKey)
+	}
+	rc := right.Column(rightKey)
+	if rc == nil {
+		return nil, fmt.Errorf("relational: right table %q has no column %q", right.Name(), rightKey)
+	}
+	rowFor := buildKeyIndex(rc, opt)
+
+	var leftIdx, rightIdx []int
+	for i, n := 0, lc.Len(); i < n; i++ {
+		k, ok := lc.Key(i)
+		if !ok {
+			continue
+		}
+		r, ok := rowFor[k]
+		if !ok {
+			continue
+		}
+		leftIdx = append(leftIdx, i)
+		rightIdx = append(rightIdx, r)
+	}
+
+	out := left.Take(leftIdx)
+	rightRows := right.Prefixed(right.Name()).Take(rightIdx)
+	joined, err := out.ConcatCols(rightRows)
+	if err != nil {
+		return nil, err
+	}
+	added := joined.ColumnNames()[left.NumCols():]
+	return &Result{
+		Frame:        joined.WithName(left.Name()),
+		AddedColumns: added,
+		MatchedRows:  len(leftIdx),
+	}, nil
+}

@@ -1,0 +1,85 @@
+package relational
+
+import (
+	"math"
+	"testing"
+
+	"autofeat/internal/frame"
+)
+
+func TestInnerJoinDropsUnmatched(t *testing.T) {
+	res, err := InnerJoin(applicants(t), credit(t), "applicants.id", "person", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frame.NumRows() != 2 {
+		t.Fatalf("inner join keeps only matches: %d rows", res.Frame.NumRows())
+	}
+	if res.MatchedRows != 2 {
+		t.Fatalf("MatchedRows = %d", res.MatchedRows)
+	}
+	sc := res.Frame.Column("credit.score")
+	if sc.NullCount() != 0 {
+		t.Fatal("inner join result has no nulls in added columns")
+	}
+	if res.Quality() != 1 {
+		t.Fatal("inner join quality is trivially 1")
+	}
+}
+
+func TestInnerJoinSkewsLabels(t *testing.T) {
+	// This is the Section IV-B argument made concrete: the base is
+	// balanced, but only positive rows have a join partner, so the inner
+	// join destroys the class balance where the left join preserves it.
+	base := frame.New("b")
+	if err := base.AddColumn(frame.NewIntColumn("b.k", []int64{1, 2, 3, 4}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.AddColumn(frame.NewIntColumn("b.y", []int64{0, 1, 0, 1}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	right := frame.New("r")
+	if err := right.AddColumn(frame.NewIntColumn("k", []int64{2, 4}, nil)); err != nil { // positives only
+		t.Fatal(err)
+	}
+	if err := right.AddColumn(frame.NewFloatColumn("v", []float64{1, 2}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	inner, err := InnerJoin(base, right, "b.k", "k", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	innerDist, _ := inner.Frame.ClassDistribution("b.y")
+	if innerDist[0] != 0 || innerDist[1] != 2 {
+		t.Fatalf("inner join should have kept only positives: %v", innerDist)
+	}
+	left, err := LeftJoin(base, right, "b.k", "k", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leftDist, _ := left.Frame.ClassDistribution("b.y")
+	if leftDist[0] != 2 || leftDist[1] != 2 {
+		t.Fatalf("left join must preserve balance: %v", leftDist)
+	}
+}
+
+func TestInnerJoinErrorsAndNullKeys(t *testing.T) {
+	if _, err := InnerJoin(applicants(t), credit(t), "ghost", "person", Options{}); err == nil {
+		t.Fatal("missing left key must fail")
+	}
+	if _, err := InnerJoin(applicants(t), credit(t), "applicants.id", "ghost", Options{}); err == nil {
+		t.Fatal("missing right key must fail")
+	}
+	base := newFrame(t, "b", frame.NewIntColumn("b.k", []int64{1, 2}, []bool{true, false}))
+	right := newFrame(t, "r",
+		frame.NewIntColumn("k", []int64{1, 2}, nil),
+		frame.NewFloatColumn("v", []float64{math.Pi, 2}, nil),
+	)
+	res, err := InnerJoin(base, right, "b.k", "k", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frame.NumRows() != 1 {
+		t.Fatal("null keys never match in inner joins either")
+	}
+}

@@ -1,0 +1,156 @@
+// Package relational implements the join engine of the AutoFeat
+// reproduction: left joins with join-cardinality normalisation (Section
+// IV-B of the paper), multi-hop join-path materialisation and the
+// data-quality measurements that drive path pruning (Section IV-C).
+//
+// AutoFeat only ever performs LEFT joins so that the base table's row count
+// and label distribution are preserved exactly. One-to-many and
+// many-to-many joins are first reduced to one-to-one by grouping the right
+// side on the join column and keeping a single representative row per key
+// (randomly chosen when an *rand.Rand is supplied, deterministically the
+// first row otherwise).
+package relational
+
+import (
+	"fmt"
+	"math/rand"
+
+	"autofeat/internal/frame"
+)
+
+// Options controls join behaviour.
+type Options struct {
+	// Normalize reduces the right side to one row per join key before the
+	// join, preventing row duplication (the paper's cardinality handling).
+	// When false, a key with multiple right rows keeps the first.
+	Normalize bool
+	// Rng picks the representative row per key during normalisation. Nil
+	// means the first occurrence is kept, which is fully deterministic.
+	Rng *rand.Rand
+}
+
+// Result is the outcome of a left join.
+type Result struct {
+	// Frame is the joined table: all left columns followed by the right
+	// columns renamed to "rightTable.column".
+	Frame *frame.Frame
+	// AddedColumns are the names of the columns contributed by the right
+	// side, in order — the candidate features of this join.
+	AddedColumns []string
+	// MatchedRows is the number of left rows that found a join partner.
+	MatchedRows int
+}
+
+// MatchRatio returns the fraction of left rows that matched.
+func (r *Result) MatchRatio() float64 {
+	n := r.Frame.NumRows()
+	if n == 0 {
+		return 0
+	}
+	return float64(r.MatchedRows) / float64(n)
+}
+
+// Quality returns the completeness (non-null ratio) over the columns added
+// by this join — the paper's data-quality measure. A join whose Quality
+// falls below the threshold τ is pruned.
+func (r *Result) Quality() float64 {
+	cells, nulls := 0, 0
+	for _, name := range r.AddedColumns {
+		c := r.Frame.Column(name)
+		cells += c.Len()
+		nulls += c.NullCount()
+	}
+	if cells == 0 {
+		return 1
+	}
+	return 1 - float64(nulls)/float64(cells)
+}
+
+// LeftJoin joins left with right on left[leftKey] = right[rightKey],
+// preserving every left row exactly once. Unmatched left rows receive nulls
+// in the right-hand columns. Right columns are prefixed with the right
+// table's name; name collisions get a numeric suffix.
+func LeftJoin(left, right *frame.Frame, leftKey, rightKey string, opt Options) (*Result, error) {
+	lc := left.Column(leftKey)
+	if lc == nil {
+		return nil, fmt.Errorf("relational: left table %q has no column %q", left.Name(), leftKey)
+	}
+	rc := right.Column(rightKey)
+	if rc == nil {
+		return nil, fmt.Errorf("relational: right table %q has no column %q", right.Name(), rightKey)
+	}
+
+	// Build key -> right-row index, normalising cardinality.
+	rowFor := buildKeyIndex(rc, opt)
+
+	// Map each left row to a right row (-1 = no match -> nulls).
+	idx := make([]int, left.NumRows())
+	matched := 0
+	for i := range idx {
+		idx[i] = -1
+		if k, ok := lc.Key(i); ok {
+			if r, ok := rowFor[k]; ok {
+				idx[i] = r
+				matched++
+			}
+		}
+	}
+
+	rightRows := right.Prefixed(right.Name()).Take(idx)
+	out, err := left.ConcatCols(rightRows)
+	if err != nil {
+		return nil, err
+	}
+	added := out.ColumnNames()[left.NumCols():]
+	return &Result{Frame: out.WithName(left.Name()), AddedColumns: added, MatchedRows: matched}, nil
+}
+
+// buildKeyIndex returns the representative right-row index per join key.
+func buildKeyIndex(rc *frame.Column, opt Options) map[string]int {
+	if !opt.Normalize || opt.Rng == nil {
+		// First occurrence wins.
+		rowFor := make(map[string]int, rc.Len())
+		for i, n := 0, rc.Len(); i < n; i++ {
+			if k, ok := rc.Key(i); ok {
+				if _, seen := rowFor[k]; !seen {
+					rowFor[k] = i
+				}
+			}
+		}
+		return rowFor
+	}
+	// Reservoir-sample one row per key so group-by + random pick is a
+	// single pass (the paper's "group by the join column and randomly
+	// select a row").
+	rowFor := make(map[string]int, rc.Len())
+	count := make(map[string]int, rc.Len())
+	for i, n := 0, rc.Len(); i < n; i++ {
+		k, ok := rc.Key(i)
+		if !ok {
+			continue
+		}
+		count[k]++
+		if opt.Rng.Intn(count[k]) == 0 {
+			rowFor[k] = i
+		}
+	}
+	return rowFor
+}
+
+// KeyOverlap returns |keys(a) ∩ keys(b)| / |keys(a)|: the fraction of the
+// left column's distinct values that appear in the right column. Used both
+// by tests and by the discovery matcher as a joinability signal.
+func KeyOverlap(a, b *frame.Column) float64 {
+	as := a.ValueSet()
+	if len(as) == 0 {
+		return 0
+	}
+	bs := b.ValueSet()
+	inter := 0
+	for k := range as {
+		if _, ok := bs[k]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(as))
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ReliefScores implements the classic Relief feature-weighting algorithm
+// (Kira & Rendell; see Urbanowicz et al. for a review). For m sampled
+// instances it finds the nearest hit (same class) and nearest miss
+// (different class) under L1 distance over min-max-normalised features and
+// accumulates W[f] += diff(f, x, miss) - diff(f, x, hit). Higher scores mean
+// the feature separates classes better; irrelevant features score near or
+// below zero.
+//
+// rows is row-major; NaN cells contribute a neutral diff of 0.5 (the
+// expected difference of two uniform values), the standard Relief treatment
+// of missing data. The function returns one weight per feature, normalised
+// by m so weights live in [-1, 1].
+func ReliefScores(rows [][]float64, y []int, m int, rng *rand.Rand) []float64 {
+	n := len(rows)
+	if n == 0 {
+		return nil
+	}
+	d := len(rows[0])
+	w := make([]float64, d)
+	if n < 2 || m <= 0 {
+		return w
+	}
+	// Normalise a copy so diff is in [0,1] per feature.
+	norm := make([][]float64, n)
+	flat := make([]float64, n*d)
+	for i, r := range rows {
+		norm[i] = flat[i*d : (i+1)*d]
+		copy(norm[i], r)
+	}
+	for j := 0; j < d; j++ {
+		col := make([]float64, n)
+		for i := 0; i < n; i++ {
+			col[i] = norm[i][j]
+		}
+		MinMaxNormalize(col)
+		for i := 0; i < n; i++ {
+			norm[i][j] = col[i]
+		}
+	}
+	diff := func(a, b []float64, j int) float64 {
+		av, bv := a[j], b[j]
+		if math.IsNaN(av) || math.IsNaN(bv) {
+			return 0.5
+		}
+		return math.Abs(av - bv)
+	}
+	dist := func(a, b []float64) float64 {
+		s := 0.0
+		for j := 0; j < d; j++ {
+			s += diff(a, b, j)
+		}
+		return s
+	}
+	for it := 0; it < m; it++ {
+		i := rng.Intn(n)
+		var hit, miss = -1, -1
+		hitD, missD := math.Inf(1), math.Inf(1)
+		for k := 0; k < n; k++ {
+			if k == i {
+				continue
+			}
+			dk := dist(norm[i], norm[k])
+			if y[k] == y[i] {
+				if dk < hitD {
+					hitD, hit = dk, k
+				}
+			} else if dk < missD {
+				missD, miss = dk, k
+			}
+		}
+		if hit < 0 || miss < 0 {
+			continue // single-class data or singleton class
+		}
+		for j := 0; j < d; j++ {
+			w[j] += (diff(norm[i], norm[miss], j) - diff(norm[i], norm[hit], j)) / float64(m)
+		}
+	}
+	return w
+}
