@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build vet test race bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the micro benchmarks only (the figure benchmarks regenerate
+# the whole evaluation and are slow); use `go test -bench .` for all.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkMicro' -benchmem .
+
+# check is the tier-1 verification gate (see ROADMAP.md).
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...

@@ -30,6 +30,7 @@ import (
 	"autofeat/internal/fselect"
 	"autofeat/internal/graph"
 	"autofeat/internal/ml"
+	"autofeat/internal/telemetry"
 )
 
 // Table is a named, typed, columnar table — the unit of the data lake.
@@ -158,6 +159,44 @@ type TuneResult = core.TuneResult
 // τ ∈ {0.5, 0.65, 0.8}, κ ∈ {10, 15, 20}.
 func AutoTune(g *Graph, base, label string, cfg Config, factory ModelFactory, taus []float64, kappas []int) (*TuneOutcome, error) {
 	return core.AutoTune(g, base, label, cfg, factory, taus, kappas)
+}
+
+// Telemetry is the observability collector of the online pipeline:
+// attach one to Config.Telemetry and every phase of a run (BFS levels,
+// join materialisation, relevance/redundancy analysis, ranking, model
+// training) records spans and metrics into it. Nil disables collection.
+type Telemetry = telemetry.Collector
+
+// TelemetrySnapshot is a point-in-time capture of a Telemetry collector:
+// counters, gauges, histograms and the span list.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// TelemetrySink consumes a snapshot: telemetry.NopSink, telemetry.JSONSink
+// or telemetry.ReportSink.
+type TelemetrySink = telemetry.Sink
+
+// PruneStats is the by-reason pruning breakdown of a Ranking
+// (similarity, join_failed, quality_below_tau, beam_evicted,
+// max_paths_cap).
+type PruneStats = core.PruneStats
+
+// NewTelemetry returns a live collector for Config.Telemetry.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// WriteTraceFile writes a snapshot's span trace as JSON ({"spans": [...]}).
+func WriteTraceFile(path string, s *TelemetrySnapshot) error {
+	return telemetry.WriteTraceFile(path, s)
+}
+
+// WriteMetricsFile writes a snapshot's counters, gauges, histograms,
+// pruning breakdown and per-phase durations as JSON.
+func WriteMetricsFile(path string, s *TelemetrySnapshot) error {
+	return telemetry.WriteMetricsFile(path, s)
+}
+
+// TelemetryReport renders a snapshot as a human-readable run report.
+func TelemetryReport(w io.Writer, s *TelemetrySnapshot) error {
+	return telemetry.ReportSink{W: w}.Flush(s)
 }
 
 // Relevance is a pluggable relevance metric for Config (ablation studies).

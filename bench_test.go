@@ -265,6 +265,35 @@ func BenchmarkMicroDiscovery(b *testing.B) {
 	}
 }
 
+// BenchmarkMicroDiscoveryTelemetry is the overhead guard for the
+// observability layer: compare against BenchmarkMicroDiscovery (same
+// workload with Config.Telemetry nil) to measure the cost of full span
+// and metric collection. The disabled path (nil collector) is exercised
+// by BenchmarkMicroDiscovery itself, since every call site goes through
+// the nil-safe Trace()/Meter() accessors either way.
+func BenchmarkMicroDiscoveryTelemetry(b *testing.B) {
+	d, err := datagen.Generate(datagen.SmallSpecs()[1])
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := BuildDRG(d.Tables, d.KFKs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.Telemetry = NewTelemetry()
+		disc, err := NewDiscovery(g, d.Base.Name(), d.Label, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := disc.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkMicroMatcher(b *testing.B) {
 	d, err := datagen.Generate(datagen.SmallSpecs()[1])
 	if err != nil {

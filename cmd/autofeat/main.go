@@ -9,12 +9,15 @@
 //	autofeat -dir lake/credit -base credit -label target
 //	autofeat -dir lake/credit -base credit -label target -model xgboost -tau 0.7 -kappa 10
 //	autofeat -dir lake/credit -base credit -label target -dot   # print the DRG and exit
+//	autofeat -dir lake/credit -base credit -label target -trace-out t.json -metrics-out m.json
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"strings"
@@ -25,21 +28,24 @@ import (
 
 func main() {
 	var (
-		dir       = flag.String("dir", "", "directory of CSV tables (required)")
-		base      = flag.String("base", "", "base table name (required)")
-		label     = flag.String("label", "target", "label column in the base table")
-		model     = flag.String("model", "lightgbm", "model: lightgbm|xgboost|randomforest|extratrees|knn|lr_l1")
-		tau       = flag.Float64("tau", 0.65, "data-quality pruning threshold")
-		kappa     = flag.Int("kappa", 15, "max features selected per table")
-		topK      = flag.Int("topk", 4, "ranked paths to train models on")
-		depth     = flag.Int("depth", 3, "max join path length")
-		threshold = flag.Float64("threshold", 0.55, "matcher threshold when no constraints file exists")
-		seed      = flag.Int64("seed", 1, "random seed")
-		dot       = flag.Bool("dot", false, "print the DRG in Graphviz DOT format and exit")
-		paths     = flag.Int("paths", 5, "ranked paths to print")
-		beam      = flag.Int("beam", 0, "beam width (0 = exhaustive BFS)")
-		sketched  = flag.Bool("sketched", false, "use MinHash-sketched discovery (large lakes)")
-		autotune  = flag.Bool("autotune", false, "grid-search tau and kappa before the final run")
+		dir        = flag.String("dir", "", "directory of CSV tables (required)")
+		base       = flag.String("base", "", "base table name (required)")
+		label      = flag.String("label", "target", "label column in the base table")
+		model      = flag.String("model", "lightgbm", "model: lightgbm|xgboost|randomforest|extratrees|knn|lr_l1")
+		tau        = flag.Float64("tau", 0.65, "data-quality pruning threshold")
+		kappa      = flag.Int("kappa", 15, "max features selected per table")
+		topK       = flag.Int("topk", 4, "ranked paths to train models on")
+		depth      = flag.Int("depth", 3, "max join path length")
+		threshold  = flag.Float64("threshold", 0.55, "matcher threshold when no constraints file exists")
+		seed       = flag.Int64("seed", 1, "random seed")
+		dot        = flag.Bool("dot", false, "print the DRG in Graphviz DOT format and exit")
+		paths      = flag.Int("paths", 5, "ranked paths to print")
+		beam       = flag.Int("beam", 0, "beam width (0 = exhaustive BFS)")
+		sketched   = flag.Bool("sketched", false, "use MinHash-sketched discovery (large lakes)")
+		autotune   = flag.Bool("autotune", false, "grid-search tau and kappa before the final run")
+		traceOut   = flag.String("trace-out", "", "write the span trace as JSON to this file")
+		metricsOut = flag.String("metrics-out", "", "write counters/histograms/pruning breakdown as JSON to this file")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if *dir == "" || *base == "" {
@@ -47,11 +53,20 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "autofeat: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 	opts := runOpts{
 		dir: *dir, base: *base, label: *label, model: *model,
 		tau: *tau, kappa: *kappa, topK: *topK, depth: *depth,
 		threshold: *threshold, seed: *seed, dot: *dot, paths: *paths,
 		beam: *beam, sketched: *sketched, autotune: *autotune,
+		traceOut: *traceOut, metricsOut: *metricsOut,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintf(os.Stderr, "autofeat: %v\n", err)
@@ -71,6 +86,7 @@ type runOpts struct {
 	beam                    int
 	sketched                bool
 	autotune                bool
+	traceOut, metricsOut    string
 }
 
 func run(o runOpts) error {
@@ -108,6 +124,10 @@ func run(o runOpts) error {
 		cfg.Kappa = out.Best.Kappa
 	}
 
+	if o.traceOut != "" || o.metricsOut != "" {
+		cfg.Telemetry = autofeat.NewTelemetry()
+	}
+
 	disc, err := autofeat.NewDiscovery(g, base, label, cfg)
 	if err != nil {
 		return err
@@ -117,8 +137,11 @@ func run(o runOpts) error {
 		return err
 	}
 
+	pr := res.Ranking.Prune
 	fmt.Printf("\nranked join paths (top %d of %d, explored %d, pruned %d):\n",
 		nPaths, len(res.Ranking.Paths), res.Ranking.PathsExplored, res.Ranking.PathsPruned)
+	fmt.Printf("pruning: similarity %d, join_failed %d, quality_below_tau %d, beam_evicted %d, max_paths_cap %d\n",
+		pr.Similarity, pr.JoinFailed, pr.QualityBelowTau, pr.BeamEvicted, pr.MaxPathsCap)
 	for i, p := range res.Ranking.TopK(nPaths) {
 		fmt.Printf("  %d. %s\n", i+1, p)
 	}
@@ -134,6 +157,22 @@ func run(o runOpts) error {
 	fmt.Printf("accuracy %.4f (AUC %.4f) with %d features\n",
 		res.Best.Eval.Accuracy, res.Best.Eval.AUC, len(res.Features))
 	fmt.Printf("feature-selection time %v, total time %v\n", res.SelectionTime, res.TotalTime)
+
+	if cfg.Telemetry != nil {
+		snap := cfg.Telemetry.Snapshot()
+		if o.traceOut != "" {
+			if err := autofeat.WriteTraceFile(o.traceOut, snap); err != nil {
+				return err
+			}
+			fmt.Printf("trace written to %s (%d spans)\n", o.traceOut, len(snap.Spans))
+		}
+		if o.metricsOut != "" {
+			if err := autofeat.WriteMetricsFile(o.metricsOut, snap); err != nil {
+				return err
+			}
+			fmt.Printf("metrics written to %s\n", o.metricsOut)
+		}
+	}
 	return nil
 }
 

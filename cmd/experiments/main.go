@@ -19,6 +19,7 @@ import (
 
 	"autofeat/internal/bench"
 	"autofeat/internal/datagen"
+	"autofeat/internal/telemetry"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func main() {
 		only    = flag.String("only", "all", "comma-separated experiment ids (table1,table2,figure1,figure3a,figure3b,figure4..figure9,ablations) or 'all'")
 		seed    = flag.Int64("seed", 7, "random seed")
 		verbose = flag.Bool("v", false, "print per-run progress")
+		telOut  = flag.String("telemetry-out", "", "write accumulated discovery telemetry as JSON to this file")
 	)
 	flag.Parse()
 
@@ -42,6 +44,9 @@ func main() {
 	}
 	runner := bench.NewRunner(specs, *seed)
 	runner.Verbose = *verbose
+	if *telOut != "" {
+		runner.Telemetry = telemetry.New()
+	}
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -103,4 +108,12 @@ func main() {
 		}
 		return nil
 	})
+
+	if *telOut != "" {
+		if err := runner.WriteTelemetry(*telOut); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry written to %s\n", *telOut)
+	}
 }

@@ -9,6 +9,7 @@ import (
 	"autofeat/internal/datagen"
 	"autofeat/internal/graph"
 	"autofeat/internal/ml"
+	"autofeat/internal/telemetry"
 )
 
 // Setting selects the schema configuration of Section VII-A.
@@ -61,6 +62,10 @@ type Runner struct {
 	Seed int64
 	// Verbose prints progress lines to stdout.
 	Verbose bool
+	// Telemetry, when non-nil, is attached to every AutoFeat discovery the
+	// runner executes, accumulating spans and per-phase metrics across the
+	// whole sweep. Write it out with WriteTelemetry.
+	Telemetry *telemetry.Collector
 
 	datasets map[string]*datagen.Dataset
 	drgs     map[string]*graph.Graph
@@ -89,6 +94,16 @@ func (r *Runner) logf(format string, args ...any) {
 	if r.Verbose {
 		fmt.Printf(format+"\n", args...)
 	}
+}
+
+// WriteTelemetry flushes the runner's accumulated telemetry (if any) to a
+// JSON file via the JSON sink: counters, gauges, histograms, the pruning
+// breakdown and per-phase timings of every discovery the sweep ran.
+func (r *Runner) WriteTelemetry(path string) error {
+	if r.Telemetry == nil {
+		return fmt.Errorf("bench: no telemetry collector attached")
+	}
+	return telemetry.WriteMetricsFile(path, r.Telemetry.Snapshot())
 }
 
 // Dataset generates (and caches) the named dataset.
@@ -147,6 +162,7 @@ func (r *Runner) autofeatRanking(name string, s Setting, cfg core.Config) (*rank
 	if err != nil {
 		return nil, err
 	}
+	cfg.Telemetry = r.Telemetry
 	disc, err := core.New(g, d.Base.Name(), d.Label, cfg)
 	if err != nil {
 		return nil, err

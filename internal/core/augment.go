@@ -8,6 +8,7 @@ import (
 	"autofeat/internal/frame"
 	"autofeat/internal/ml"
 	"autofeat/internal/relational"
+	"autofeat/internal/telemetry"
 )
 
 // PathEval records the ML evaluation of one ranked path.
@@ -70,13 +71,21 @@ func (d *Discovery) EvaluateRanking(ranking *Ranking, factory ml.Factory) (*Augm
 	candidates := []RankedPath{{Quality: 1}}
 	candidates = append(candidates, ranking.TopK(d.cfg.TopK)...)
 
+	tr := d.cfg.Telemetry.Trace()
 	bestAcc := -1.0
 	for _, p := range candidates {
+		matSpan := tr.Start(telemetry.SpanMaterialize)
 		table, features, err := d.MaterializePath(p, base)
+		matSpan.SetInt("hops", len(p.Edges))
+		matSpan.End()
 		if err != nil {
 			return nil, err
 		}
+		trainSpan := tr.Start(telemetry.SpanTrainEval)
+		trainSpan.SetStr("model", factory.Name)
+		trainSpan.SetInt("features", len(features))
 		eval, err := ml.EvaluateFrame(table, features, ranking.Label, factory.New(d.cfg.Seed), d.cfg.Seed)
+		trainSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -109,7 +118,11 @@ func (d *Discovery) MaterializePath(p RankedPath, base *frame.Frame) (*frame.Fra
 	if d.cfg.NormalizeJoins {
 		joinRng = rand.New(rand.NewSource(d.cfg.Seed))
 	}
-	table, _, err := rp.Materialize(base, relational.Options{Normalize: d.cfg.NormalizeJoins, Rng: joinRng})
+	table, _, err := rp.Materialize(base, relational.Options{
+		Normalize: d.cfg.NormalizeJoins,
+		Rng:       joinRng,
+		Telemetry: d.cfg.Telemetry,
+	})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"autofeat/internal/fselect"
+	"autofeat/internal/telemetry"
 )
 
 // Config holds AutoFeat's hyper-parameters. The zero value is not usable;
@@ -60,6 +61,11 @@ type Config struct {
 	// Seed drives every random choice (sampling, join normalisation,
 	// model training), making runs reproducible.
 	Seed int64
+	// Telemetry, when non-nil, receives spans and metrics from every
+	// phase of the run (BFS levels, joins, relevance/redundancy,
+	// ranking, materialisation, training). Nil — the default — disables
+	// collection at negligible cost.
+	Telemetry *telemetry.Collector
 }
 
 // DefaultConfig returns the paper's evaluation configuration:

@@ -9,6 +9,7 @@ import (
 	"autofeat/internal/fselect"
 	"autofeat/internal/graph"
 	"autofeat/internal/ml"
+	"autofeat/internal/telemetry"
 )
 
 // testLake builds a small lake where the predictive feature lives two hops
@@ -235,15 +236,18 @@ func TestSimilarityPruningKeepsTopEdge(t *testing.T) {
 	// Add a second, weaker parallel edge base->bridge.
 	mustEdge(t, g, graph.Edge{A: "base", B: "bridge", ColA: "noise", ColB: "pid", Weight: 0.3})
 	d, _ := New(g, "base", "y", DefaultConfig())
-	edges := d.candidateEdges("base", "bridge")
+	edges, pruned := d.candidateEdges("base", "bridge")
 	if len(edges) != 1 || edges[0].Weight != 1 {
 		t.Fatalf("similarity pruning must keep only the weight-1 edge: %v", edges)
+	}
+	if pruned != 1 {
+		t.Fatalf("one parallel edge must be counted as similarity-pruned, got %d", pruned)
 	}
 	cfg := DefaultConfig()
 	cfg.SimilarityPruning = false
 	d2, _ := New(g, "base", "y", cfg)
-	if got := d2.candidateEdges("base", "bridge"); len(got) != 2 {
-		t.Fatalf("without pruning both edges survive: %v", got)
+	if got, p := d2.candidateEdges("base", "bridge"); len(got) != 2 || p != 0 {
+		t.Fatalf("without pruning both edges survive: %v (pruned %d)", got, p)
 	}
 }
 
@@ -251,8 +255,8 @@ func TestSimilarityPruningTieKeepsBoth(t *testing.T) {
 	g := testLake(t, 200)
 	mustEdge(t, g, graph.Edge{A: "base", B: "bridge", ColA: "id", ColB: "ref", Weight: 1})
 	d, _ := New(g, "base", "y", DefaultConfig())
-	if got := d.candidateEdges("base", "bridge"); len(got) != 2 {
-		t.Fatalf("equal top scores are individual paths: %v", got)
+	if got, p := d.candidateEdges("base", "bridge"); len(got) != 2 || p != 0 {
+		t.Fatalf("equal top scores are individual paths: %v (pruned %d)", got, p)
 	}
 }
 
@@ -491,5 +495,211 @@ func TestBeamWidthLimitsFrontier(t *testing.T) {
 	// The golden 2-hop path must survive beaming (it scores highest).
 	if len(rBeam.Paths) == 0 || rBeam.Paths[0].Edges[len(rBeam.Paths[0].Edges)-1].B != "gold" {
 		t.Fatalf("beam lost the golden path: %v", rBeam.Paths)
+	}
+}
+
+func TestPruneStatsBreakdown(t *testing.T) {
+	g := testLake(t, 500)
+	d, _ := New(g, "base", "y", DefaultConfig())
+	r, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Prune.QualityBelowTau == 0 {
+		t.Fatalf("junk join must be counted under quality_below_tau: %+v", r.Prune)
+	}
+	if got, want := r.Prune.Discarded(), r.PathsExplored-len(r.Paths); got != want {
+		t.Fatalf("Discarded() = %d, want PathsExplored-len(Paths) = %d (%+v)", got, want, r.Prune)
+	}
+	if r.PathsPruned != r.Prune.Discarded() {
+		t.Fatalf("PathsPruned (%d) must stay the sum of discard reasons (%d)", r.PathsPruned, r.Prune.Discarded())
+	}
+	if r.Prune.Total() < r.Prune.Discarded() {
+		t.Fatalf("Total() must include every reason: %+v", r.Prune)
+	}
+}
+
+func TestSimilarityPruneCounted(t *testing.T) {
+	g := testLake(t, 200)
+	// A weaker parallel edge base->bridge is similarity-pruned, never
+	// explored, and must be counted as such.
+	mustEdge(t, g, graph.Edge{A: "base", B: "bridge", ColA: "noise", ColB: "pid", Weight: 0.3})
+	d, _ := New(g, "base", "y", DefaultConfig())
+	r, _ := d.Run()
+	if r.Prune.Similarity == 0 {
+		t.Fatalf("parallel edge must be counted as similarity-pruned: %+v", r.Prune)
+	}
+	// Similarity prunes are search-space truncation, not discarded paths.
+	if got, want := r.Prune.Discarded(), r.PathsExplored-len(r.Paths); got != want {
+		t.Fatalf("Discarded() = %d, want %d", got, want)
+	}
+}
+
+func TestBeamEvictionsCounted(t *testing.T) {
+	g := testLake(t, 300)
+	cfg := DefaultConfig()
+	cfg.BeamWidth = 1
+	d, _ := New(g, "base", "y", cfg)
+	r, _ := d.Run()
+	// Depth 1 expands bridge and (with tau low enough) more; with the
+	// default lake only bridge survives depth 1, so force eviction by
+	// lowering tau so junk survives too.
+	if r.Prune.BeamEvicted == 0 {
+		cfg.Tau = 0.05
+		d2, _ := New(g, "base", "y", cfg)
+		r2, _ := d2.Run()
+		if r2.Prune.BeamEvicted == 0 {
+			t.Fatalf("beam width 1 must evict surplus states: %+v", r2.Prune)
+		}
+		r = r2
+	}
+	// Evicted states keep their ranked paths: eviction must not change
+	// the Discarded invariant.
+	if got, want := r.Prune.Discarded(), r.PathsExplored-len(r.Paths); got != want {
+		t.Fatalf("Discarded() = %d, want %d (%+v)", got, want, r.Prune)
+	}
+}
+
+func TestMaxPathsClampAcrossNeighbors(t *testing.T) {
+	// Several neighbours off the base: the cap must stop evaluation
+	// consistently across all of them, not just exit one edge loop.
+	g := testLake(t, 300)
+	for i := 0; i < 3; i++ {
+		name := "side" + string(rune('a'+i))
+		tab := frame.New(name)
+		ids := make([]int64, 300)
+		vals := make([]float64, 300)
+		for j := range ids {
+			ids[j] = int64(j)
+			vals[j] = float64(j % 5)
+		}
+		addCol(t, tab, frame.NewIntColumn("k", ids, nil))
+		addCol(t, tab, frame.NewFloatColumn("v", vals, nil))
+		g.AddTable(tab)
+		mustEdge(t, g, graph.Edge{A: "base", B: name, ColA: "id", ColB: "k", Weight: 1, KFK: true})
+	}
+	for _, cap := range []int{1, 2, 3} {
+		cfg := DefaultConfig()
+		cfg.MaxPaths = cap
+		d, _ := New(g, "base", "y", cfg)
+		r, err := d.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.PathsExplored > cap {
+			t.Fatalf("MaxPaths=%d overshot: explored %d", cap, r.PathsExplored)
+		}
+		// base has 5 outgoing edges (bridge, junk, sidea..sidec); the cap
+		// leaves the rest unevaluated and counted.
+		if want := 5 - cap; r.Prune.MaxPathsCap != want {
+			t.Fatalf("MaxPaths=%d: MaxPathsCap = %d, want %d", cap, r.Prune.MaxPathsCap, want)
+		}
+		if got, want := r.Prune.Discarded(), r.PathsExplored-len(r.Paths); got != want {
+			t.Fatalf("MaxPaths=%d: Discarded() = %d, want %d", cap, got, want)
+		}
+	}
+}
+
+func TestTelemetryIntegration(t *testing.T) {
+	g := testLake(t, 400)
+	cfg := DefaultConfig()
+	tel := telemetry.New()
+	cfg.Telemetry = tel
+	d, _ := New(g, "base", "y", cfg)
+	r, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := tel.Snapshot()
+
+	// One evaluate_join span per evaluated join, nested under its BFS
+	// depth span; every left_join nested under an evaluate_join.
+	byID := map[int]telemetry.SpanRecord{}
+	for _, sp := range snap.Spans {
+		byID[sp.ID] = sp
+	}
+	joinSpans := 0
+	for _, sp := range snap.Spans {
+		switch sp.Name {
+		case telemetry.SpanJoinEval:
+			joinSpans++
+			if byID[sp.Parent].Name != telemetry.SpanDepth {
+				t.Fatalf("evaluate_join must nest under a depth span, got %q", byID[sp.Parent].Name)
+			}
+		case telemetry.SpanLeftJoin:
+			if byID[sp.Parent].Name != telemetry.SpanJoinEval {
+				t.Fatalf("left_join must nest under evaluate_join, got %q", byID[sp.Parent].Name)
+			}
+		}
+		if sp.DurUS < 0 {
+			t.Fatalf("span %s left open", sp.Name)
+		}
+	}
+	if joinSpans != r.PathsExplored {
+		t.Fatalf("want one evaluate_join span per explored path: %d spans, %d explored", joinSpans, r.PathsExplored)
+	}
+
+	// Counters mirror the ranking, and the pruning breakdown of
+	// discarded-path reasons sums to PathsExplored - len(Paths).
+	if got := snap.Counters[telemetry.CtrPathsExplored]; got != int64(r.PathsExplored) {
+		t.Fatalf("paths_explored counter = %d, want %d", got, r.PathsExplored)
+	}
+	if got := snap.Counters[telemetry.CtrPathsKept]; got != int64(len(r.Paths)) {
+		t.Fatalf("paths_kept counter = %d, want %d", got, len(r.Paths))
+	}
+	p := snap.Pruning()
+	discarded := p[telemetry.PruneJoinFailed] + p[telemetry.PruneQualityBelowTau]
+	if discarded != int64(r.PathsExplored-len(r.Paths)) {
+		t.Fatalf("pruning breakdown sum %d != explored-kept %d (%v)", discarded, r.PathsExplored-len(r.Paths), p)
+	}
+
+	// Per-phase duration histograms must have been fed.
+	for _, h := range []string{telemetry.HistJoinSeconds, telemetry.HistRelevanceSeconds, telemetry.HistRedundancySeconds} {
+		if snap.Histograms[h].Count == 0 {
+			t.Fatalf("histogram %s empty", h)
+		}
+	}
+	if snap.Gauges[telemetry.GaugeSelectionSeconds] <= 0 {
+		t.Fatal("selection_seconds gauge not set")
+	}
+
+	// Telemetry must not perturb the algorithm: a disabled run produces
+	// the identical ranking.
+	d2, _ := New(g, "base", "y", DefaultConfig())
+	r2, _ := d2.Run()
+	if len(r2.Paths) != len(r.Paths) || r2.PathsExplored != r.PathsExplored {
+		t.Fatalf("telemetry changed the run: %d/%d paths, %d/%d explored",
+			len(r.Paths), len(r2.Paths), r.PathsExplored, r2.PathsExplored)
+	}
+	for i := range r.Paths {
+		if r.Paths[i].Score != r2.Paths[i].Score {
+			t.Fatalf("path %d score differs with telemetry on", i)
+		}
+	}
+}
+
+func TestTelemetryAugmentSpans(t *testing.T) {
+	g := testLake(t, 300)
+	cfg := DefaultConfig()
+	tel := telemetry.New()
+	cfg.Telemetry = tel
+	d, _ := New(g, "base", "y", cfg)
+	factory, _ := ml.FactoryByName("lightgbm")
+	res, err := d.Augment(factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, sp := range tel.Snapshot().Spans {
+		counts[sp.Name]++
+	}
+	// Base-only candidate plus every evaluated top-k path gets one
+	// materialise + one train span.
+	if want := len(res.Evaluated); counts[telemetry.SpanMaterialize] != want || counts[telemetry.SpanTrainEval] != want {
+		t.Fatalf("want %d materialize/train spans, got %d/%d",
+			want, counts[telemetry.SpanMaterialize], counts[telemetry.SpanTrainEval])
+	}
+	if counts[telemetry.SpanRun] != 1 || counts[telemetry.SpanRank] != 1 {
+		t.Fatalf("want exactly one run and rank span: %v", counts)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"autofeat/internal/fselect"
 	"autofeat/internal/graph"
 	"autofeat/internal/relational"
+	"autofeat/internal/telemetry"
 )
 
 // Discovery is one configured AutoFeat run over a Dataset Relation Graph.
@@ -38,6 +39,42 @@ func New(g *graph.Graph, base, label string, cfg Config) (*Discovery, error) {
 	return &Discovery{cfg: cfg, g: g, baseName: base, label: base + "." + label}, nil
 }
 
+// PruneStats breaks the pruning work of one run down by reason.
+//
+// JoinFailed and QualityBelowTau discard joins that were evaluated, so
+// JoinFailed + QualityBelowTau == PathsExplored - len(Paths) always
+// holds. Similarity, BeamEvicted and MaxPathsCap truncate the search
+// space around the evaluated joins: similarity-pruned edges are never
+// evaluated, beam-evicted states keep their ranked path but are not
+// expanded further, and MaxPathsCap counts frontier edges skipped once
+// the MaxPaths cap fired.
+type PruneStats struct {
+	// Similarity counts parallel edges discarded by similarity-score
+	// pruning (Section IV-C, first strategy) before evaluation.
+	Similarity int `json:"similarity"`
+	// JoinFailed counts evaluated joins pruned because the join matched
+	// no rows, errored, or would have used the label as a join key.
+	JoinFailed int `json:"join_failed"`
+	// QualityBelowTau counts evaluated joins pruned by completeness < τ
+	// (Section IV-C, second strategy).
+	QualityBelowTau int `json:"quality_below_tau"`
+	// BeamEvicted counts frontier states dropped by beam search; their
+	// already-ranked paths survive but are never expanded further.
+	BeamEvicted int `json:"beam_evicted"`
+	// MaxPathsCap counts candidate edges left unevaluated at the active
+	// frontier when the MaxPaths cap stopped the traversal.
+	MaxPathsCap int `json:"max_paths_cap"`
+}
+
+// Discarded is the number of evaluated joins that were discarded —
+// exactly PathsExplored - len(Paths), the old PathsPruned semantics.
+func (p PruneStats) Discarded() int { return p.JoinFailed + p.QualityBelowTau }
+
+// Total sums every reason, including search-space truncation.
+func (p PruneStats) Total() int {
+	return p.Similarity + p.JoinFailed + p.QualityBelowTau + p.BeamEvicted + p.MaxPathsCap
+}
+
 // Ranking is the output of the discovery phase: join paths ordered by
 // descending Algorithm 2 score, plus everything needed to materialise and
 // evaluate them.
@@ -53,8 +90,12 @@ type Ranking struct {
 	Paths []RankedPath
 	// PathsExplored counts every join evaluated, including pruned ones.
 	PathsExplored int
-	// PathsPruned counts joins discarded by the two pruning strategies.
+	// PathsPruned counts joins discarded by the two pruning strategies —
+	// kept as Prune.Discarded() for backward compatibility; Prune holds
+	// the per-reason breakdown.
 	PathsPruned int
+	// Prune is the by-reason pruning breakdown of this run.
+	Prune PruneStats
 	// SelectionTime is the wall-clock feature-discovery time — the
 	// efficiency metric of Section VII ("feature selection time").
 	SelectionTime time.Duration
@@ -93,19 +134,30 @@ type state struct {
 // Algorithm 2 ranking of every surviving path.
 func (d *Discovery) Run() (*Ranking, error) {
 	start := time.Now()
+	tr := d.cfg.Telemetry.Trace()
+	mx := d.cfg.Telemetry.Meter()
+	runSpan := tr.Start(telemetry.SpanRun)
+	runSpan.SetStr("base", d.baseName)
+	runSpan.SetStr("label", d.label)
+	defer runSpan.End()
+
 	rng := rand.New(rand.NewSource(d.cfg.Seed))
 
 	base := d.g.Table(d.baseName).Prefixed(d.baseName)
 	// Sample the base table for selection only (Section VI): the sample
 	// bounds selection cost, never training data.
+	sampleSpan := tr.Start(telemetry.SpanSample)
 	sample := base
 	if d.cfg.SampleSize > 0 {
 		var err error
 		sample, err = base.StratifiedSample(d.label, d.cfg.SampleSize, rng)
 		if err != nil {
+			sampleSpan.End()
 			return nil, err
 		}
 	}
+	sampleSpan.SetInt("rows", sample.NumRows())
+	sampleSpan.End()
 	y, err := sample.Labels(d.label)
 	if err != nil {
 		return nil, err
@@ -127,6 +179,7 @@ func (d *Discovery) Run() (*Ranking, error) {
 		Relevance:  d.cfg.Relevance,
 		Redundancy: d.cfg.Redundancy,
 		K:          d.cfg.Kappa,
+		Telemetry:  d.cfg.Telemetry,
 	}
 
 	rank := &Ranking{Base: base, BaseFeatures: baseFeatures, Label: d.label}
@@ -138,26 +191,48 @@ func (d *Discovery) Run() (*Ranking, error) {
 		selCols: selected,
 	}}
 
-	for depth := 0; depth < d.cfg.MaxDepth && len(frontier) > 0; depth++ {
+	// capped flips once the MaxPaths cap fires; the rest of the active
+	// frontier is then only counted (MaxPathsCap), never evaluated, and
+	// the traversal does not descend another level.
+	capped := false
+	for depth := 0; depth < d.cfg.MaxDepth && len(frontier) > 0 && !capped; depth++ {
+		depthSpan := tr.Start(telemetry.SpanDepth)
+		depthSpan.SetInt("depth", depth+1)
+		depthSpan.SetInt("frontier", len(frontier))
 		var next []*state
 		for _, st := range frontier {
-			if d.cfg.MaxPaths > 0 && rank.PathsExplored >= d.cfg.MaxPaths {
-				break
-			}
 			for _, nb := range d.g.Neighbors(st.node) {
 				if st.visited[nb] {
 					continue
 				}
-				for _, e := range d.candidateEdges(st.node, nb) {
+				enumSpan := tr.Start(telemetry.SpanEnumerate)
+				edges, simPruned := d.candidateEdges(st.node, nb)
+				enumSpan.SetStr("from", st.node)
+				enumSpan.SetStr("to", nb)
+				enumSpan.SetInt("edges", len(edges))
+				enumSpan.End()
+				rank.Prune.Similarity += simPruned
+				mx.Add(telemetry.PrunedCounter(telemetry.PruneSimilarity), int64(simPruned))
+				for _, e := range edges {
 					if d.cfg.MaxPaths > 0 && rank.PathsExplored >= d.cfg.MaxPaths {
-						break
-					}
-					rank.PathsExplored++
-					child, ok := d.expand(st, e, y, pipeline, rng)
-					if !ok {
-						rank.PathsPruned++
+						capped = true
+						rank.Prune.MaxPathsCap++
+						mx.Inc(telemetry.PrunedCounter(telemetry.PruneMaxPathsCap))
 						continue
 					}
+					rank.PathsExplored++
+					joinSpan := tr.Start(telemetry.SpanJoinEval)
+					joinSpan.SetStr("edge", fmt.Sprintf("%s.%s -> %s.%s", e.A, e.ColA, e.B, e.ColB))
+					joinSpan.SetFloat("weight", e.Weight)
+					child, reason := d.expand(st, e, y, pipeline, rng, joinSpan)
+					if reason != "" {
+						joinSpan.SetStr("pruned", reason)
+						joinSpan.End()
+						d.countPrune(rank, reason)
+						mx.Inc(telemetry.PrunedCounter(reason))
+						continue
+					}
+					joinSpan.End()
 					rank.Paths = append(rank.Paths, RankedPath{
 						Edges:     child.edges,
 						Score:     computeScore(child.relScores, child.redScores),
@@ -172,16 +247,22 @@ func (d *Discovery) Run() (*Ranking, error) {
 		}
 		if d.cfg.BeamWidth > 0 && len(next) > d.cfg.BeamWidth {
 			// Beam search: keep the most promising states, judged by the
-			// same Algorithm 2 score the ranking uses.
+			// same Algorithm 2 score the ranking uses. Evicted states keep
+			// their ranked path but are never expanded further.
 			sort.SliceStable(next, func(i, j int) bool {
 				return computeScore(next[i].relScores, next[i].redScores) >
 					computeScore(next[j].relScores, next[j].redScores)
 			})
+			evicted := len(next) - d.cfg.BeamWidth
+			rank.Prune.BeamEvicted += evicted
+			mx.Add(telemetry.PrunedCounter(telemetry.PruneBeamEvicted), int64(evicted))
 			next = next[:d.cfg.BeamWidth]
 		}
+		depthSpan.End()
 		frontier = next
 	}
 
+	rankSpan := tr.Start(telemetry.SpanRank)
 	sort.SliceStable(rank.Paths, func(i, j int) bool {
 		if rank.Paths[i].Score != rank.Paths[j].Score {
 			return rank.Paths[i].Score > rank.Paths[j].Score
@@ -189,18 +270,36 @@ func (d *Discovery) Run() (*Ranking, error) {
 		// Prefer shorter paths on ties: fewer joins, same information.
 		return len(rank.Paths[i].Edges) < len(rank.Paths[j].Edges)
 	})
+	rankSpan.SetInt("paths", len(rank.Paths))
+	rankSpan.End()
+
+	rank.PathsPruned = rank.Prune.Discarded()
 	rank.SelectionTime = time.Since(start)
+	mx.Add(telemetry.CtrPathsExplored, int64(rank.PathsExplored))
+	mx.Add(telemetry.CtrPathsKept, int64(len(rank.Paths)))
+	mx.SetGauge(telemetry.GaugeSelectionSeconds, rank.SelectionTime.Seconds())
 	return rank, nil
+}
+
+// countPrune folds one evaluated-join prune reason into the stats.
+func (d *Discovery) countPrune(rank *Ranking, reason string) {
+	switch reason {
+	case telemetry.PruneJoinFailed:
+		rank.Prune.JoinFailed++
+	case telemetry.PruneQualityBelowTau:
+		rank.Prune.QualityBelowTau++
+	}
 }
 
 // candidateEdges applies the first pruning strategy (Section IV-C): with
 // similarity pruning on, only the top-scoring join column(s) between the
 // frontier and the neighbour survive; equal top scores each stay an
-// individual join path.
-func (d *Discovery) candidateEdges(from, to string) []graph.Edge {
+// individual join path. The second return value counts the parallel
+// edges the strategy discarded.
+func (d *Discovery) candidateEdges(from, to string) ([]graph.Edge, int) {
 	edges := d.g.EdgesBetween(from, to)
 	if !d.cfg.SimilarityPruning || len(edges) <= 1 {
-		return edges
+		return edges, 0
 	}
 	best := edges[0].Weight
 	for _, e := range edges[1:] {
@@ -214,18 +313,20 @@ func (d *Discovery) candidateEdges(from, to string) []graph.Edge {
 			out = append(out, e)
 		}
 	}
-	return out
+	return out, len(edges) - len(out)
 }
 
 // expand performs one join of Algorithm 1's inner loop: join, data-quality
 // pruning, relevance and redundancy analysis, and R_sel update. It returns
-// the child state, or ok=false when the path is pruned.
-func (d *Discovery) expand(st *state, e graph.Edge, y []int, pipeline *fselect.Pipeline, rng *rand.Rand) (*state, bool) {
+// the child state, or a non-empty pruning reason when the path is pruned.
+// Attributes of the evaluated join (matched rows, quality, features kept)
+// are recorded on sp.
+func (d *Discovery) expand(st *state, e graph.Edge, y []int, pipeline *fselect.Pipeline, rng *rand.Rand, sp telemetry.Span) (*state, string) {
 	leftKey := e.A + "." + e.ColA
 	if leftKey == d.label {
 		// The label column must never act as a join key: matching rows
 		// by label value would leak the target into the joined features.
-		return nil, false
+		return nil, telemetry.PruneJoinFailed
 	}
 	right := d.g.Table(e.B)
 	var joinRng *rand.Rand
@@ -235,15 +336,18 @@ func (d *Discovery) expand(st *state, e graph.Edge, y []int, pipeline *fselect.P
 	res, err := relational.LeftJoin(st.f, right, leftKey, e.ColB, relational.Options{
 		Normalize: d.cfg.NormalizeJoins,
 		Rng:       joinRng,
+		Telemetry: d.cfg.Telemetry,
 	})
 	if err != nil || res.MatchedRows == 0 {
 		// "If the join is not possible, prune."
-		return nil, false
+		return nil, telemetry.PruneJoinFailed
 	}
+	sp.SetInt("matched_rows", res.MatchedRows)
 	quality := res.Quality()
+	sp.SetFloat("quality", quality)
 	if quality < d.cfg.Tau {
 		// Second pruning strategy: data quality below τ.
-		return nil, false
+		return nil, telemetry.PruneQualityBelowTau
 	}
 
 	// Streaming feature selection over the columns this join added.
@@ -254,6 +358,7 @@ func (d *Discovery) expand(st *state, e graph.Edge, y []int, pipeline *fselect.P
 		names = append(names, name)
 	}
 	sel := pipeline.Run(candidates, st.selCols, y)
+	sp.SetInt("features_kept", len(sel.Kept))
 
 	child := &state{
 		node:    e.B,
@@ -275,7 +380,7 @@ func (d *Discovery) expand(st *state, e graph.Edge, y []int, pipeline *fselect.P
 	for _, k := range sel.Kept {
 		child.selCols = append(child.selCols, candidates[k])
 	}
-	return child, true
+	return child, ""
 }
 
 func appendEdge(edges []graph.Edge, e graph.Edge) []graph.Edge {

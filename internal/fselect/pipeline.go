@@ -1,5 +1,7 @@
 package fselect
 
+import "autofeat/internal/telemetry"
+
 // Pipeline is the streaming feature-selection pipeline of Section VI: each
 // batch of candidate features (the columns added by one join) first passes
 // relevance analysis — rank by the relevance metric and keep the top-κ with
@@ -16,6 +18,9 @@ type Pipeline struct {
 	// K caps how many candidates survive relevance analysis (the paper's
 	// κ, default 15 in the evaluation). K < 0 means unlimited.
 	K int
+	// Telemetry, when non-nil, records spans and duration histograms for
+	// the relevance and redundancy halves of every batch.
+	Telemetry *telemetry.Collector
 }
 
 // Result reports one pipeline run over a candidate batch.
@@ -40,6 +45,7 @@ func (p *Pipeline) Run(candidates, selected [][]float64, y []int) Result {
 	}
 
 	// Stage 1: relevance analysis, keep top-κ (Algorithm 1, line 16).
+	relSpan := p.Telemetry.Trace().Start(telemetry.SpanRelevance)
 	relIdx := make([]int, len(candidates))
 	relScores := make([]float64, len(candidates))
 	if p.Relevance != nil {
@@ -54,6 +60,9 @@ func (p *Pipeline) Run(candidates, selected [][]float64, y []int) Result {
 			relScores = relScores[:p.K]
 		}
 	}
+	relSpan.SetInt("candidates", len(candidates))
+	relSpan.SetInt("kept", len(relIdx))
+	p.Telemetry.Meter().Observe(telemetry.HistRelevanceSeconds, relSpan.End().Seconds())
 	if len(relIdx) == 0 {
 		return Result{}
 	}
@@ -62,11 +71,16 @@ func (p *Pipeline) Run(candidates, selected [][]float64, y []int) Result {
 	if p.Redundancy == nil {
 		return Result{Kept: relIdx, RelScores: relScores, RedScores: make([]float64, len(relIdx))}
 	}
+	redSpan := p.Telemetry.Trace().Start(telemetry.SpanRedundancy)
 	relCols := make([][]float64, len(relIdx))
 	for j, i := range relIdx {
 		relCols[j] = candidates[i]
 	}
 	accepted, redScores := p.Redundancy.Select(relCols, selected, y)
+	redSpan.SetInt("candidates", len(relIdx))
+	redSpan.SetInt("kept", len(accepted))
+	redSpan.SetInt("selected_set", len(selected))
+	p.Telemetry.Meter().Observe(telemetry.HistRedundancySeconds, redSpan.End().Seconds())
 	kept := make([]int, len(accepted))
 	keptRel := make([]float64, len(accepted))
 	for j, a := range accepted {

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 
 	"autofeat/internal/frame"
+	"autofeat/internal/telemetry"
 )
 
 // Options controls join behaviour.
@@ -27,6 +28,9 @@ type Options struct {
 	// Rng picks the representative row per key during normalisation. Nil
 	// means the first occurrence is kept, which is fully deterministic.
 	Rng *rand.Rand
+	// Telemetry, when non-nil, records a span and duration histogram per
+	// join. Nil disables collection.
+	Telemetry *telemetry.Collector
 }
 
 // Result is the outcome of a left join.
@@ -79,6 +83,11 @@ func LeftJoin(left, right *frame.Frame, leftKey, rightKey string, opt Options) (
 	if rc == nil {
 		return nil, fmt.Errorf("relational: right table %q has no column %q", right.Name(), rightKey)
 	}
+	sp := opt.Telemetry.Trace().Start(telemetry.SpanLeftJoin)
+	defer func() {
+		opt.Telemetry.Meter().Observe(telemetry.HistJoinSeconds, sp.End().Seconds())
+	}()
+	opt.Telemetry.Meter().Inc(telemetry.CtrJoins)
 
 	// Build key -> right-row index, normalising cardinality.
 	rowFor := buildKeyIndex(rc, opt)
@@ -101,6 +110,9 @@ func LeftJoin(left, right *frame.Frame, leftKey, rightKey string, opt Options) (
 	if err != nil {
 		return nil, err
 	}
+	sp.SetStr("on", leftKey+" = "+right.Name()+"."+rightKey)
+	sp.SetInt("left_rows", left.NumRows())
+	sp.SetInt("matched_rows", matched)
 	added := out.ColumnNames()[left.NumCols():]
 	return &Result{Frame: out.WithName(left.Name()), AddedColumns: added, MatchedRows: matched}, nil
 }

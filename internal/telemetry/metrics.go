@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// DefaultBuckets are the histogram upper bounds used by Observe, tuned
+// for phase durations in seconds: 10µs up to 10s, roughly 1-2.5-5 per
+// decade (Prometheus-style). Values above the last bound land in an
+// implicit +Inf bucket.
+var DefaultBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// Histogram counts observations into upper-inclusive buckets: bucket i
+// counts values v with v <= Bounds[i] (and above every earlier bound);
+// Counts[len(Bounds)] is the +Inf overflow bucket.
+type Histogram struct {
+	Bounds   []float64
+	Counts   []int64
+	Sum      float64
+	Count    int64
+	Min, Max float64
+}
+
+// NewHistogram returns a histogram over the given ascending upper
+// bounds (DefaultBuckets when nil).
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultBuckets
+	}
+	return &Histogram{
+		Bounds: bounds,
+		Counts: make([]int64, len(bounds)+1),
+		Min:    math.Inf(1),
+		Max:    math.Inf(-1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.Bounds, v)
+	h.Counts[i]++
+	h.Sum += v
+	h.Count++
+	if v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// HistogramSnapshot is the JSON-ready view of a histogram. Min/Max are
+// omitted when the histogram is empty.
+type HistogramSnapshot struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Mean   float64   `json:"mean"`
+	Min    float64   `json:"min,omitempty"`
+	Max    float64   `json:"max,omitempty"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:  h.Count,
+		Sum:    h.Sum,
+		Mean:   h.Mean(),
+		Bounds: append([]float64(nil), h.Bounds...),
+		Counts: append([]int64(nil), h.Counts...),
+	}
+	if h.Count > 0 {
+		s.Min, s.Max = h.Min, h.Max
+	}
+	return s
+}
+
+// Metrics is a named registry of counters, gauges and histograms.
+// A nil *Metrics is a valid disabled registry: every method no-ops.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: map[string]int64{},
+		gauges:   map[string]float64{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Inc adds 1 to the named counter.
+func (m *Metrics) Inc(name string) { m.Add(name, 1) }
+
+// Add adds delta to the named counter.
+func (m *Metrics) Add(name string, delta int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.counters[name] += delta
+	m.mu.Unlock()
+}
+
+// SetGauge sets the named gauge to v (last write wins).
+func (m *Metrics) SetGauge(name string, v float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.gauges[name] = v
+	m.mu.Unlock()
+}
+
+// Observe records v into the named histogram (DefaultBuckets bounds).
+func (m *Metrics) Observe(name string, v float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	h := m.hists[name]
+	if h == nil {
+		h = NewHistogram(nil)
+		m.hists[name] = h
+	}
+	h.Observe(v)
+	m.mu.Unlock()
+}
+
+// Counter reads the named counter (0 when absent or disabled).
+func (m *Metrics) Counter(name string) int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// Gauge reads the named gauge (0 when absent or disabled).
+func (m *Metrics) Gauge(name string) float64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gauges[name]
+}
+
+// HistogramCount reads the named histogram's observation count.
+func (m *Metrics) HistogramCount(name string) int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h := m.hists[name]; h != nil {
+		return h.Count
+	}
+	return 0
+}
+
+func (m *Metrics) snapshot() (map[string]int64, map[string]float64, map[string]HistogramSnapshot) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	counters := make(map[string]int64, len(m.counters))
+	for k, v := range m.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]float64, len(m.gauges))
+	for k, v := range m.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]HistogramSnapshot, len(m.hists))
+	for k, h := range m.hists {
+		hists[k] = h.snapshot()
+	}
+	return counters, gauges, hists
+}

@@ -1,0 +1,149 @@
+// Package telemetry is the observability layer of the AutoFeat
+// reproduction: a zero-dependency, allocation-light span tracer and
+// metrics registry threaded through the online pipeline (BFS traversal,
+// join materialisation, relevance/redundancy analysis, Algorithm 2
+// ranking).
+//
+// Design rules:
+//
+//   - Disabled by default. Every entry point is nil-receiver safe, so
+//     call sites write `tr.Start(...)` / `mx.Inc(...)` unconditionally
+//     and pay only a nil check when telemetry is off (<2% discovery
+//     overhead, guarded by BenchmarkMicroDiscoveryTelemetry).
+//   - One Collector bundles a Tracer and a Metrics registry; Config
+//     carries a *Collector so a single field enables everything.
+//   - Three sinks: NopSink (default behaviour — nothing collected),
+//     JSONSink (machine-readable snapshot) and ReportSink (human-readable
+//     run report).
+//
+// The span and metric names below are shared across packages so the
+// sinks, docs and tests agree on the vocabulary.
+package telemetry
+
+import "time"
+
+// Span names recorded by the online pipeline, one constant per phase of
+// Algorithm 1/2 (see DESIGN.md "Observability" for the line mapping).
+const (
+	// SpanRun covers one whole Discovery.Run (Algorithm 1 end to end).
+	SpanRun = "discovery.run"
+	// SpanSample covers the stratified base-table sample (Section VI).
+	SpanSample = "discovery.sample"
+	// SpanDepth covers one BFS level (Algorithm 1 outer loop).
+	SpanDepth = "discovery.depth"
+	// SpanEnumerate covers candidate-edge enumeration between one
+	// frontier table and one neighbour, including similarity pruning.
+	SpanEnumerate = "discovery.enumerate_edges"
+	// SpanJoinEval covers one evaluated join: materialisation, quality
+	// check and streaming feature selection (Algorithm 1 inner loop).
+	SpanJoinEval = "discovery.evaluate_join"
+	// SpanRank covers the final Algorithm 2 ordering of surviving paths.
+	SpanRank = "discovery.rank"
+	// SpanMaterialize covers full-size path materialisation during
+	// EvaluateRanking (after discovery, before training).
+	SpanMaterialize = "discovery.materialize"
+	// SpanTrainEval covers one model training + evaluation on a top-k path.
+	SpanTrainEval = "ml.train_eval"
+	// SpanLeftJoin covers one relational.LeftJoin call.
+	SpanLeftJoin = "relational.left_join"
+	// SpanRelevance covers the relevance half of fselect.Pipeline.Run.
+	SpanRelevance = "fselect.relevance"
+	// SpanRedundancy covers the redundancy half of fselect.Pipeline.Run.
+	SpanRedundancy = "fselect.redundancy"
+)
+
+// Metric names emitted by the online pipeline.
+const (
+	CtrPathsExplored = "discovery.paths_explored"
+	CtrPathsKept     = "discovery.paths_kept"
+	CtrJoins         = "relational.joins"
+	GaugeSelectionSeconds = "discovery.selection_seconds"
+	HistJoinSeconds       = "relational.left_join_seconds"
+	HistRelevanceSeconds  = "fselect.relevance_seconds"
+	HistRedundancySeconds = "fselect.redundancy_seconds"
+)
+
+// CtrPrunedPrefix prefixes the per-reason pruning counters
+// ("discovery.pruned.<reason>"); Snapshot.Pruning collects them into one
+// breakdown object.
+const CtrPrunedPrefix = "discovery.pruned."
+
+// Pruning reasons. JoinFailed and QualityBelowTau discard evaluated
+// joins (their counters sum to PathsExplored - len(Paths)); Similarity,
+// BeamEvicted and MaxPathsCap truncate the search space before or after
+// evaluation and are tracked separately.
+const (
+	PruneSimilarity      = "similarity"
+	PruneJoinFailed      = "join_failed"
+	PruneQualityBelowTau = "quality_below_tau"
+	PruneBeamEvicted     = "beam_evicted"
+	PruneMaxPathsCap     = "max_paths_cap"
+)
+
+// PrunedCounter returns the counter name for a pruning reason.
+func PrunedCounter(reason string) string { return CtrPrunedPrefix + reason }
+
+// Collector bundles a Tracer and a Metrics registry — the single handle
+// the pipeline threads through Config, fselect.Pipeline and
+// relational.Options. A nil *Collector disables collection everywhere.
+type Collector struct {
+	T *Tracer
+	M *Metrics
+}
+
+// New returns a Collector with a live tracer and metrics registry.
+func New() *Collector { return &Collector{T: NewTracer(), M: NewMetrics()} }
+
+// NewWithClock returns a Collector whose tracer reads time from now —
+// deterministic timestamps for golden tests.
+func NewWithClock(now func() time.Time) *Collector {
+	return &Collector{T: NewTracerWithClock(now), M: NewMetrics()}
+}
+
+// Trace returns the tracer, nil when the collector is nil (disabled).
+func (c *Collector) Trace() *Tracer {
+	if c == nil {
+		return nil
+	}
+	return c.T
+}
+
+// Meter returns the metrics registry, nil when the collector is nil.
+func (c *Collector) Meter() *Metrics {
+	if c == nil {
+		return nil
+	}
+	return c.M
+}
+
+// Snapshot captures the collector's current state. A nil collector
+// yields an empty (but valid) snapshot.
+func (c *Collector) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if c == nil {
+		return s
+	}
+	if c.T != nil {
+		s.Spans = c.T.Spans()
+	}
+	if c.M != nil {
+		s.Counters, s.Gauges, s.Histograms = c.M.snapshot()
+	}
+	return s
+}
+
+// Flush writes the collector's snapshot to every sink, returning the
+// first error.
+func (c *Collector) Flush(sinks ...Sink) error {
+	snap := c.Snapshot()
+	for _, s := range sinks {
+		if err := s.Flush(snap); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,354 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock advances a fixed step on every reading, making every
+// span timestamp (and therefore the JSON snapshot) deterministic.
+func fakeClock(step time.Duration) func() time.Time {
+	t := time.Unix(0, 0).UTC()
+	return func() time.Time {
+		t = t.Add(step)
+		return t
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracerWithClock(fakeClock(time.Millisecond))
+	root := tr.Start("root")
+	child := tr.Start("child")
+	grand := tr.Start("grand")
+	grand.End()
+	child.End()
+	sibling := tr.Start("sibling")
+	sibling.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("want 4 spans, got %d", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["root"].Parent != 0 {
+		t.Fatalf("root must have no parent: %+v", byName["root"])
+	}
+	if byName["child"].Parent != byName["root"].ID {
+		t.Fatalf("child must nest under root: %+v", byName["child"])
+	}
+	if byName["grand"].Parent != byName["child"].ID {
+		t.Fatalf("grand must nest under child: %+v", byName["grand"])
+	}
+	if byName["sibling"].Parent != byName["root"].ID {
+		t.Fatalf("sibling must nest under root after child ended: %+v", byName["sibling"])
+	}
+	for _, s := range spans {
+		if s.DurUS < 0 {
+			t.Fatalf("span %s left open", s.Name)
+		}
+	}
+}
+
+func TestSpanOutOfOrderEnd(t *testing.T) {
+	tr := NewTracerWithClock(fakeClock(time.Millisecond))
+	a := tr.Start("a")
+	b := tr.Start("b")
+	a.End() // out of order: a ends while b is still open
+	c := tr.Start("c")
+	c.End()
+	b.End()
+	byName := map[string]SpanRecord{}
+	for _, s := range tr.Spans() {
+		byName[s.Name] = s
+	}
+	// c started while b was the innermost open span.
+	if byName["c"].Parent != byName["b"].ID {
+		t.Fatalf("c must nest under b: %+v", byName["c"])
+	}
+	if d := byName["a"].Duration(); d <= 0 {
+		t.Fatalf("a must be closed: %v", d)
+	}
+}
+
+func TestSpanDoubleEndAndAttrs(t *testing.T) {
+	tr := NewTracerWithClock(fakeClock(time.Millisecond))
+	s := tr.Start("x")
+	s.SetStr("edge", "a.k -> b.k")
+	s.SetInt("matched", 42)
+	s.SetFloat("quality", 0.9)
+	first := s.End()
+	if first <= 0 {
+		t.Fatal("End must return the duration")
+	}
+	if again := s.End(); again != 0 {
+		t.Fatalf("second End must be a no-op, got %v", again)
+	}
+	rec := tr.Spans()[0]
+	if len(rec.Attrs) != 3 || rec.Attrs[0].Key != "edge" || rec.Attrs[1].Value != int64(42) {
+		t.Fatalf("attrs wrong: %+v", rec.Attrs)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var c *Collector
+	tr := c.Trace()
+	mx := c.Meter()
+	sp := tr.Start("ignored")
+	sp.SetStr("k", "v")
+	sp.SetInt("k", 1)
+	sp.SetFloat("k", 1.5)
+	if d := sp.End(); d != 0 {
+		t.Fatalf("nil span End = %v", d)
+	}
+	mx.Inc("x")
+	mx.Add("x", 5)
+	mx.SetGauge("g", 1)
+	mx.Observe("h", 0.5)
+	if mx.Counter("x") != 0 || mx.Gauge("g") != 0 || mx.HistogramCount("h") != 0 {
+		t.Fatal("nil metrics must read zero")
+	}
+	if tr.Len() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer must be empty")
+	}
+	snap := c.Snapshot()
+	if snap == nil || len(snap.Spans) != 0 {
+		t.Fatal("nil collector snapshot must be empty but valid")
+	}
+	if err := c.Flush(NopSink{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 2, 10, 99, 1000} {
+		h.Observe(v)
+	}
+	// Upper-inclusive: <=1 -> {0.5, 1}; <=10 -> {2, 10}; <=100 -> {99}; +Inf -> {1000}.
+	want := []int64{2, 2, 1, 1}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	if h.Count != 6 || h.Min != 0.5 || h.Max != 1000 {
+		t.Fatalf("count/min/max wrong: %+v", h)
+	}
+	if got := h.Mean(); math.Abs(got-1112.5/6) > 1e-9 {
+		t.Fatalf("mean = %v", got)
+	}
+	empty := NewHistogram(nil)
+	if empty.Mean() != 0 {
+		t.Fatal("empty mean must be 0")
+	}
+	if len(empty.Bounds) != len(DefaultBuckets) {
+		t.Fatal("nil bounds must use DefaultBuckets")
+	}
+}
+
+func TestMetricsRegistry(t *testing.T) {
+	m := NewMetrics()
+	m.Inc("c")
+	m.Add("c", 4)
+	m.SetGauge("g", 2.5)
+	m.SetGauge("g", 3.5)
+	m.Observe("h", 0.001)
+	m.Observe("h", 0.002)
+	if m.Counter("c") != 5 {
+		t.Fatalf("counter = %d", m.Counter("c"))
+	}
+	if m.Gauge("g") != 3.5 {
+		t.Fatalf("gauge = %v", m.Gauge("g"))
+	}
+	if m.HistogramCount("h") != 2 {
+		t.Fatalf("histogram count = %d", m.HistogramCount("h"))
+	}
+}
+
+func TestSnapshotPruningView(t *testing.T) {
+	c := New()
+	c.Meter().Inc(PrunedCounter(PruneJoinFailed))
+	c.Meter().Add(PrunedCounter(PruneQualityBelowTau), 3)
+	c.Meter().Inc("unrelated.counter")
+	p := c.Snapshot().Pruning()
+	if len(p) != 2 || p[PruneJoinFailed] != 1 || p[PruneQualityBelowTau] != 3 {
+		t.Fatalf("pruning view wrong: %v", p)
+	}
+}
+
+// TestGoldenSnapshotJSON locks the JSON layout of both output files
+// under a fixed fake clock: any accidental format change shows up as a
+// diff here rather than breaking downstream consumers.
+func TestGoldenSnapshotJSON(t *testing.T) {
+	c := NewWithClock(fakeClock(time.Millisecond))
+	run := c.Trace().Start(SpanRun)
+	join := c.Trace().Start(SpanJoinEval)
+	join.SetStr("edge", "base.id -> right.k")
+	join.SetInt("matched_rows", 7)
+	join.End()
+	run.End()
+	c.Meter().Inc(CtrPathsExplored)
+	c.Meter().Inc(PrunedCounter(PruneQualityBelowTau))
+	c.Meter().SetGauge(GaugeSelectionSeconds, 0.25)
+	snap := c.Snapshot()
+
+	trace, err := snap.TraceJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTrace := `{
+  "spans": [
+    {
+      "id": 1,
+      "name": "discovery.run",
+      "start_us": 1000,
+      "dur_us": 3000
+    },
+    {
+      "id": 2,
+      "parent": 1,
+      "name": "discovery.evaluate_join",
+      "start_us": 2000,
+      "dur_us": 1000,
+      "attrs": [
+        {
+          "k": "edge",
+          "v": "base.id -\u003e right.k"
+        },
+        {
+          "k": "matched_rows",
+          "v": 7
+        }
+      ]
+    }
+  ]
+}`
+	if string(trace) != wantTrace {
+		t.Fatalf("trace JSON drifted:\n--- got ---\n%s\n--- want ---\n%s", trace, wantTrace)
+	}
+
+	metrics, err := snap.MetricsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMetrics := `{
+  "counters": {
+    "discovery.paths_explored": 1,
+    "discovery.pruned.quality_below_tau": 1
+  },
+  "gauges": {
+    "discovery.selection_seconds": 0.25
+  },
+  "histograms": {},
+  "pruning": {
+    "quality_below_tau": 1
+  },
+  "phases": [
+    {
+      "name": "discovery.run",
+      "count": 1,
+      "total_ns": 3000000,
+      "max_ns": 3000000
+    },
+    {
+      "name": "discovery.evaluate_join",
+      "count": 1,
+      "total_ns": 1000000,
+      "max_ns": 1000000
+    }
+  ]
+}`
+	if string(metrics) != wantMetrics {
+		t.Fatalf("metrics JSON drifted:\n--- got ---\n%s\n--- want ---\n%s", metrics, wantMetrics)
+	}
+
+	// Both documents must stay valid JSON under a strict decoder.
+	for _, doc := range [][]byte{trace, metrics} {
+		var any map[string]any
+		if err := json.Unmarshal(doc, &any); err != nil {
+			t.Fatalf("invalid JSON: %v\n%s", err, doc)
+		}
+	}
+}
+
+func TestReportSink(t *testing.T) {
+	c := NewWithClock(fakeClock(time.Millisecond))
+	s := c.Trace().Start(SpanLeftJoin)
+	s.End()
+	c.Meter().Inc(PrunedCounter(PruneSimilarity))
+	c.Meter().SetGauge(GaugeSelectionSeconds, 1.5)
+	c.Meter().Observe(HistJoinSeconds, 0.003)
+
+	var buf bytes.Buffer
+	if err := c.Flush(ReportSink{W: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"telemetry report",
+		"relational.left_join",
+		"pruning breakdown",
+		"similarity",
+		"discovery.selection_seconds",
+		"relational.left_join_seconds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONSinkRoundTrip(t *testing.T) {
+	c := New()
+	c.Meter().Inc("x")
+	var buf bytes.Buffer
+	if err := c.Flush(JSONSink{W: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["x"] != 1 {
+		t.Fatalf("round trip lost counter: %+v", snap)
+	}
+}
+
+// BenchmarkDisabledSpan measures the disabled-path cost every pipeline
+// call site pays when telemetry is off: it must stay in the
+// nanoseconds-per-op range so discovery overhead is <2%.
+func BenchmarkDisabledSpan(b *testing.B) {
+	var c *Collector
+	tr := c.Trace()
+	mx := c.Meter()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(SpanJoinEval)
+		sp.SetInt("matched", i)
+		mx.Observe(HistJoinSeconds, sp.End().Seconds())
+		mx.Inc(CtrPathsExplored)
+	}
+}
+
+// BenchmarkEnabledSpan is the enabled-path counterpart, for overhead
+// comparisons in perf PRs.
+func BenchmarkEnabledSpan(b *testing.B) {
+	c := New()
+	tr := c.Trace()
+	mx := c.Meter()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(SpanJoinEval)
+		sp.SetInt("matched", i)
+		mx.Observe(HistJoinSeconds, sp.End().Seconds())
+		mx.Inc(CtrPathsExplored)
+	}
+}

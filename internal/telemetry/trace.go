@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values are whatever the
+// caller set (string, int64, float64) and marshal directly to JSON.
+type Attr struct {
+	Key   string `json:"k"`
+	Value any    `json:"v"`
+}
+
+// SpanRecord is one finished (or still-open) span. Times are offsets
+// from the tracer's epoch in microseconds, so a trace is self-contained
+// and diffable under an injected clock.
+type SpanRecord struct {
+	// ID is 1-based in start order; Parent is the enclosing span's ID,
+	// 0 for roots.
+	ID     int    `json:"id"`
+	Parent int    `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	// StartUS is the start offset from the trace epoch; DurUS is the
+	// span duration (-1 while the span is still open).
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+	Attrs   []Attr `json:"attrs,omitempty"`
+}
+
+// Duration returns the span's duration (0 while open).
+func (r SpanRecord) Duration() time.Duration {
+	if r.DurUS < 0 {
+		return 0
+	}
+	return time.Duration(r.DurUS) * time.Microsecond
+}
+
+// Tracer records span-style Start/End scopes. Parent attribution uses a
+// stack of open spans, which is correct for the single-goroutine online
+// pipeline; the mutex only makes concurrent use memory-safe. A nil
+// *Tracer is a valid disabled tracer: Start returns a no-op Span.
+type Tracer struct {
+	mu    sync.Mutex
+	now   func() time.Time
+	epoch time.Time
+	spans []SpanRecord
+	open  []int // stack of open span IDs, innermost last
+}
+
+// NewTracer returns a tracer on the wall clock.
+func NewTracer() *Tracer { return NewTracerWithClock(time.Now) }
+
+// NewTracerWithClock returns a tracer reading time from now; inject a
+// fake clock for deterministic traces in tests.
+func NewTracerWithClock(now func() time.Time) *Tracer {
+	return &Tracer{now: now, epoch: now()}
+}
+
+// Span is a lightweight handle on an open span. The zero Span (from a
+// nil tracer) ignores every call.
+type Span struct {
+	t  *Tracer
+	id int
+}
+
+// Start opens a span named name nested under the innermost open span.
+func (t *Tracer) Start(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := len(t.spans) + 1
+	parent := 0
+	if n := len(t.open); n > 0 {
+		parent = t.open[n-1]
+	}
+	t.spans = append(t.spans, SpanRecord{
+		ID:      id,
+		Parent:  parent,
+		Name:    name,
+		StartUS: t.now().Sub(t.epoch).Microseconds(),
+		DurUS:   -1,
+	})
+	t.open = append(t.open, id)
+	return Span{t: t, id: id}
+}
+
+// SetStr annotates the span with a string attribute.
+func (s Span) SetStr(key, v string) { s.set(key, v) }
+
+// SetInt annotates the span with an integer attribute.
+func (s Span) SetInt(key string, v int) { s.set(key, int64(v)) }
+
+// SetFloat annotates the span with a float attribute.
+func (s Span) SetFloat(key string, v float64) { s.set(key, v) }
+
+func (s Span) set(key string, v any) {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	rec := &s.t.spans[s.id-1]
+	rec.Attrs = append(rec.Attrs, Attr{Key: key, Value: v})
+}
+
+// End closes the span and returns its duration (0 for a no-op span, or
+// when the span was already ended). Ending out of creation order is
+// tolerated: the span is removed from wherever it sits in the open
+// stack so later siblings still attribute parents correctly.
+func (s Span) End() time.Duration {
+	if s.t == nil {
+		return 0
+	}
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec := &t.spans[s.id-1]
+	if rec.DurUS >= 0 {
+		return 0
+	}
+	rec.DurUS = t.now().Sub(t.epoch).Microseconds() - rec.StartUS
+	for i := len(t.open) - 1; i >= 0; i-- {
+		if t.open[i] == s.id {
+			t.open = append(t.open[:i], t.open[i+1:]...)
+			break
+		}
+	}
+	return time.Duration(rec.DurUS) * time.Microsecond
+}
+
+// Spans returns a copy of every span recorded so far, in start order.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Len returns the number of spans recorded so far.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
