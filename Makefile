@@ -16,8 +16,11 @@ race:
 
 # bench runs the micro benchmarks only (the figure benchmarks regenerate
 # the whole evaluation and are slow); use `go test -bench .` for all.
+# It also refreshes BENCH_parallel.json, the committed worker-scaling
+# baseline (speedup at 4/8 workers is bounded by the cores available).
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkMicro' -benchmem .
+	AUTOFEAT_BENCH_OUT=BENCH_parallel.json $(GO) test -run TestWriteParallelBench -v .
 
 # check is the tier-1 verification gate (see ROADMAP.md).
 check:

@@ -294,6 +294,38 @@ func BenchmarkMicroDiscoveryTelemetry(b *testing.B) {
 	}
 }
 
+// benchDiscoveryWorkers measures end-to-end discovery on the wide
+// worker-scaling dataset at a fixed worker-pool size. Compare Workers1
+// against Workers4/Workers8 for the parallel join-evaluation speedup
+// (bounded by GOMAXPROCS; the ranking is identical at every count).
+func benchDiscoveryWorkers(b *testing.B, workers int) {
+	b.Helper()
+	d, err := datagen.Generate(datagen.ParallelSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := BuildDRG(d.Tables, d.KFKs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		disc, err := NewDiscovery(g, d.Base.Name(), d.Label, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := disc.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroDiscoveryWorkers1(b *testing.B) { benchDiscoveryWorkers(b, 1) }
+func BenchmarkMicroDiscoveryWorkers4(b *testing.B) { benchDiscoveryWorkers(b, 4) }
+func BenchmarkMicroDiscoveryWorkers8(b *testing.B) { benchDiscoveryWorkers(b, 8) }
+
 func BenchmarkMicroMatcher(b *testing.B) {
 	d, err := datagen.Generate(datagen.SmallSpecs()[1])
 	if err != nil {

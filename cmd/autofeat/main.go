@@ -38,6 +38,7 @@ func main() {
 		depth      = flag.Int("depth", 3, "max join path length")
 		threshold  = flag.Float64("threshold", 0.55, "matcher threshold when no constraints file exists")
 		seed       = flag.Int64("seed", 1, "random seed")
+		workers    = flag.Int("workers", 0, "parallel join-evaluation workers (0 = GOMAXPROCS, 1 = sequential)")
 		dot        = flag.Bool("dot", false, "print the DRG in Graphviz DOT format and exit")
 		paths      = flag.Int("paths", 5, "ranked paths to print")
 		beam       = flag.Int("beam", 0, "beam width (0 = exhaustive BFS)")
@@ -64,7 +65,7 @@ func main() {
 	opts := runOpts{
 		dir: *dir, base: *base, label: *label, model: *model,
 		tau: *tau, kappa: *kappa, topK: *topK, depth: *depth,
-		threshold: *threshold, seed: *seed, dot: *dot, paths: *paths,
+		threshold: *threshold, seed: *seed, workers: *workers, dot: *dot, paths: *paths,
 		beam: *beam, sketched: *sketched, autotune: *autotune,
 		traceOut: *traceOut, metricsOut: *metricsOut,
 	}
@@ -81,6 +82,7 @@ type runOpts struct {
 	kappa, topK, depth      int
 	threshold               float64
 	seed                    int64
+	workers                 int
 	dot                     bool
 	paths                   int
 	beam                    int
@@ -110,6 +112,7 @@ func run(o runOpts) error {
 	cfg.TopK = o.topK
 	cfg.MaxDepth = o.depth
 	cfg.Seed = o.seed
+	cfg.Workers = o.workers
 	cfg.BeamWidth = o.beam
 	base, label, model, nPaths := o.base, o.label, o.model, o.paths
 

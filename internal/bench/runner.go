@@ -62,6 +62,10 @@ type Runner struct {
 	Seed int64
 	// Verbose prints progress lines to stdout.
 	Verbose bool
+	// Workers is the per-discovery join-evaluation parallelism (0 =
+	// GOMAXPROCS). Rankings are bit-identical at any worker count, so the
+	// ranking cache stays valid across values and the key omits it.
+	Workers int
 	// Telemetry, when non-nil, is attached to every AutoFeat discovery the
 	// runner executes, accumulating spans and per-phase metrics across the
 	// whole sweep. Write it out with WriteTelemetry.
@@ -163,6 +167,7 @@ func (r *Runner) autofeatRanking(name string, s Setting, cfg core.Config) (*rank
 		return nil, err
 	}
 	cfg.Telemetry = r.Telemetry
+	cfg.Workers = r.Workers
 	disc, err := core.New(g, d.Base.Name(), d.Label, cfg)
 	if err != nil {
 		return nil, err

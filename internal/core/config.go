@@ -61,6 +61,13 @@ type Config struct {
 	// Seed drives every random choice (sampling, join normalisation,
 	// model training), making runs reproducible.
 	Seed int64
+	// Workers bounds the worker pool that evaluates candidate joins of
+	// one BFS depth concurrently. 0 means GOMAXPROCS; 1 forces the fully
+	// sequential path. The ranking is bit-identical for every worker
+	// count: results are folded in deterministic edge order and join
+	// normalisation derives a per-edge RNG stream from (Seed, depth, edge)
+	// rather than sharing one generator.
+	Workers int
 	// Telemetry, when non-nil, receives spans and metrics from every
 	// phase of the run (BFS levels, joins, relevance/redundancy,
 	// ranking, materialisation, training). Nil — the default — disables
@@ -98,6 +105,9 @@ func (c Config) validate() error {
 	}
 	if c.MaxDepth < 1 {
 		return fmt.Errorf("core: maxDepth %d must be >= 1", c.MaxDepth)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: workers %d must be >= 0 (0 = GOMAXPROCS)", c.Workers)
 	}
 	return nil
 }

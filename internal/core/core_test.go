@@ -390,6 +390,12 @@ func TestTopK(t *testing.T) {
 	if got := r.TopK(10); len(got) != 3 {
 		t.Fatalf("TopK beyond length clamps: %v", got)
 	}
+	if got := r.TopK(-1); len(got) != 0 {
+		t.Fatalf("TopK(-1) must clamp to empty, got %v", got)
+	}
+	if got := r.TopK(0); len(got) != 0 {
+		t.Fatalf("TopK(0) = %v, want empty", got)
+	}
 }
 
 func TestExpandNeverJoinsOnLabel(t *testing.T) {

@@ -1,10 +1,15 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"autofeat/internal/frame"
@@ -102,7 +107,11 @@ type Ranking struct {
 }
 
 // TopK returns the best k paths (fewer when the ranking is shorter).
+// Negative k is treated as 0.
 func (r *Ranking) TopK(k int) []RankedPath {
+	if k < 0 {
+		k = 0
+	}
 	if k > len(r.Paths) {
 		k = len(r.Paths)
 	}
@@ -191,6 +200,17 @@ func (d *Discovery) Run() (*Ranking, error) {
 		selCols: selected,
 	}}
 
+	workers := d.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	runSpan.SetInt("workers", workers)
+	mx.SetGauge(telemetry.GaugeWorkers, float64(workers))
+	// cache memoises right-side key indexes across the run: every join
+	// against the same (table column, normalisation seed) reuses the
+	// key→row map instead of rescanning the column.
+	cache := relational.NewKeyIndexCache()
+
 	// capped flips once the MaxPaths cap fires; the rest of the active
 	// frontier is then only counted (MaxPathsCap), never evaluated, and
 	// the traversal does not descend another level.
@@ -199,7 +219,15 @@ func (d *Discovery) Run() (*Ranking, error) {
 		depthSpan := tr.Start(telemetry.SpanDepth)
 		depthSpan.SetInt("depth", depth+1)
 		depthSpan.SetInt("frontier", len(frontier))
-		var next []*state
+
+		// Phase 1 — enumerate this depth's candidate joins sequentially,
+		// in deterministic (frontier, neighbour, edge) order. Similarity
+		// pruning happens here, before any evaluation.
+		type job struct {
+			st *state
+			e  graph.Edge
+		}
+		var jobs []job
 		for _, st := range frontier {
 			for _, nb := range d.g.Neighbors(st.node) {
 				if st.visited[nb] {
@@ -214,36 +242,99 @@ func (d *Discovery) Run() (*Ranking, error) {
 				rank.Prune.Similarity += simPruned
 				mx.Add(telemetry.PrunedCounter(telemetry.PruneSimilarity), int64(simPruned))
 				for _, e := range edges {
-					if d.cfg.MaxPaths > 0 && rank.PathsExplored >= d.cfg.MaxPaths {
-						capped = true
-						rank.Prune.MaxPathsCap++
-						mx.Inc(telemetry.PrunedCounter(telemetry.PruneMaxPathsCap))
-						continue
-					}
-					rank.PathsExplored++
-					joinSpan := tr.Start(telemetry.SpanJoinEval)
-					joinSpan.SetStr("edge", fmt.Sprintf("%s.%s -> %s.%s", e.A, e.ColA, e.B, e.ColB))
-					joinSpan.SetFloat("weight", e.Weight)
-					child, reason := d.expand(st, e, y, pipeline, rng, joinSpan)
-					if reason != "" {
-						joinSpan.SetStr("pruned", reason)
-						joinSpan.End()
-						d.countPrune(rank, reason)
-						mx.Inc(telemetry.PrunedCounter(reason))
-						continue
-					}
-					joinSpan.End()
-					rank.Paths = append(rank.Paths, RankedPath{
-						Edges:     child.edges,
-						Score:     computeScore(child.relScores, child.redScores),
-						Features:  child.features,
-						RelScores: child.relScores,
-						RedScores: child.redScores,
-						Quality:   child.quality,
-					})
-					next = append(next, child)
+					jobs = append(jobs, job{st: st, e: e})
 				}
 			}
+		}
+
+		// Apply the MaxPaths cap positionally: every evaluated join
+		// increments PathsExplored by exactly one, so the sequential
+		// traversal would evaluate the first `allowed` candidates of this
+		// depth and count the rest as MaxPathsCap.
+		allowed := len(jobs)
+		if d.cfg.MaxPaths > 0 {
+			if room := d.cfg.MaxPaths - rank.PathsExplored; room < allowed {
+				if room < 0 {
+					room = 0
+				}
+				capped = true
+				skipped := allowed - room
+				allowed = room
+				rank.Prune.MaxPathsCap += skipped
+				mx.Add(telemetry.PrunedCounter(telemetry.PruneMaxPathsCap), int64(skipped))
+			}
+		}
+
+		// Phase 2 — evaluate the candidates on the worker pool. Each join
+		// is independent: per-edge RNG streams (see edgeSeed) and the
+		// read-only frontier state make evaluation order irrelevant.
+		type outcome struct {
+			child  *state
+			reason string
+		}
+		outcomes := make([]outcome, allowed)
+		evalOne := func(i int) {
+			jb := jobs[i]
+			joinSpan := tr.Start(telemetry.SpanJoinEval)
+			joinSpan.SetStr("edge", fmt.Sprintf("%s.%s -> %s.%s", jb.e.A, jb.e.ColA, jb.e.B, jb.e.ColB))
+			joinSpan.SetFloat("weight", jb.e.Weight)
+			var jrng *rand.Rand
+			var jseed int64
+			if d.cfg.NormalizeJoins {
+				jseed = edgeSeed(d.cfg.Seed, depth, jb.e)
+				jrng = rand.New(rand.NewSource(jseed))
+			}
+			child, reason := d.expand(jb.st, jb.e, y, pipeline, jrng, jseed, cache, joinSpan)
+			if reason != "" {
+				joinSpan.SetStr("pruned", reason)
+			}
+			joinSpan.End()
+			outcomes[i] = outcome{child: child, reason: reason}
+		}
+		if w := min(workers, allowed); w <= 1 {
+			for i := 0; i < allowed; i++ {
+				evalOne(i)
+			}
+		} else {
+			var cursor atomic.Int64
+			var wg sync.WaitGroup
+			wg.Add(w)
+			for k := 0; k < w; k++ {
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(cursor.Add(1)) - 1
+						if i >= allowed {
+							return
+						}
+						evalOne(i)
+					}
+				}()
+			}
+			wg.Wait()
+		}
+
+		// Phase 3 — fold the outcomes in job order, so PruneStats, path
+		// order and the next frontier are bit-identical to the sequential
+		// traversal regardless of worker count.
+		var next []*state
+		for i := 0; i < allowed; i++ {
+			rank.PathsExplored++
+			oc := outcomes[i]
+			if oc.reason != "" {
+				d.countPrune(rank, oc.reason)
+				mx.Inc(telemetry.PrunedCounter(oc.reason))
+				continue
+			}
+			rank.Paths = append(rank.Paths, RankedPath{
+				Edges:     oc.child.edges,
+				Score:     computeScore(oc.child.relScores, oc.child.redScores),
+				Features:  oc.child.features,
+				RelScores: oc.child.relScores,
+				RedScores: oc.child.redScores,
+				Quality:   oc.child.quality,
+			})
+			next = append(next, oc.child)
 		}
 		if d.cfg.BeamWidth > 0 && len(next) > d.cfg.BeamWidth {
 			// Beam search: keep the most promising states, judged by the
@@ -316,12 +407,33 @@ func (d *Discovery) candidateEdges(from, to string) ([]graph.Edge, int) {
 	return out, len(edges) - len(out)
 }
 
+// edgeSeed derives the deterministic RNG seed for one join evaluation
+// from (Config.Seed, depth, edge). Deriving a fresh stream per edge —
+// instead of sharing one *rand.Rand across the traversal — makes join
+// normalisation independent of evaluation order, which is what lets the
+// worker pool produce bit-identical rankings at any worker count.
+func edgeSeed(seed int64, depth int, e graph.Edge) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(seed))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(depth))
+	h.Write(buf[:])
+	for _, s := range [...]string{e.A, e.ColA, e.B, e.ColB} {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	return int64(h.Sum64())
+}
+
 // expand performs one join of Algorithm 1's inner loop: join, data-quality
 // pruning, relevance and redundancy analysis, and R_sel update. It returns
 // the child state, or a non-empty pruning reason when the path is pruned.
 // Attributes of the evaluated join (matched rows, quality, features kept)
-// are recorded on sp.
-func (d *Discovery) expand(st *state, e graph.Edge, y []int, pipeline *fselect.Pipeline, rng *rand.Rand, sp telemetry.Span) (*state, string) {
+// are recorded on sp. rng (with its originating seed) drives join
+// normalisation and must be private to this call; cache may be shared
+// across concurrent expands.
+func (d *Discovery) expand(st *state, e graph.Edge, y []int, pipeline *fselect.Pipeline, rng *rand.Rand, seed int64, cache *relational.KeyIndexCache, sp telemetry.Span) (*state, string) {
 	leftKey := e.A + "." + e.ColA
 	if leftKey == d.label {
 		// The label column must never act as a join key: matching rows
@@ -329,13 +441,11 @@ func (d *Discovery) expand(st *state, e graph.Edge, y []int, pipeline *fselect.P
 		return nil, telemetry.PruneJoinFailed
 	}
 	right := d.g.Table(e.B)
-	var joinRng *rand.Rand
-	if d.cfg.NormalizeJoins {
-		joinRng = rng
-	}
 	res, err := relational.LeftJoin(st.f, right, leftKey, e.ColB, relational.Options{
 		Normalize: d.cfg.NormalizeJoins,
-		Rng:       joinRng,
+		Rng:       rng,
+		Seed:      seed,
+		Cache:     cache,
 		Telemetry: d.cfg.Telemetry,
 	})
 	if err != nil || res.MatchedRows == 0 {

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"autofeat/internal/telemetry"
+)
+
+// rankingJSON serialises a Ranking for byte-level comparison, zeroing the
+// wall-clock SelectionTime (the only field allowed to differ across runs).
+func rankingJSON(t *testing.T, r *Ranking) string {
+	t.Helper()
+	cp := *r
+	cp.SelectionTime = 0
+	b, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestParallelRunMatchesSequential is the tentpole guarantee: the ranking
+// is bit-identical at every worker count, including with randomised join
+// normalisation (per-edge RNG streams derived from (Seed, depth, edge)
+// make normalisation independent of evaluation order).
+func TestParallelRunMatchesSequential(t *testing.T) {
+	g := testLake(t, 500)
+	var want string
+	for _, workers := range []int{1, 4, 8} {
+		cfg := DefaultConfig()
+		cfg.NormalizeJoins = true
+		cfg.Workers = workers
+		d, err := New(g, "base", "y", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := d.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := rankingJSON(t, r)
+		if workers == 1 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("Workers=%d ranking differs from sequential:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestParallelRunMatchesSequentialUnderCaps repeats the determinism check
+// with MaxPaths and beam pruning active, where the positional cap must fire
+// at the same enumeration index regardless of evaluation interleaving.
+func TestParallelRunMatchesSequentialUnderCaps(t *testing.T) {
+	g := testLake(t, 300)
+	var want *Ranking
+	var wantJSON string
+	for _, workers := range []int{1, 8} {
+		cfg := DefaultConfig()
+		cfg.NormalizeJoins = true
+		cfg.MaxPaths = 2
+		cfg.BeamWidth = 1
+		cfg.Workers = workers
+		d, err := New(g, "base", "y", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := d.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers == 1 {
+			want, wantJSON = r, rankingJSON(t, r)
+			if want.Prune.MaxPathsCap == 0 {
+				t.Fatal("fixture must actually hit the MaxPaths cap")
+			}
+			continue
+		}
+		if got := rankingJSON(t, r); got != wantJSON {
+			t.Fatalf("Workers=%d capped ranking differs:\n%s\nvs\n%s", workers, got, wantJSON)
+		}
+	}
+}
+
+// TestConcurrentDiscoveriesSharedCollector runs several parallel
+// discoveries at once against one shared telemetry collector — the
+// cross-run race the atomic counter registry exists for (run with -race).
+func TestConcurrentDiscoveriesSharedCollector(t *testing.T) {
+	g := testLake(t, 300)
+	col := telemetry.New()
+	const runs = 4
+	results := make([]*Ranking, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := DefaultConfig()
+			cfg.NormalizeJoins = true
+			cfg.Workers = 2
+			cfg.Telemetry = col
+			d, err := New(g, "base", "y", cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			r, err := d.Run()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	want := rankingJSON(t, results[0])
+	for i := 1; i < runs; i++ {
+		if got := rankingJSON(t, results[i]); got != want {
+			t.Fatalf("run %d ranking differs from run 0", i)
+		}
+	}
+	snap := col.Snapshot()
+	if snap.Counters[telemetry.CtrJoins] == 0 {
+		t.Fatal("shared collector must have accumulated join counters")
+	}
+}

@@ -109,6 +109,14 @@ func SmallSpecs() []Spec {
 	}
 }
 
+// ParallelSpec returns the workload for the worker-scaling benchmarks:
+// wide enough that each BFS depth carries many candidate joins for the
+// discovery worker pool to spread out, and tall enough that each join
+// evaluation does non-trivial work.
+func ParallelSpec() Spec {
+	return Spec{Name: "wide", Rows: 2000, PaperRows: 2000, JoinableTables: 12, TotalFeatures: 42, PaperFeatures: 42, BestAccuracy: 0.9, Seed: 301}
+}
+
 // Dataset is one generated lake: the base table, all joinable tables, the
 // ground-truth KFK constraints, and bookkeeping for the harness.
 type Dataset struct {

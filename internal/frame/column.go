@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"sync"
 )
 
 // Kind enumerates the physical column types supported by the engine.
@@ -56,30 +57,40 @@ type Column struct {
 	strs   []string
 	bools  []bool
 	valid  []bool
+	// memo caches derived read-only views of the column. It lives behind a
+	// pointer so WithName copies share the cache (the backing storage is
+	// shared too) and so copying a Column never copies a sync.Once.
+	memo *colMemo
+}
+
+// colMemo holds lazily computed, immutable derivations of a column.
+type colMemo struct {
+	valueSetOnce sync.Once
+	valueSet     map[string]struct{}
 }
 
 // NewFloatColumn builds a float column. valid may be nil (all valid).
 func NewFloatColumn(name string, values []float64, valid []bool) *Column {
 	checkValid(len(values), valid)
-	return &Column{name: name, kind: Float, floats: values, valid: valid}
+	return &Column{name: name, kind: Float, floats: values, valid: valid, memo: new(colMemo)}
 }
 
 // NewIntColumn builds an int column. valid may be nil (all valid).
 func NewIntColumn(name string, values []int64, valid []bool) *Column {
 	checkValid(len(values), valid)
-	return &Column{name: name, kind: Int, ints: values, valid: valid}
+	return &Column{name: name, kind: Int, ints: values, valid: valid, memo: new(colMemo)}
 }
 
 // NewStringColumn builds a string column. valid may be nil (all valid).
 func NewStringColumn(name string, values []string, valid []bool) *Column {
 	checkValid(len(values), valid)
-	return &Column{name: name, kind: String, strs: values, valid: valid}
+	return &Column{name: name, kind: String, strs: values, valid: valid, memo: new(colMemo)}
 }
 
 // NewBoolColumn builds a bool column. valid may be nil (all valid).
 func NewBoolColumn(name string, values []bool, valid []bool) *Column {
 	checkValid(len(values), valid)
-	return &Column{name: name, kind: Bool, bools: values, valid: valid}
+	return &Column{name: name, kind: Bool, bools: values, valid: valid, memo: new(colMemo)}
 }
 
 func checkValid(n int, valid []bool) {
@@ -217,7 +228,7 @@ func (c *Column) Key(i int) (string, bool) {
 // order. An index of -1 yields a null cell (used by left joins for unmatched
 // rows).
 func (c *Column) Take(idx []int) *Column {
-	out := &Column{name: c.name, kind: c.kind}
+	out := &Column{name: c.name, kind: c.kind, memo: new(colMemo)}
 	needValid := c.valid != nil
 	for _, i := range idx {
 		if i < 0 {
@@ -372,7 +383,7 @@ func (c *Column) Imputed() *Column {
 		return c
 	}
 	mode, ok := c.Mode()
-	out := &Column{name: c.name, kind: c.kind}
+	out := &Column{name: c.name, kind: c.kind, memo: new(colMemo)}
 	n := c.Len()
 	switch c.kind {
 	case Float:
@@ -421,8 +432,19 @@ func (c *Column) Imputed() *Column {
 }
 
 // ValueSet returns the set of distinct non-null join keys, used by the
-// instance-based discovery matcher to estimate joinability.
+// instance-based discovery matcher and relational.KeyOverlap to estimate
+// joinability. The set is computed once and memoised (columns are
+// immutable inside a Frame), so the returned map is shared: callers must
+// treat it as read-only. Safe for concurrent use.
 func (c *Column) ValueSet() map[string]struct{} {
+	if c.memo == nil {
+		return c.buildValueSet()
+	}
+	c.memo.valueSetOnce.Do(func() { c.memo.valueSet = c.buildValueSet() })
+	return c.memo.valueSet
+}
+
+func (c *Column) buildValueSet() map[string]struct{} {
 	set := make(map[string]struct{}, 64)
 	for i, n := 0, c.Len(); i < n; i++ {
 		if k, ok := c.Key(i); ok {

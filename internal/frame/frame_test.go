@@ -285,13 +285,17 @@ func TestStratifiedSample(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.NumRows() < 2 || s.NumRows() > 5 {
-		t.Fatalf("sample size = %d, want ~4", s.NumRows())
+	if s.NumRows() < 2 || s.NumRows() > 4 {
+		t.Fatalf("sample size = %d, want <= 4", s.NumRows())
 	}
-	// Sampling more than available returns the frame itself.
+	// Sampling more than available returns an equal copy, never the
+	// receiver (callers may treat the sample as an independent frame).
 	s2, _ := f.StratifiedSample("label", 100, rand.New(rand.NewSource(5)))
-	if s2 != f {
-		t.Fatal("oversized sample must return the original frame")
+	if s2 == f {
+		t.Fatal("oversized sample must not alias the original frame")
+	}
+	if !s2.Equal(f) {
+		t.Fatal("oversized sample must keep every row")
 	}
 }
 
@@ -317,5 +321,52 @@ func TestSortedColumnNames(t *testing.T) {
 		if names[i-1] > names[i] {
 			t.Fatal("names must be sorted")
 		}
+	}
+}
+
+func TestStratifiedSampleManyTinyClasses(t *testing.T) {
+	// 30 classes of 2 rows each. The one-row-per-class floor alone would
+	// pick 30 rows; the old rounding could therefore return 3x the requested
+	// size. The trimmed sample must hit n exactly.
+	n := 60
+	ids := make([]int64, n)
+	labels := make([]int64, n)
+	for i := range ids {
+		ids[i] = int64(i)
+		labels[i] = int64(i / 2)
+	}
+	f := New("tiny")
+	mustAdd(t, f, NewIntColumn("id", ids, nil))
+	mustAdd(t, f, NewIntColumn("y", labels, nil))
+	s, err := f.StratifiedSample("y", 10, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRows() != 10 {
+		t.Fatalf("sample size = %d, want exactly 10 (floors must be trimmed)", s.NumRows())
+	}
+	d, err := s.ClassDistribution("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, cnt := range d {
+		if cnt != 1 {
+			t.Fatalf("class %d sampled %d rows, want 1 (trim may not stack rows)", c, cnt)
+		}
+	}
+	// When n >= #classes, every class stays represented.
+	s2, err := f.StratifiedSample("y", 35, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.NumRows() > 35 {
+		t.Fatalf("sample size = %d, must never exceed n=35", s2.NumRows())
+	}
+	d2, err := s2.ClassDistribution("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2) != 30 {
+		t.Fatalf("all 30 classes must stay represented, got %d", len(d2))
 	}
 }

@@ -64,10 +64,23 @@ func (f *Frame) StratifiedSplit(label string, trainFrac float64, rng *rand.Rand)
 // preserving the label distribution. AutoFeat samples the base table this
 // way before feature selection to bound selection cost (Section VI); model
 // training still sees the full data.
+//
+// The result is always a fresh frame (never the receiver) and never holds
+// more than n rows: per-class rounding plus the one-row-per-class floor can
+// overshoot, and the overshoot is trimmed largest-remainder style — the
+// classes whose allocation most exceeds their exact proportional share give
+// rows back first, dropping classes to zero only when there are more
+// classes than n.
 func (f *Frame) StratifiedSample(label string, n int, rng *rand.Rand) (*Frame, error) {
 	total := f.NumRows()
 	if n >= total {
-		return f, nil
+		// Copy rather than alias the receiver, so callers may treat the
+		// sample as an independent frame.
+		idx := make([]int, total)
+		for i := range idx {
+			idx[i] = i
+		}
+		return f.Take(idx), nil
 	}
 	y, err := f.Labels(label)
 	if err != nil {
@@ -83,15 +96,55 @@ func (f *Frame) StratifiedSample(label string, n int, rng *rand.Rand) (*Frame, e
 	}
 	sort.Ints(classes)
 	frac := float64(n) / float64(total)
-	var pick []int
+	type alloc struct {
+		rows []int
+		k    int
+		// over is how far k exceeds the class's exact proportional share;
+		// trimming removes from the largest overshoot first, which is the
+		// largest-remainder rule applied in reverse.
+		over float64
+	}
+	allocs := make([]alloc, 0, len(classes))
+	picked := 0
 	for _, c := range classes {
 		rows := byClass[c]
 		rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
-		k := int(float64(len(rows))*frac + 0.5)
+		exact := float64(len(rows)) * frac
+		k := int(exact + 0.5)
 		if k == 0 && len(rows) > 0 {
 			k = 1
 		}
-		pick = append(pick, rows[:k]...)
+		if k > len(rows) {
+			k = len(rows)
+		}
+		allocs = append(allocs, alloc{rows: rows, k: k, over: float64(k) - exact})
+		picked += k
+	}
+	// Trim the overshoot down to exactly n. First pass keeps every class
+	// represented (only classes with k >= 2 give rows back); a second pass
+	// drops classes entirely when there are more classes than n.
+	for _, floor := range []int{2, 1} {
+		for picked > n {
+			best := -1
+			for i := range allocs {
+				if allocs[i].k < floor {
+					continue
+				}
+				if best < 0 || allocs[i].over > allocs[best].over {
+					best = i
+				}
+			}
+			if best < 0 {
+				break
+			}
+			allocs[best].k--
+			allocs[best].over--
+			picked--
+		}
+	}
+	var pick []int
+	for _, a := range allocs {
+		pick = append(pick, a.rows[:a.k]...)
 	}
 	sort.Ints(pick)
 	return f.Take(pick), nil

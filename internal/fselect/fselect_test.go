@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"autofeat/internal/stats"
 )
 
 // synthCols builds a small dataset with one strongly relevant feature, one
@@ -351,5 +353,25 @@ func TestGroupPipelineRelevanceOnlyGain(t *testing.T) {
 	res := p.Run(cols, nil, y)
 	if !res.Admitted || res.GroupGain <= 0 {
 		t.Fatalf("relevance mass must drive the gain when redundancy is off: %+v", res.GroupGain)
+	}
+}
+
+func TestSpearmanRelevanceNulledColumn(t *testing.T) {
+	// A column with nulls must be ranked over the pairwise-complete rows
+	// only. The old path ranked the full column (NaN ranks included) against
+	// label ranks computed over every row, which skews the score whenever
+	// deletion changes the tie structure.
+	y := []int{2, 0, 0, 1, 2, 2}
+	nulled := []float64{math.NaN(), 1, 2, 3, 4, 5}
+	clean := []float64{5, 1, 2, 3, 4, 5}
+	got := SpearmanRelevance{}.Scores([][]float64{nulled, clean}, y)
+	want := 3 / math.Sqrt(10)
+	if math.Abs(got[0]-want) > 1e-12 {
+		t.Fatalf("nulled column score = %v, want %v (pairwise-complete rows)", got[0], want)
+	}
+	// The null-free fast path must agree with the full Spearman computation.
+	yf := labelFloats(y)
+	if w := math.Abs(stats.Spearman(clean, yf)); math.Abs(got[1]-w) > 1e-12 {
+		t.Fatalf("clean column fast path = %v, want %v", got[1], w)
 	}
 }

@@ -35,15 +35,32 @@ type SpearmanRelevance struct{}
 // Name implements Relevance.
 func (SpearmanRelevance) Name() string { return "spearman" }
 
-// Scores implements Relevance.
+// Scores implements Relevance. Columns with nulls are ranked over the
+// pairwise-complete rows only (scipy semantics): ranking before NaN
+// deletion would correlate a column's pre-deletion ranks against label
+// ranks computed over all rows. Null-free columns reuse the label ranks
+// computed once for the whole batch.
 func (SpearmanRelevance) Scores(cols [][]float64, y []int) []float64 {
 	yf := labelFloats(y)
 	yr := stats.Ranks(yf)
 	out := make([]float64, len(cols))
 	for i, c := range cols {
-		out[i] = math.Abs(stats.Pearson(stats.Ranks(c), yr))
+		if hasNaN(c) {
+			out[i] = math.Abs(stats.Spearman(c, yf))
+		} else {
+			out[i] = math.Abs(stats.Pearson(stats.Ranks(c), yr))
+		}
 	}
 	return out
+}
+
+func hasNaN(x []float64) bool {
+	for _, v := range x {
+		if math.IsNaN(v) {
+			return true
+		}
+	}
+	return false
 }
 
 // PearsonRelevance ranks features by |Pearson correlation| with the label.

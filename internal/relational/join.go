@@ -14,6 +14,7 @@ package relational
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"autofeat/internal/frame"
 	"autofeat/internal/telemetry"
@@ -28,6 +29,15 @@ type Options struct {
 	// Rng picks the representative row per key during normalisation. Nil
 	// means the first occurrence is kept, which is fully deterministic.
 	Rng *rand.Rand
+	// Seed identifies the stream Rng was created from, for Cache keying.
+	// Callers that pass both Cache and a non-nil Rng MUST derive Rng from
+	// Seed (rand.New(rand.NewSource(Seed))) so that a cached index and a
+	// freshly built one are interchangeable.
+	Seed int64
+	// Cache, when non-nil, memoises the right-side key index per
+	// (column, normalize, seed) so repeated joins against the same right
+	// table skip the index build. Safe for concurrent use.
+	Cache *KeyIndexCache
 	// Telemetry, when non-nil, records a span and duration histogram per
 	// join. Nil disables collection.
 	Telemetry *telemetry.Collector
@@ -89,8 +99,9 @@ func LeftJoin(left, right *frame.Frame, leftKey, rightKey string, opt Options) (
 	}()
 	opt.Telemetry.Meter().Inc(telemetry.CtrJoins)
 
-	// Build key -> right-row index, normalising cardinality.
-	rowFor := buildKeyIndex(rc, opt)
+	// Build key -> right-row index, normalising cardinality. The cache
+	// (when present) reuses indexes across joins against the same column.
+	rowFor := opt.Cache.index(rc, opt)
 
 	// Map each left row to a right row (-1 = no match -> nulls).
 	idx := make([]int, left.NumRows())
@@ -115,6 +126,76 @@ func LeftJoin(left, right *frame.Frame, leftKey, rightKey string, opt Options) (
 	sp.SetInt("matched_rows", matched)
 	added := out.ColumnNames()[left.NumCols():]
 	return &Result{Frame: out.WithName(left.Name()), AddedColumns: added, MatchedRows: matched}, nil
+}
+
+// keyIndexKey identifies one memoised key index. The column pointer is
+// the identity: graph tables are stable for the lifetime of a run, and a
+// column is immutable once inside a Frame. random distinguishes the
+// deterministic first-occurrence index (reusable regardless of seed) from
+// reservoir-sampled indexes, which are pure functions of the seed.
+type keyIndexKey struct {
+	col       *frame.Column
+	normalize bool
+	random    bool
+	seed      int64
+}
+
+// KeyIndexCache memoises the key→row indexes LeftJoin builds for its
+// right side, so repeated joins against the same table column reuse the
+// map instead of rescanning the column. It is safe for concurrent use —
+// the parallel discovery loop shares one cache across its workers.
+type KeyIndexCache struct {
+	mu           sync.Mutex
+	m            map[keyIndexKey]map[string]int
+	hits, misses int64
+}
+
+// NewKeyIndexCache returns an empty cache.
+func NewKeyIndexCache() *KeyIndexCache {
+	return &KeyIndexCache{m: make(map[keyIndexKey]map[string]int)}
+}
+
+// Stats reports cache hits and misses so far.
+func (c *KeyIndexCache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// index returns the (possibly cached) key index for rc under opt. A nil
+// cache builds the index directly. The returned map is shared and must be
+// treated as read-only. On a miss the index is built outside the lock:
+// two goroutines may race to build the same index, but both builds are
+// identical (the index is a pure function of the key), so last-write-wins
+// is harmless and concurrent misses never serialise behind each other.
+func (c *KeyIndexCache) index(rc *frame.Column, opt Options) map[string]int {
+	if c == nil {
+		return buildKeyIndex(rc, opt)
+	}
+	key := keyIndexKey{col: rc, normalize: opt.Normalize, random: opt.Normalize && opt.Rng != nil, seed: opt.Seed}
+	if !key.random {
+		// The deterministic index ignores the seed entirely; collapse the
+		// key so every caller shares one entry.
+		key.seed = 0
+	}
+	c.mu.Lock()
+	if idx, ok := c.m[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		opt.Telemetry.Meter().Inc(telemetry.CtrKeyIndexHits)
+		return idx
+	}
+	c.mu.Unlock()
+	idx := buildKeyIndex(rc, opt)
+	c.mu.Lock()
+	c.m[key] = idx
+	c.misses++
+	c.mu.Unlock()
+	opt.Telemetry.Meter().Inc(telemetry.CtrKeyIndexMisses)
+	return idx
 }
 
 // buildKeyIndex returns the representative right-row index per join key.

@@ -344,3 +344,92 @@ func TestLeftJoinPreservationProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestKeyIndexCacheReuse(t *testing.T) {
+	base := applicants(t)
+	right := credit(t)
+	cache := NewKeyIndexCache()
+	// Two joins against the same right column: one miss, then one hit, and
+	// identical output to the uncached join.
+	for i := 0; i < 2; i++ {
+		cached, err := LeftJoin(base, right, "applicants.id", "person", Options{Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := LeftJoin(base, right, "applicants.id", "person", Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cached.Frame.Equal(plain.Frame) {
+			t.Fatalf("iteration %d: cached join differs from uncached", i)
+		}
+	}
+	if hits, misses := cache.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+}
+
+func TestKeyIndexCacheKeying(t *testing.T) {
+	rc := credit(t).Column("person")
+	cache := NewKeyIndexCache()
+	// Deterministic (non-random) indexes ignore the seed: any Seed value
+	// shares one entry.
+	cache.index(rc, Options{})
+	cache.index(rc, Options{Seed: 42})
+	if hits, misses := cache.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("deterministic keying: %d hits / %d misses, want 1/1", hits, misses)
+	}
+	// Randomised normalisation keys on the seed: distinct seeds are
+	// distinct entries, the same seed is a hit.
+	cache.index(rc, Options{Normalize: true, Rng: rand.New(rand.NewSource(1)), Seed: 1})
+	cache.index(rc, Options{Normalize: true, Rng: rand.New(rand.NewSource(2)), Seed: 2})
+	cache.index(rc, Options{Normalize: true, Rng: rand.New(rand.NewSource(1)), Seed: 1})
+	if hits, misses := cache.Stats(); hits != 2 || misses != 3 {
+		t.Fatalf("random keying: %d hits / %d misses, want 2/3", hits, misses)
+	}
+	// Normalize without Rng is the same deterministic first-occurrence
+	// index as Normalize=false builds... but cardinality handling differs
+	// downstream, so the cache must still key them apart.
+	cache.index(rc, Options{Normalize: true})
+	if hits, misses := cache.Stats(); hits != 2 || misses != 4 {
+		t.Fatalf("normalize-deterministic keying: %d hits / %d misses, want 2/4", hits, misses)
+	}
+	// A nil cache stays inert and nil-safe.
+	var nilCache *KeyIndexCache
+	if idx := nilCache.index(rc, Options{}); len(idx) != 3 {
+		t.Fatalf("nil cache must still build the index, got %v", idx)
+	}
+	if hits, misses := nilCache.Stats(); hits != 0 || misses != 0 {
+		t.Fatal("nil cache stats must be zero")
+	}
+}
+
+func TestKeyIndexCacheSeedContract(t *testing.T) {
+	// The Options.Seed contract: when Rng is derived from Seed, a cache hit
+	// (which skips Rng entirely) yields the same join as the original build.
+	base := newFrame(t, "b",
+		frame.NewIntColumn("b.id", []int64{1, 2, 3, 4}, nil),
+	)
+	right := newFrame(t, "dup",
+		frame.NewIntColumn("k", []int64{2, 2, 2, 3, 3}, nil),
+		frame.NewFloatColumn("v", []float64{1, 2, 3, 4, 5}, nil),
+	)
+	cache := NewKeyIndexCache()
+	opts := func() Options {
+		return Options{Normalize: true, Rng: rand.New(rand.NewSource(5)), Seed: 5, Cache: cache}
+	}
+	r1, err := LeftJoin(base, right, "b.id", "k", opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := LeftJoin(base, right, "b.id", "k", opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Frame.Equal(r2.Frame) {
+		t.Fatal("cache hit must reproduce the seeded normalisation exactly")
+	}
+	if hits, _ := cache.Stats(); hits != 1 {
+		t.Fatalf("second join must hit the cache, hits = %d", hits)
+	}
+}

@@ -117,8 +117,41 @@ func Ranks(x []float64) []float64 {
 
 // Spearman returns the Spearman rank correlation coefficient: Pearson
 // correlation over fractional ranks, which handles ties correctly.
+//
+// Rows where either input is NaN are deleted BEFORE ranking (scipy's
+// pairwise-complete semantics): ranking first and deleting afterwards
+// would correlate ranks computed over different row sets, which skews the
+// coefficient whenever the deletion changes the tie structure or spacing
+// of the surviving ranks.
 func Spearman(x, y []float64) float64 {
+	x, y = pairwiseComplete(x, y)
 	return Pearson(Ranks(x), Ranks(y))
+}
+
+// pairwiseComplete returns x and y restricted to rows where both are
+// non-NaN. When every row is complete the inputs are returned as-is.
+func pairwiseComplete(x, y []float64) ([]float64, []float64) {
+	if len(x) != len(y) {
+		panic("stats: pairwiseComplete length mismatch")
+	}
+	n := 0
+	for i := range x {
+		if !math.IsNaN(x[i]) && !math.IsNaN(y[i]) {
+			n++
+		}
+	}
+	if n == len(x) {
+		return x, y
+	}
+	cx := make([]float64, 0, n)
+	cy := make([]float64, 0, n)
+	for i := range x {
+		if !math.IsNaN(x[i]) && !math.IsNaN(y[i]) {
+			cx = append(cx, x[i])
+			cy = append(cy, y[i])
+		}
+	}
+	return cx, cy
 }
 
 // MinMaxNormalize rescales non-NaN entries to [0, 1] in place and returns

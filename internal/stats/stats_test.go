@@ -379,3 +379,29 @@ func TestEntropyDeterministicSummation(t *testing.T) {
 		t.Fatal("MI must not depend on input order")
 	}
 }
+
+func TestSpearmanPairwiseComplete(t *testing.T) {
+	// A null row must be deleted BEFORE ranking (scipy's pairwise-complete
+	// semantics). Ranking all rows first and dropping NaN pairs afterwards
+	// correlates stale ranks: this case gives 10.5/sqrt(123) ~ 0.9468 under
+	// that bug, versus the correct 3/sqrt(10).
+	x := []float64{math.NaN(), 1, 2, 3, 4, 5}
+	y := []float64{2, 0, 0, 1, 2, 2}
+	want := 3 / math.Sqrt(10)
+	approx(t, Spearman(x, y), want, 1e-12, "pairwise-complete spearman")
+	// NaN in y must delete the same row.
+	x2 := []float64{7, 1, 2, 3, 4, 5}
+	y2 := []float64{math.NaN(), 0, 0, 1, 2, 2}
+	approx(t, Spearman(x2, y2), want, 1e-12, "NaN in y")
+	// Null-free inputs are untouched.
+	approx(t, Spearman([]float64{1, 2, 3}, []float64{3, 5, 9}), 1, 1e-12, "clean fast path")
+}
+
+func TestSpearmanPairwiseMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	Spearman([]float64{1}, []float64{1, 2})
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultBuckets are the histogram upper bounds used by Observe, tuned
@@ -94,17 +95,26 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 
 // Metrics is a named registry of counters, gauges and histograms.
 // A nil *Metrics is a valid disabled registry: every method no-ops.
+//
+// Counters are lock-free on the hot path: the registry maps names to
+// *atomic.Int64 cells under an RWMutex that is only write-locked when a
+// name is first seen, so the parallel discovery workers increment shared
+// counters without serialising on one mutex. Gauges and histograms are
+// mutex-protected (they are written once per run / once per join, never
+// contended enough to matter).
 type Metrics struct {
-	mu       sync.Mutex
-	counters map[string]int64
-	gauges   map[string]float64
-	hists    map[string]*Histogram
+	cmu      sync.RWMutex
+	counters map[string]*atomic.Int64
+
+	mu     sync.Mutex
+	gauges map[string]float64
+	hists  map[string]*Histogram
 }
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		counters: map[string]int64{},
+		counters: map[string]*atomic.Int64{},
 		gauges:   map[string]float64{},
 		hists:    map[string]*Histogram{},
 	}
@@ -118,9 +128,24 @@ func (m *Metrics) Add(name string, delta int64) {
 	if m == nil {
 		return
 	}
-	m.mu.Lock()
-	m.counters[name] += delta
-	m.mu.Unlock()
+	m.counter(name).Add(delta)
+}
+
+// counter returns the atomic cell for name, creating it on first use.
+func (m *Metrics) counter(name string) *atomic.Int64 {
+	m.cmu.RLock()
+	c := m.counters[name]
+	m.cmu.RUnlock()
+	if c != nil {
+		return c
+	}
+	m.cmu.Lock()
+	defer m.cmu.Unlock()
+	if c = m.counters[name]; c == nil {
+		c = new(atomic.Int64)
+		m.counters[name] = c
+	}
+	return c
 }
 
 // SetGauge sets the named gauge to v (last write wins).
@@ -153,9 +178,12 @@ func (m *Metrics) Counter(name string) int64 {
 	if m == nil {
 		return 0
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.counters[name]
+	m.cmu.RLock()
+	defer m.cmu.RUnlock()
+	if c := m.counters[name]; c != nil {
+		return c.Load()
+	}
+	return 0
 }
 
 // Gauge reads the named gauge (0 when absent or disabled).
@@ -182,12 +210,14 @@ func (m *Metrics) HistogramCount(name string) int64 {
 }
 
 func (m *Metrics) snapshot() (map[string]int64, map[string]float64, map[string]HistogramSnapshot) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.cmu.RLock()
 	counters := make(map[string]int64, len(m.counters))
 	for k, v := range m.counters {
-		counters[k] = v
+		counters[k] = v.Load()
 	}
+	m.cmu.RUnlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	gauges := make(map[string]float64, len(m.gauges))
 	for k, v := range m.gauges {
 		gauges[k] = v

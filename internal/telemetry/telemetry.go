@@ -57,7 +57,13 @@ const (
 	CtrPathsExplored = "discovery.paths_explored"
 	CtrPathsKept     = "discovery.paths_kept"
 	CtrJoins         = "relational.joins"
+	// CtrKeyIndexHits / CtrKeyIndexMisses count key-index cache lookups in
+	// relational.LeftJoin when a KeyIndexCache is attached.
+	CtrKeyIndexHits   = "relational.key_index_cache_hits"
+	CtrKeyIndexMisses = "relational.key_index_cache_misses"
 	GaugeSelectionSeconds = "discovery.selection_seconds"
+	// GaugeWorkers records the resolved worker-pool size of the last run.
+	GaugeWorkers          = "discovery.workers"
 	HistJoinSeconds       = "relational.left_join_seconds"
 	HistRelevanceSeconds  = "fselect.relevance_seconds"
 	HistRedundancySeconds = "fselect.redundancy_seconds"

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -350,5 +351,37 @@ func BenchmarkEnabledSpan(b *testing.B) {
 		sp.SetInt("matched", i)
 		mx.Observe(HistJoinSeconds, sp.End().Seconds())
 		mx.Inc(CtrPathsExplored)
+	}
+}
+
+func TestMetricsConcurrentCounters(t *testing.T) {
+	// Counters are the one metric the parallel join loop hammers from many
+	// goroutines; they must be atomic and race-clean (run with -race).
+	c := New()
+	m := c.Meter()
+	var wg sync.WaitGroup
+	const workers, each = 8, 1000
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				m.Inc("conc.hits")
+				m.Add("conc.bytes", 3)
+				m.SetGauge("conc.gauge", float64(i))
+				m.Observe("conc.hist", float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("conc.hits"); got != workers*each {
+		t.Fatalf("hits = %d, want %d", got, workers*each)
+	}
+	if got := m.Counter("conc.bytes"); got != 3*workers*each {
+		t.Fatalf("bytes = %d, want %d", got, 3*workers*each)
+	}
+	snap := c.Snapshot()
+	if snap.Counters["conc.hits"] != workers*each {
+		t.Fatalf("snapshot hits = %d", snap.Counters["conc.hits"])
 	}
 }
