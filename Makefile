@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench check
+.PHONY: build vet test race bench check docs-check
 
 build:
 	$(GO) build ./...
@@ -22,8 +22,16 @@ bench:
 	$(GO) test -run xxx -bench 'BenchmarkMicro' -benchmem .
 	AUTOFEAT_BENCH_OUT=BENCH_parallel.json $(GO) test -run TestWriteParallelBench -v .
 
+# docs-check is the documentation gate: a godoc audit over the
+# public-facing packages (exported identifiers must carry doc comments
+# that start with their name) plus a relative-link check over README,
+# DESIGN and docs/.
+docs-check:
+	$(GO) run ./cmd/doccheck -md README.md,DESIGN.md,docs \
+		internal/core internal/relational internal/fselect internal/telemetry .
+
 # check is the tier-1 verification gate (see ROADMAP.md).
-check:
+check: docs-check
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...

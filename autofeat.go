@@ -26,11 +26,30 @@ import (
 
 	"autofeat/internal/core"
 	"autofeat/internal/discovery"
+	"autofeat/internal/errs"
 	"autofeat/internal/frame"
 	"autofeat/internal/fselect"
 	"autofeat/internal/graph"
 	"autofeat/internal/ml"
 	"autofeat/internal/telemetry"
+)
+
+// Error taxonomy. Every error AutoFeat returns for a cause the caller can
+// act on matches exactly one of these sentinels under errors.Is; wrapped
+// causes (an *fs.PathError, context.DeadlineExceeded, ...) stay reachable
+// through errors.As / errors.Is on the same chain.
+var (
+	// ErrBadInput classifies malformed user input: unreadable or corrupt
+	// CSVs, unknown model or metric names, invalid configuration.
+	ErrBadInput = errs.ErrBadInput
+	// ErrBudgetExceeded classifies an exhausted resource budget
+	// (Config.MaxEvalJoins, Config.MaxJoinedRows). Discovery itself does
+	// not error on budgets — it degrades to a Partial ranking — so this
+	// surfaces only from callers that choose to treat Partial as fatal.
+	ErrBudgetExceeded = errs.ErrBudgetExceeded
+	// ErrCancelled classifies aborts caused by a cancelled context or an
+	// expired deadline; the context's own error is in the wrap chain.
+	ErrCancelled = errs.ErrCancelled
 )
 
 // Table is a named, typed, columnar table — the unit of the data lake.
@@ -109,11 +128,44 @@ func ReadTablesDir(dir string) ([]*Table, error) {
 	for _, p := range paths {
 		t, err := frame.ReadCSVFile(p)
 		if err != nil {
-			return nil, fmt.Errorf("autofeat: read %q: %w", p, err)
+			return nil, errs.BadInput("autofeat: read %q: %w", p, err)
 		}
 		tables = append(tables, t)
 	}
 	return tables, nil
+}
+
+// ReadTablesDirLenient loads every *.csv in a directory like ReadTablesDir
+// but skips files that fail to parse instead of aborting the whole lake:
+// one corrupt table then prunes only the join paths that would have passed
+// through it. The skipped files are reported as errors (each matching
+// ErrBadInput), so callers can log what was dropped. With every file
+// corrupt, the table slice is empty and errs holds one entry per file.
+func ReadTablesDirLenient(dir string) (tables []*Table, errors []error) {
+	all, err := ReadTablesDir(dir)
+	if err == nil {
+		return all, nil
+	}
+	entries, derr := os.ReadDir(dir)
+	if derr != nil {
+		return nil, []error{errs.BadInput("autofeat: read dir %q: %w", dir, derr)}
+	}
+	var paths []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".csv") {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		t, rerr := frame.ReadCSVFile(p)
+		if rerr != nil {
+			errors = append(errors, errs.BadInput("autofeat: read %q: %w", p, rerr))
+			continue
+		}
+		tables = append(tables, t)
+	}
+	return tables, errors
 }
 
 // BuildDRG constructs the DRG from known KFK constraints (the curated
@@ -177,7 +229,7 @@ type TelemetrySink = telemetry.Sink
 
 // PruneStats is the by-reason pruning breakdown of a Ranking
 // (similarity, join_failed, quality_below_tau, beam_evicted,
-// max_paths_cap).
+// max_paths_cap, budget_exhausted, cancelled).
 type PruneStats = core.PruneStats
 
 // NewTelemetry returns a live collector for Config.Telemetry.
@@ -215,14 +267,33 @@ func RelevanceMetric(name string) Relevance { return fselect.RelevanceByName(nam
 // redundancy stage.
 func RedundancyMetric(name string) Redundancy { return fselect.RedundancyByName(name) }
 
-// Model returns the named model factory. Tree models: "lightgbm",
-// "xgboost", "randomforest", "extratrees"; others: "knn", "lr_l1".
+// Model returns the named model factory. The supported names are
+// "lightgbm", "xgboost", "randomforest", "extratrees" (tree ensembles)
+// and "knn", "lr_l1" (k-nearest-neighbours, L1-regularised logistic
+// regression). Model panics on an unknown name — it is the convenience
+// form for literal names in code; use ModelByName to validate untrusted
+// input such as a CLI flag.
 func Model(name string) ModelFactory {
 	f, ok := ml.FactoryByName(name)
 	if !ok {
 		panic(fmt.Sprintf("autofeat: unknown model %q (see Models())", name))
 	}
 	return f
+}
+
+// ModelByName returns the named model factory, or an ErrBadInput-matching
+// error listing the supported names when the name is unknown. Same name
+// set as Model.
+func ModelByName(name string) (ModelFactory, error) {
+	f, ok := ml.FactoryByName(name)
+	if !ok {
+		known := make([]string, 0, 6)
+		for _, m := range Models() {
+			known = append(known, m.Name)
+		}
+		return ModelFactory{}, errs.BadInput("autofeat: unknown model %q (supported: %s)", name, strings.Join(known, ", "))
+	}
+	return f, nil
 }
 
 // Models lists every available model factory.

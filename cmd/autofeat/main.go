@@ -39,6 +39,9 @@ func main() {
 		threshold  = flag.Float64("threshold", 0.55, "matcher threshold when no constraints file exists")
 		seed       = flag.Int64("seed", 1, "random seed")
 		workers    = flag.Int("workers", 0, "parallel join-evaluation workers (0 = GOMAXPROCS, 1 = sequential)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none); on expiry the best partial ranking is returned")
+		budgetJ    = flag.Int("budget-joins", 0, "max joins to evaluate (0 = unlimited); exhaustion yields a partial ranking")
+		budgetR    = flag.Int64("budget-rows", 0, "max cumulative joined rows to materialise during discovery (0 = unlimited)")
 		dot        = flag.Bool("dot", false, "print the DRG in Graphviz DOT format and exit")
 		paths      = flag.Int("paths", 5, "ranked paths to print")
 		beam       = flag.Int("beam", 0, "beam width (0 = exhaustive BFS)")
@@ -68,6 +71,7 @@ func main() {
 		threshold: *threshold, seed: *seed, workers: *workers, dot: *dot, paths: *paths,
 		beam: *beam, sketched: *sketched, autotune: *autotune,
 		traceOut: *traceOut, metricsOut: *metricsOut,
+		timeout: *timeout, budgetJoins: *budgetJ, budgetRows: *budgetR,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintf(os.Stderr, "autofeat: %v\n", err)
@@ -89,9 +93,16 @@ type runOpts struct {
 	sketched                bool
 	autotune                bool
 	traceOut, metricsOut    string
+	timeout                 time.Duration
+	budgetJoins             int
+	budgetRows              int64
 }
 
 func run(o runOpts) error {
+	factory, err := autofeat.ModelByName(o.model)
+	if err != nil {
+		return err
+	}
 	tables, err := autofeat.ReadTablesDir(o.dir)
 	if err != nil {
 		return err
@@ -114,10 +125,13 @@ func run(o runOpts) error {
 	cfg.Seed = o.seed
 	cfg.Workers = o.workers
 	cfg.BeamWidth = o.beam
+	cfg.Timeout = o.timeout
+	cfg.MaxEvalJoins = o.budgetJoins
+	cfg.MaxJoinedRows = o.budgetRows
 	base, label, model, nPaths := o.base, o.label, o.model, o.paths
 
 	if o.autotune {
-		out, err := autofeat.AutoTune(g, base, label, cfg, autofeat.Model(model), nil, nil)
+		out, err := autofeat.AutoTune(g, base, label, cfg, factory, nil, nil)
 		if err != nil {
 			return err
 		}
@@ -135,16 +149,19 @@ func run(o runOpts) error {
 	if err != nil {
 		return err
 	}
-	res, err := disc.Augment(autofeat.Model(model))
+	res, err := disc.Augment(factory)
 	if err != nil {
 		return err
 	}
 
+	if res.Partial {
+		fmt.Printf("\nPARTIAL RESULT (%s): the search stopped early; the ranking covers only what was reached\n", res.PartialReason)
+	}
 	pr := res.Ranking.Prune
 	fmt.Printf("\nranked join paths (top %d of %d, explored %d, pruned %d):\n",
 		nPaths, len(res.Ranking.Paths), res.Ranking.PathsExplored, res.Ranking.PathsPruned)
-	fmt.Printf("pruning: similarity %d, join_failed %d, quality_below_tau %d, beam_evicted %d, max_paths_cap %d\n",
-		pr.Similarity, pr.JoinFailed, pr.QualityBelowTau, pr.BeamEvicted, pr.MaxPathsCap)
+	fmt.Printf("pruning: similarity %d, join_failed %d, quality_below_tau %d, beam_evicted %d, max_paths_cap %d, budget_exhausted %d, cancelled %d\n",
+		pr.Similarity, pr.JoinFailed, pr.QualityBelowTau, pr.BeamEvicted, pr.MaxPathsCap, pr.BudgetExhausted, pr.Cancelled)
 	for i, p := range res.Ranking.TopK(nPaths) {
 		fmt.Printf("  %d. %s\n", i+1, p)
 	}

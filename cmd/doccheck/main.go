@@ -1,0 +1,264 @@
+// Command doccheck is the documentation gate run by `make docs-check`:
+// it audits Go doc comments and markdown cross-links and exits non-zero
+// on any finding, keeping the docs from drifting as the code grows.
+//
+// Two checks run:
+//
+//   - Godoc audit over the package directories given as arguments
+//     (test files excluded): every exported function, method and type
+//     must carry a doc comment that starts with the identifier's name,
+//     and every exported const or var must be documented either on its
+//     own spec or on its declaration group.
+//
+//   - Markdown link audit over the files and directories named by -md:
+//     every relative link target (outside code fences) must exist on
+//     disk; http(s), mailto and pure-anchor links are skipped.
+//
+// Usage:
+//
+//	doccheck -md README.md,DESIGN.md,docs internal/core internal/telemetry .
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	md := flag.String("md", "", "comma-separated markdown files or directories to link-check")
+	flag.Parse()
+
+	var findings []string
+	for _, dir := range flag.Args() {
+		fs, err := auditPackageDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	if *md != "" {
+		for _, root := range strings.Split(*md, ",") {
+			fs, err := auditMarkdown(strings.TrimSpace(root))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+				os.Exit(2)
+			}
+			findings = append(findings, fs...)
+		}
+	}
+	sort.Strings(findings)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// auditPackageDir parses the non-test Go files of one directory and
+// returns one finding per missing or malformed doc comment.
+func auditPackageDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", dir, err)
+	}
+	var findings []string
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		findings = append(findings, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, fmt.Sprintf(format, args...)))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					auditFunc(d, report)
+				case *ast.GenDecl:
+					auditGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return findings, nil
+}
+
+// auditFunc checks one function or method declaration. Methods on
+// unexported receiver types are skipped: they are not part of the godoc
+// surface.
+func auditFunc(d *ast.FuncDecl, report func(token.Pos, string, ...any)) {
+	if !d.Name.IsExported() {
+		return
+	}
+	if d.Recv != nil && !receiverExported(d.Recv) {
+		return
+	}
+	kind := "function"
+	if d.Recv != nil {
+		kind = "method"
+	}
+	checkNamedDoc(d.Doc, d.Name, kind, report)
+}
+
+// auditGenDecl checks type, const and var declarations. Types require a
+// name-leading doc comment (on the spec or, for single-spec declarations,
+// on the group). Consts and vars accept either a spec doc or a group doc.
+func auditGenDecl(d *ast.GenDecl, report func(token.Pos, string, ...any)) {
+	switch d.Tok {
+	case token.TYPE:
+		for _, spec := range d.Specs {
+			ts := spec.(*ast.TypeSpec)
+			if !ts.Name.IsExported() {
+				continue
+			}
+			doc := ts.Doc
+			if doc == nil && len(d.Specs) == 1 {
+				doc = d.Doc
+			}
+			checkNamedDoc(doc, ts.Name, "type", report)
+		}
+	case token.CONST, token.VAR:
+		for _, spec := range d.Specs {
+			vs := spec.(*ast.ValueSpec)
+			for _, name := range vs.Names {
+				if !name.IsExported() {
+					continue
+				}
+				if vs.Doc.Text() == "" && d.Doc.Text() == "" && vs.Comment.Text() == "" {
+					report(name.Pos(), "exported %s %s has no doc comment (spec or group)", strings.ToLower(d.Tok.String()), name.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkNamedDoc enforces the godoc convention that a declaration's
+// comment starts with the declared name (an optional leading article
+// "A", "An" or "The" is tolerated, matching go vet's stance).
+func checkNamedDoc(doc *ast.CommentGroup, name *ast.Ident, kind string, report func(token.Pos, string, ...any)) {
+	text := doc.Text()
+	if text == "" {
+		report(name.Pos(), "exported %s %s has no doc comment", kind, name.Name)
+		return
+	}
+	trimmed := text
+	for _, article := range []string{"A ", "An ", "The "} {
+		if strings.HasPrefix(trimmed, article) {
+			trimmed = trimmed[len(article):]
+			break
+		}
+	}
+	if !strings.HasPrefix(trimmed, name.Name) {
+		report(name.Pos(), "doc comment for %s %s should start with %q", kind, name.Name, name.Name)
+	}
+}
+
+// receiverExported reports whether the method receiver's base type name
+// is exported.
+func receiverExported(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// linkRe matches inline markdown links and images: [text](target).
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// auditMarkdown link-checks one markdown file, or every *.md under a
+// directory. Relative targets must exist on disk, resolved against the
+// containing file's directory.
+func auditMarkdown(root string) ([]string, error) {
+	info, err := os.Stat(root)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	if info.IsDir() {
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		files = []string{root}
+	}
+	var findings []string
+	for _, f := range files {
+		fs, err := auditMarkdownFile(f)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	return findings, nil
+}
+
+// auditMarkdownFile checks every relative link of one markdown file,
+// skipping fenced code blocks (``` ... ```).
+func auditMarkdownFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				findings = append(findings, fmt.Sprintf("%s:%d: broken link %q (%s does not exist)", path, i+1, m[1], resolved))
+			}
+		}
+	}
+	return findings, nil
+}

@@ -30,6 +30,9 @@ func main() {
 		workers = flag.Int("workers", 0, "parallel join-evaluation workers per discovery (0 = GOMAXPROCS, 1 = sequential)")
 		verbose = flag.Bool("v", false, "print per-run progress")
 		telOut  = flag.String("telemetry-out", "", "write accumulated discovery telemetry as JSON to this file")
+		timeout = flag.Duration("timeout", 0, "wall-clock budget per discovery (0 = none); expiry truncates rankings (partial)")
+		budgetJ = flag.Int("budget-joins", 0, "max joins evaluated per discovery (0 = unlimited)")
+		budgetR = flag.Int64("budget-rows", 0, "max cumulative joined rows per discovery (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -46,6 +49,9 @@ func main() {
 	runner := bench.NewRunner(specs, *seed)
 	runner.Verbose = *verbose
 	runner.Workers = *workers
+	runner.Timeout = *timeout
+	runner.MaxEvalJoins = *budgetJ
+	runner.MaxJoinedRows = *budgetR
 	if *telOut != "" {
 		runner.Telemetry = telemetry.New()
 	}

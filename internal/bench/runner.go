@@ -70,6 +70,16 @@ type Runner struct {
 	// runner executes, accumulating spans and per-phase metrics across the
 	// whole sweep. Write it out with WriteTelemetry.
 	Telemetry *telemetry.Collector
+	// Timeout bounds each discovery's wall clock (core.Config.Timeout);
+	// 0 means none. It joins the ranking cache key, since an expired
+	// deadline truncates the ranking.
+	Timeout time.Duration
+	// MaxEvalJoins budgets joins evaluated per discovery
+	// (core.Config.MaxEvalJoins); 0 means unlimited.
+	MaxEvalJoins int
+	// MaxJoinedRows budgets cumulative joined rows per discovery
+	// (core.Config.MaxJoinedRows); 0 means unlimited.
+	MaxJoinedRows int64
 
 	datasets map[string]*datagen.Dataset
 	drgs     map[string]*graph.Graph
@@ -154,7 +164,11 @@ func (r *Runner) DRG(name string, s Setting) (*graph.Graph, error) {
 // autofeatRanking runs (and caches) AutoFeat discovery for a dataset and
 // setting with the given config.
 func (r *Runner) autofeatRanking(name string, s Setting, cfg core.Config) (*rankingEntry, error) {
-	key := fmt.Sprintf("%s/%s/tau=%.2f/kappa=%d/%s", name, s, cfg.Tau, cfg.Kappa, cfgMetricKey(cfg))
+	cfg.Timeout = r.Timeout
+	cfg.MaxEvalJoins = r.MaxEvalJoins
+	cfg.MaxJoinedRows = r.MaxJoinedRows
+	key := fmt.Sprintf("%s/%s/tau=%.2f/kappa=%d/%s/budget=%v-%d-%d",
+		name, s, cfg.Tau, cfg.Kappa, cfgMetricKey(cfg), cfg.Timeout, cfg.MaxEvalJoins, cfg.MaxJoinedRows)
 	if e, ok := r.rankings[key]; ok {
 		return e, nil
 	}

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
 
+	"autofeat/internal/errs"
 	"autofeat/internal/frame"
 	"autofeat/internal/ml"
 	"autofeat/internal/relational"
@@ -37,19 +40,35 @@ type AugmentResult struct {
 	// TotalTime adds materialisation and model training on top.
 	SelectionTime time.Duration
 	TotalTime     time.Duration
+	// Partial reports that discovery or evaluation stopped early
+	// (cancellation, deadline or budget) and Best is the best of what
+	// was reached, not of the full search space. The base table alone is
+	// always evaluated, so Best is populated even on a fully cancelled
+	// run. PartialReason carries the cause, as in Ranking.
+	Partial       bool
+	PartialReason string
 }
 
-// Augment runs the full AutoFeat pipeline against the discovery's graph:
-// discovery + ranking, then training the factory's model on each of the
-// top-k paths at full table size, returning the best-accuracy path
-// (Section VI, "From Ranked Paths to Training ML Models").
+// Augment runs the full AutoFeat pipeline with no external cancellation;
+// it is AugmentContext under context.Background().
 func (d *Discovery) Augment(factory ml.Factory) (*AugmentResult, error) {
+	return d.AugmentContext(context.Background(), factory)
+}
+
+// AugmentContext runs the full AutoFeat pipeline against the discovery's
+// graph: discovery + ranking, then training the factory's model on each of
+// the top-k paths at full table size, returning the best-accuracy path
+// (Section VI, "From Ranked Paths to Training ML Models"). Cancellation
+// degrades, it does not error: discovery returns its partial ranking and
+// evaluation always scores at least the base table alone, so the result's
+// Best is populated (and flagged Partial) even when ctx is already done.
+func (d *Discovery) AugmentContext(ctx context.Context, factory ml.Factory) (*AugmentResult, error) {
 	start := time.Now()
-	ranking, err := d.Run()
+	ranking, err := d.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}
-	res, err := d.EvaluateRanking(ranking, factory)
+	res, err := d.EvaluateRankingContext(ctx, ranking, factory)
 	if err != nil {
 		return nil, err
 	}
@@ -57,13 +76,30 @@ func (d *Discovery) Augment(factory ml.Factory) (*AugmentResult, error) {
 	return res, nil
 }
 
-// EvaluateRanking trains the factory's model on the top-k ranked paths of
-// a previously computed ranking and picks the best. Exposed separately so
-// harnesses can time discovery and evaluation independently and reuse one
-// ranking across model families.
+// EvaluateRanking trains the factory's model on the top-k ranked paths
+// with no external cancellation; it is EvaluateRankingContext under
+// context.Background().
 func (d *Discovery) EvaluateRanking(ranking *Ranking, factory ml.Factory) (*AugmentResult, error) {
+	return d.EvaluateRankingContext(context.Background(), ranking, factory)
+}
+
+// EvaluateRankingContext trains the factory's model on the top-k ranked
+// paths of a previously computed ranking and picks the best. Exposed
+// separately so harnesses can time discovery and evaluation independently
+// and reuse one ranking across model families.
+//
+// The base-table candidate (index 0) is always evaluated, even under an
+// already-cancelled context — AutoFeat's floor guarantee that augmentation
+// never silently loses the un-augmented baseline. ctx is checked between
+// the remaining candidates; a cancellation flags the result Partial and
+// returns what was evaluated so far instead of erroring.
+func (d *Discovery) EvaluateRankingContext(ctx context.Context, ranking *Ranking, factory ml.Factory) (*AugmentResult, error) {
 	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	res := &AugmentResult{Ranking: ranking, SelectionTime: ranking.SelectionTime}
+	res.Partial, res.PartialReason = ranking.Partial, ranking.PartialReason
 	base := ranking.Base
 
 	// Candidate 0 is always the base table alone, so AutoFeat never
@@ -73,12 +109,26 @@ func (d *Discovery) EvaluateRanking(ranking *Ranking, factory ml.Factory) (*Augm
 
 	tr := d.cfg.Telemetry.Trace()
 	bestAcc := -1.0
-	for _, p := range candidates {
+	for i, p := range candidates {
+		// The base candidate materialises without joins; run it under a
+		// background context so the floor guarantee holds even when ctx
+		// is already done.
+		candCtx := ctx
+		if i == 0 {
+			candCtx = context.Background()
+		} else if err := ctx.Err(); err != nil {
+			markPartialResult(res, partialReason(err))
+			break
+		}
 		matSpan := tr.Start(telemetry.SpanMaterialize)
-		table, features, err := d.MaterializePath(p, base)
+		table, features, err := d.MaterializePathContext(candCtx, p, base)
 		matSpan.SetInt("hops", len(p.Edges))
 		matSpan.End()
 		if err != nil {
+			if errors.Is(err, errs.ErrCancelled) {
+				markPartialResult(res, partialReason(ctx.Err()))
+				break
+			}
 			return nil, err
 		}
 		trainSpan := tr.Start(telemetry.SpanTrainEval)
@@ -99,13 +149,36 @@ func (d *Discovery) EvaluateRanking(ranking *Ranking, factory ml.Factory) (*Augm
 		}
 	}
 	res.TotalTime = ranking.SelectionTime + time.Since(start)
+	if res.Partial && !ranking.Partial {
+		// A partial ranking already counted itself in RunContext; only an
+		// evaluation-phase stop adds a new partial run.
+		d.cfg.Telemetry.Meter().Inc(telemetry.CtrPartialRuns)
+	}
 	return res, nil
 }
 
-// MaterializePath joins the full base table along the path and returns the
-// augmented table plus the feature set to train with (base features + the
-// path's selected features, deduplicated).
+// markPartialResult flags the result Partial under reason, first cause
+// winning — the evaluation-phase counterpart of markPartial.
+func markPartialResult(res *AugmentResult, reason string) {
+	if !res.Partial {
+		res.Partial = true
+		res.PartialReason = reason
+	}
+}
+
+// MaterializePath joins the full base table along the path with no
+// external cancellation; it is MaterializePathContext under
+// context.Background().
 func (d *Discovery) MaterializePath(p RankedPath, base *frame.Frame) (*frame.Frame, []string, error) {
+	return d.MaterializePathContext(context.Background(), p, base)
+}
+
+// MaterializePathContext joins the full base table along the path and
+// returns the augmented table plus the feature set to train with (base
+// features + the path's selected features, deduplicated). ctx flows into
+// every hop's join row loop; a cancellation aborts with an error wrapping
+// errs.ErrCancelled.
+func (d *Discovery) MaterializePathContext(ctx context.Context, p RankedPath, base *frame.Frame) (*frame.Frame, []string, error) {
 	rp := make(relational.Path, len(p.Edges))
 	for i, e := range p.Edges {
 		to := d.g.Table(e.B)
@@ -119,6 +192,7 @@ func (d *Discovery) MaterializePath(p RankedPath, base *frame.Frame) (*frame.Fra
 		joinRng = rand.New(rand.NewSource(d.cfg.Seed))
 	}
 	table, _, err := rp.Materialize(base, relational.Options{
+		Ctx:       ctx,
 		Normalize: d.cfg.NormalizeJoins,
 		Rng:       joinRng,
 		Telemetry: d.cfg.Telemetry,

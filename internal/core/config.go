@@ -10,10 +10,19 @@ package core
 
 import (
 	"fmt"
+	"time"
 
+	"autofeat/internal/frame"
 	"autofeat/internal/fselect"
+	"autofeat/internal/relational"
 	"autofeat/internal/telemetry"
 )
+
+// joinFunc is the signature of relational.LeftJoin; Config carries an
+// injectable override (unexported, test-only) so the fault-injection
+// harness can substitute failing or slow joins without touching the
+// relational package.
+type joinFunc func(left, right *frame.Frame, leftKey, rightKey string, opt relational.Options) (*relational.Result, error)
 
 // Config holds AutoFeat's hyper-parameters. The zero value is not usable;
 // start from DefaultConfig.
@@ -73,6 +82,30 @@ type Config struct {
 	// ranking, materialisation, training). Nil — the default — disables
 	// collection at negligible cost.
 	Telemetry *telemetry.Collector
+	// Timeout, when > 0, bounds the wall-clock time of a discovery run:
+	// RunContext derives a deadline and the traversal degrades to a
+	// partial ranking (Ranking.Partial) when it expires. The BFS is an
+	// any-time search, so whatever was ranked before the deadline is
+	// still a valid (if shorter) ranking. 0 disables the deadline.
+	Timeout time.Duration
+	// MaxEvalJoins, when > 0, budgets the number of joins the traversal
+	// may evaluate. Unlike MaxPaths (a search-space safety valve), an
+	// exhausted budget flags the ranking Partial and is recorded under
+	// the budget_exhausted pruning reason. The budget is applied
+	// positionally in enumeration order, so the partial ranking is
+	// bit-identical at every worker count. <= 0 disables the budget.
+	MaxEvalJoins int
+	// MaxJoinedRows, when > 0, budgets the cumulative number of joined
+	// rows the traversal may materialise (each evaluated join contributes
+	// its left side's row count — left joins preserve rows). Applied
+	// positionally like MaxEvalJoins; an exhausted budget flags the
+	// ranking Partial. <= 0 disables the budget.
+	MaxJoinedRows int64
+	// joinFn, when non-nil, replaces relational.LeftJoin for every join
+	// evaluation — the fault-injection seam used by tests to prove that
+	// failing or slow joins degrade deterministically. Unexported: only
+	// package-internal tests can set it.
+	joinFn joinFunc
 }
 
 // DefaultConfig returns the paper's evaluation configuration:
@@ -108,6 +141,9 @@ func (c Config) validate() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("core: workers %d must be >= 0 (0 = GOMAXPROCS)", c.Workers)
+	}
+	if c.Timeout < 0 {
+		return fmt.Errorf("core: timeout %v must be >= 0 (0 = none)", c.Timeout)
 	}
 	return nil
 }

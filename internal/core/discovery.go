@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -12,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"autofeat/internal/errs"
 	"autofeat/internal/frame"
 	"autofeat/internal/fselect"
 	"autofeat/internal/graph"
@@ -69,6 +72,15 @@ type PruneStats struct {
 	// MaxPathsCap counts candidate edges left unevaluated at the active
 	// frontier when the MaxPaths cap stopped the traversal.
 	MaxPathsCap int `json:"max_paths_cap"`
+	// BudgetExhausted counts candidate joins left unevaluated because a
+	// Config budget (MaxEvalJoins or MaxJoinedRows) ran out. A non-zero
+	// count always comes with Ranking.Partial = true.
+	BudgetExhausted int `json:"budget_exhausted"`
+	// Cancelled counts the candidate joins of the depth that was in
+	// flight when the run's context was cancelled or its deadline
+	// expired. The whole depth is discarded — see Ranking.Partial — so
+	// the count covers every candidate of that depth, evaluated or not.
+	Cancelled int `json:"cancelled"`
 }
 
 // Discarded is the number of evaluated joins that were discarded —
@@ -77,7 +89,8 @@ func (p PruneStats) Discarded() int { return p.JoinFailed + p.QualityBelowTau }
 
 // Total sums every reason, including search-space truncation.
 func (p PruneStats) Total() int {
-	return p.Similarity + p.JoinFailed + p.QualityBelowTau + p.BeamEvicted + p.MaxPathsCap
+	return p.Similarity + p.JoinFailed + p.QualityBelowTau + p.BeamEvicted +
+		p.MaxPathsCap + p.BudgetExhausted + p.Cancelled
 }
 
 // Ranking is the output of the discovery phase: join paths ordered by
@@ -104,6 +117,17 @@ type Ranking struct {
 	// SelectionTime is the wall-clock feature-discovery time — the
 	// efficiency metric of Section VII ("feature selection time").
 	SelectionTime time.Duration
+	// Partial reports that the search stopped early — context cancelled,
+	// deadline expired, or a Config budget exhausted — and Paths covers
+	// only the part of the search space reached before the stop. The
+	// ranking is still valid and deterministic: budgets are applied
+	// positionally, and a cancellation discards the whole in-flight BFS
+	// depth, so the result is bit-identical at every worker count.
+	Partial bool
+	// PartialReason names what stopped a Partial run: "cancelled",
+	// "deadline", "max_eval_joins" or "max_joined_rows". Empty when
+	// Partial is false. The first cause wins when several fire.
+	PartialReason string
 }
 
 // TopK returns the best k paths (fewer when the ranking is shorter).
@@ -138,11 +162,36 @@ type state struct {
 	selCols [][]float64
 }
 
-// Run executes Algorithm 1: BFS traversal with similarity-score and
+// Run executes Algorithm 1 with no external cancellation; it is
+// RunContext under context.Background(). Config budgets (Timeout,
+// MaxEvalJoins, MaxJoinedRows) still apply.
+func (d *Discovery) Run() (*Ranking, error) {
+	return d.RunContext(context.Background())
+}
+
+// RunContext executes Algorithm 1: BFS traversal with similarity-score and
 // data-quality pruning, streaming feature selection per join, and
 // Algorithm 2 ranking of every surviving path.
-func (d *Discovery) Run() (*Ranking, error) {
+//
+// The context is observed cooperatively — at every BFS depth, before each
+// join evaluation, inside the join row loop and at the feature-selection
+// stage boundaries. Cancellation (or an expired Config.Timeout deadline)
+// does not return an error: the run degrades to the best ranking found so
+// far, flagged Partial with PartialReason "cancelled" or "deadline". The
+// in-flight depth is discarded wholesale (counted under the cancelled
+// pruning reason), so the partial ranking is bit-identical at every
+// worker count. Budget exhaustion (MaxEvalJoins, MaxJoinedRows) degrades
+// the same way under the budget_exhausted pruning reason.
+func (d *Discovery) RunContext(ctx context.Context) (*Ranking, error) {
 	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if d.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d.cfg.Timeout)
+		defer cancel()
+	}
 	tr := d.cfg.Telemetry.Trace()
 	mx := d.cfg.Telemetry.Meter()
 	runSpan := tr.Start(telemetry.SpanRun)
@@ -211,11 +260,19 @@ func (d *Discovery) Run() (*Ranking, error) {
 	// key→row map instead of rescanning the column.
 	cache := relational.NewKeyIndexCache()
 
-	// capped flips once the MaxPaths cap fires; the rest of the active
-	// frontier is then only counted (MaxPathsCap), never evaluated, and
-	// the traversal does not descend another level.
+	// capped flips once the MaxPaths cap or a budget fires; the rest of
+	// the active frontier is then only counted, never evaluated, and the
+	// traversal does not descend another level.
 	capped := false
+	// rowsJoined tracks the cumulative joined-row budget (left rows per
+	// evaluated join — left joins preserve row count, so the cost of a
+	// join is known before evaluating it).
+	var rowsJoined int64
 	for depth := 0; depth < d.cfg.MaxDepth && len(frontier) > 0 && !capped; depth++ {
+		if err := ctx.Err(); err != nil {
+			markPartial(rank, partialReason(err))
+			break
+		}
 		depthSpan := tr.Start(telemetry.SpanDepth)
 		depthSpan.SetInt("depth", depth+1)
 		depthSpan.SetInt("frontier", len(frontier))
@@ -265,6 +322,42 @@ func (d *Discovery) Run() (*Ranking, error) {
 			}
 		}
 
+		// Apply the budgets the same way — positionally, in enumeration
+		// order, so the surviving prefix is identical at every worker
+		// count. Unlike MaxPaths (a search-space safety valve), an
+		// exhausted budget flags the ranking Partial.
+		if d.cfg.MaxEvalJoins > 0 {
+			if room := d.cfg.MaxEvalJoins - rank.PathsExplored; room < allowed {
+				if room < 0 {
+					room = 0
+				}
+				capped = true
+				skipped := allowed - room
+				allowed = room
+				rank.Prune.BudgetExhausted += skipped
+				mx.Add(telemetry.PrunedCounter(telemetry.PruneBudgetExhausted), int64(skipped))
+				markPartial(rank, "max_eval_joins")
+			}
+		}
+		if d.cfg.MaxJoinedRows > 0 {
+			fit := 0
+			for ; fit < allowed; fit++ {
+				rows := int64(jobs[fit].st.f.NumRows())
+				if rowsJoined+rows > d.cfg.MaxJoinedRows {
+					break
+				}
+				rowsJoined += rows
+			}
+			if fit < allowed {
+				capped = true
+				skipped := allowed - fit
+				allowed = fit
+				rank.Prune.BudgetExhausted += skipped
+				mx.Add(telemetry.PrunedCounter(telemetry.PruneBudgetExhausted), int64(skipped))
+				markPartial(rank, "max_joined_rows")
+			}
+		}
+
 		// Phase 2 — evaluate the candidates on the worker pool. Each join
 		// is independent: per-edge RNG streams (see edgeSeed) and the
 		// read-only frontier state make evaluation order irrelevant.
@@ -273,7 +366,13 @@ func (d *Discovery) Run() (*Ranking, error) {
 			reason string
 		}
 		outcomes := make([]outcome, allowed)
-		evalOne := func(i int) {
+		// evalOne evaluates job i; it returns false — without evaluating —
+		// once the context is done, so both the sequential loop and the
+		// workers drain quickly after a cancellation.
+		evalOne := func(i int) bool {
+			if ctx.Err() != nil {
+				return false
+			}
 			jb := jobs[i]
 			joinSpan := tr.Start(telemetry.SpanJoinEval)
 			joinSpan.SetStr("edge", fmt.Sprintf("%s.%s -> %s.%s", jb.e.A, jb.e.ColA, jb.e.B, jb.e.ColB))
@@ -284,16 +383,19 @@ func (d *Discovery) Run() (*Ranking, error) {
 				jseed = edgeSeed(d.cfg.Seed, depth, jb.e)
 				jrng = rand.New(rand.NewSource(jseed))
 			}
-			child, reason := d.expand(jb.st, jb.e, y, pipeline, jrng, jseed, cache, joinSpan)
+			child, reason := d.safeExpand(ctx, jb.st, jb.e, y, pipeline, jrng, jseed, cache, joinSpan)
 			if reason != "" {
 				joinSpan.SetStr("pruned", reason)
 			}
 			joinSpan.End()
 			outcomes[i] = outcome{child: child, reason: reason}
+			return true
 		}
 		if w := min(workers, allowed); w <= 1 {
 			for i := 0; i < allowed; i++ {
-				evalOne(i)
+				if !evalOne(i) {
+					break
+				}
 			}
 		} else {
 			var cursor atomic.Int64
@@ -307,11 +409,28 @@ func (d *Discovery) Run() (*Ranking, error) {
 						if i >= allowed {
 							return
 						}
-						evalOne(i)
+						if !evalOne(i) {
+							return
+						}
 					}
 				}()
 			}
 			wg.Wait()
+		}
+
+		// A cancellation observed during this depth discards the depth
+		// wholesale: which jobs finished before the stop depends on
+		// goroutine scheduling, so keeping any of them would make the
+		// partial ranking racy. Only fully-completed depths contribute
+		// paths — that is what makes the partial result bit-identical at
+		// every worker count.
+		if err := ctx.Err(); err != nil {
+			rank.Prune.Cancelled += allowed
+			mx.Add(telemetry.PrunedCounter(telemetry.PruneCancelled), int64(allowed))
+			markPartial(rank, partialReason(err))
+			depthSpan.SetStr("discarded", partialReason(err))
+			depthSpan.End()
+			break
 		}
 
 		// Phase 3 — fold the outcomes in job order, so PruneStats, path
@@ -366,10 +485,31 @@ func (d *Discovery) Run() (*Ranking, error) {
 
 	rank.PathsPruned = rank.Prune.Discarded()
 	rank.SelectionTime = time.Since(start)
+	if rank.Partial {
+		mx.Inc(telemetry.CtrPartialRuns)
+		runSpan.SetStr("partial_reason", rank.PartialReason)
+	}
 	mx.Add(telemetry.CtrPathsExplored, int64(rank.PathsExplored))
 	mx.Add(telemetry.CtrPathsKept, int64(len(rank.Paths)))
 	mx.SetGauge(telemetry.GaugeSelectionSeconds, rank.SelectionTime.Seconds())
 	return rank, nil
+}
+
+// markPartial flags the ranking Partial under reason. The first cause to
+// fire wins when several stop conditions trigger in one run.
+func markPartial(rank *Ranking, reason string) {
+	if !rank.Partial {
+		rank.Partial = true
+		rank.PartialReason = reason
+	}
+}
+
+// partialReason maps a context error to its Ranking.PartialReason name.
+func partialReason(err error) string {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "deadline"
+	}
+	return "cancelled"
 }
 
 // countPrune folds one evaluated-join prune reason into the stats.
@@ -379,6 +519,11 @@ func (d *Discovery) countPrune(rank *Ranking, reason string) {
 		rank.Prune.JoinFailed++
 	case telemetry.PruneQualityBelowTau:
 		rank.Prune.QualityBelowTau++
+	case telemetry.PruneCancelled:
+		// Normally unreachable — a cancelled expand implies ctx is done
+		// and the whole depth is discarded before folding — but an
+		// injected joinFn may surface a cancellation of its own.
+		rank.Prune.Cancelled++
 	}
 }
 
@@ -426,14 +571,32 @@ func edgeSeed(seed int64, depth int, e graph.Edge) int64 {
 	return int64(h.Sum64())
 }
 
+// safeExpand runs expand behind a panic guard: a panicking join (corrupt
+// table, injected fault) is converted into a join_failed prune of that
+// one path — recorded under the discovery.join_panics counter — instead
+// of killing the whole process, or the worker pool with it.
+func (d *Discovery) safeExpand(ctx context.Context, st *state, e graph.Edge, y []int, pipeline *fselect.Pipeline, rng *rand.Rand, seed int64, cache *relational.KeyIndexCache, sp telemetry.Span) (child *state, reason string) {
+	defer func() {
+		if r := recover(); r != nil {
+			d.cfg.Telemetry.Meter().Inc(telemetry.CtrJoinPanics)
+			sp.SetStr("panic", fmt.Sprint(r))
+			child, reason = nil, telemetry.PruneJoinFailed
+		}
+	}()
+	return d.expand(ctx, st, e, y, pipeline, rng, seed, cache, sp)
+}
+
 // expand performs one join of Algorithm 1's inner loop: join, data-quality
 // pruning, relevance and redundancy analysis, and R_sel update. It returns
 // the child state, or a non-empty pruning reason when the path is pruned.
 // Attributes of the evaluated join (matched rows, quality, features kept)
 // are recorded on sp. rng (with its originating seed) drives join
 // normalisation and must be private to this call; cache may be shared
-// across concurrent expands.
-func (d *Discovery) expand(st *state, e graph.Edge, y []int, pipeline *fselect.Pipeline, rng *rand.Rand, seed int64, cache *relational.KeyIndexCache, sp telemetry.Span) (*state, string) {
+// across concurrent expands. ctx flows into the join row loop and the
+// feature-selection stage boundaries; a cancellation observed there prunes
+// the path under the cancelled reason (the caller then discards the whole
+// depth, so the partial ranking stays deterministic).
+func (d *Discovery) expand(ctx context.Context, st *state, e graph.Edge, y []int, pipeline *fselect.Pipeline, rng *rand.Rand, seed int64, cache *relational.KeyIndexCache, sp telemetry.Span) (*state, string) {
 	leftKey := e.A + "." + e.ColA
 	if leftKey == d.label {
 		// The label column must never act as a join key: matching rows
@@ -441,13 +604,21 @@ func (d *Discovery) expand(st *state, e graph.Edge, y []int, pipeline *fselect.P
 		return nil, telemetry.PruneJoinFailed
 	}
 	right := d.g.Table(e.B)
-	res, err := relational.LeftJoin(st.f, right, leftKey, e.ColB, relational.Options{
+	join := relational.LeftJoin
+	if d.cfg.joinFn != nil {
+		join = d.cfg.joinFn
+	}
+	res, err := join(st.f, right, leftKey, e.ColB, relational.Options{
+		Ctx:       ctx,
 		Normalize: d.cfg.NormalizeJoins,
 		Rng:       rng,
 		Seed:      seed,
 		Cache:     cache,
 		Telemetry: d.cfg.Telemetry,
 	})
+	if err != nil && errors.Is(err, errs.ErrCancelled) {
+		return nil, telemetry.PruneCancelled
+	}
 	if err != nil || res.MatchedRows == 0 {
 		// "If the join is not possible, prune."
 		return nil, telemetry.PruneJoinFailed
@@ -467,7 +638,10 @@ func (d *Discovery) expand(st *state, e graph.Edge, y []int, pipeline *fselect.P
 		candidates = append(candidates, res.Frame.Column(name).Floats())
 		names = append(names, name)
 	}
-	sel := pipeline.Run(candidates, st.selCols, y)
+	sel := pipeline.RunContext(ctx, candidates, st.selCols, y)
+	if sel.Cancelled {
+		return nil, telemetry.PruneCancelled
+	}
 	sp.SetInt("features_kept", len(sel.Kept))
 
 	child := &state{

@@ -1,0 +1,80 @@
+package errs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"testing"
+)
+
+// TestTaxonomyWrapChain is the table-driven contract of the taxonomy:
+// errors.Is must match the sentinel (and the cause, when one exists)
+// through arbitrary further wrapping.
+func TestTaxonomyWrapChain(t *testing.T) {
+	cause := fs.ErrNotExist
+	cases := []struct {
+		name     string
+		err      error
+		sentinel error
+		cause    error // nil = no cause expected
+	}{
+		{"bad_input", BadInput("table %q is ragged", "junk"), ErrBadInput, nil},
+		{"bad_input_wrapped_cause", BadInput("read %q: %w", "lake/x.csv", cause), ErrBadInput, cause},
+		{"budget", BudgetExceeded("max_eval_joins=%d reached", 10), ErrBudgetExceeded, nil},
+		{"cancelled_nil_cause", Cancelled(nil), ErrCancelled, nil},
+		{"cancelled_ctx", Cancelled(context.Canceled), ErrCancelled, context.Canceled},
+		{"cancelled_deadline", Cancelled(context.DeadlineExceeded), ErrCancelled, context.DeadlineExceeded},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Direct match.
+			if !errors.Is(tc.err, tc.sentinel) {
+				t.Fatalf("errors.Is(%v, sentinel) = false", tc.err)
+			}
+			// Match through one more layer of fmt.Errorf wrapping, the
+			// shape call sites produce ("core: depth 2: %w").
+			rewrapped := fmt.Errorf("outer context: %w", tc.err)
+			if !errors.Is(rewrapped, tc.sentinel) {
+				t.Fatalf("sentinel lost through rewrap: %v", rewrapped)
+			}
+			if tc.cause != nil && !errors.Is(rewrapped, tc.cause) {
+				t.Fatalf("cause lost through rewrap: %v", rewrapped)
+			}
+			// The sentinels are mutually exclusive classifications.
+			for _, other := range []error{ErrBadInput, ErrBudgetExceeded, ErrCancelled} {
+				if other != tc.sentinel && errors.Is(tc.err, other) {
+					t.Fatalf("%v must not match %v", tc.err, other)
+				}
+			}
+		})
+	}
+}
+
+// TestTaxonomyErrorsAs checks that errors.As digs the concrete cause type
+// out of a classified error.
+func TestTaxonomyErrorsAs(t *testing.T) {
+	cause := &fs.PathError{Op: "open", Path: "lake/x.csv", Err: fs.ErrNotExist}
+	err := BadInput("read table: %w", cause)
+	var pe *fs.PathError
+	if !errors.As(err, &pe) {
+		t.Fatalf("errors.As failed to recover *fs.PathError from %v", err)
+	}
+	if pe.Path != "lake/x.csv" {
+		t.Fatalf("wrong cause recovered: %v", pe)
+	}
+}
+
+// TestTaxonomyMessages checks the rendered messages carry both the
+// classification context and the cause, without duplication.
+func TestTaxonomyMessages(t *testing.T) {
+	err := Cancelled(context.DeadlineExceeded)
+	want := "autofeat: run cancelled: context deadline exceeded"
+	if err.Error() != want {
+		t.Fatalf("Cancelled message = %q, want %q", err.Error(), want)
+	}
+	be := BadInput("bad row %d: %w", 7, errors.New("boom"))
+	if be.Error() != "bad row 7: boom" {
+		t.Fatalf("BadInput message = %q", be.Error())
+	}
+}

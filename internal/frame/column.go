@@ -71,32 +71,35 @@ type colMemo struct {
 
 // NewFloatColumn builds a float column. valid may be nil (all valid).
 func NewFloatColumn(name string, values []float64, valid []bool) *Column {
-	checkValid(len(values), valid)
-	return &Column{name: name, kind: Float, floats: values, valid: valid, memo: new(colMemo)}
+	return &Column{name: name, kind: Float, floats: values, valid: normalizeValid(len(values), valid), memo: new(colMemo)}
 }
 
 // NewIntColumn builds an int column. valid may be nil (all valid).
 func NewIntColumn(name string, values []int64, valid []bool) *Column {
-	checkValid(len(values), valid)
-	return &Column{name: name, kind: Int, ints: values, valid: valid, memo: new(colMemo)}
+	return &Column{name: name, kind: Int, ints: values, valid: normalizeValid(len(values), valid), memo: new(colMemo)}
 }
 
 // NewStringColumn builds a string column. valid may be nil (all valid).
 func NewStringColumn(name string, values []string, valid []bool) *Column {
-	checkValid(len(values), valid)
-	return &Column{name: name, kind: String, strs: values, valid: valid, memo: new(colMemo)}
+	return &Column{name: name, kind: String, strs: values, valid: normalizeValid(len(values), valid), memo: new(colMemo)}
 }
 
 // NewBoolColumn builds a bool column. valid may be nil (all valid).
 func NewBoolColumn(name string, values []bool, valid []bool) *Column {
-	checkValid(len(values), valid)
-	return &Column{name: name, kind: Bool, bools: values, valid: valid, memo: new(colMemo)}
+	return &Column{name: name, kind: Bool, bools: values, valid: normalizeValid(len(values), valid), memo: new(colMemo)}
 }
 
-func checkValid(n int, valid []bool) {
-	if valid != nil && len(valid) != n {
-		panic(fmt.Sprintf("frame: valid bitmap length %d does not match %d values", len(valid), n))
+// normalizeValid reconciles a bitmap whose length disagrees with the
+// value count — the signature of corrupt input. The bitmap is truncated
+// or padded with false (null), so a bad table degrades to extra nulls
+// (which data-quality pruning then discards) instead of panicking.
+func normalizeValid(n int, valid []bool) []bool {
+	if valid == nil || len(valid) == n {
+		return valid
 	}
+	out := make([]bool, n)
+	copy(out, valid)
+	return out
 }
 
 // Name returns the column name.

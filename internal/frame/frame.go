@@ -29,7 +29,7 @@ func (f *Frame) Name() string { return f.name }
 func (f *Frame) WithName(name string) *Frame {
 	out := New(name)
 	for _, c := range f.cols {
-		out.mustAdd(c)
+		out.add(c)
 	}
 	return out
 }
@@ -59,10 +59,25 @@ func (f *Frame) AddColumn(c *Column) error {
 	return nil
 }
 
-func (f *Frame) mustAdd(c *Column) {
-	if err := f.AddColumn(c); err != nil {
-		panic(err)
+// add appends c for internal structural operations (WithName, Take,
+// Drop, Prefixed, Imputed), which only ever add columns of the frame's
+// own row count — so the only conflict class is a duplicate name, which
+// is resolved with a numeric suffix ("x_2") exactly like ConcatCols.
+// Corrupt names therefore degrade instead of panicking.
+func (f *Frame) add(c *Column) {
+	name := c.Name()
+	if _, dup := f.index[name]; dup {
+		for i := 2; ; i++ {
+			candidate := fmt.Sprintf("%s_%d", c.Name(), i)
+			if _, taken := f.index[candidate]; !taken {
+				name = candidate
+				break
+			}
+		}
+		c = c.WithName(name)
 	}
+	f.index[name] = len(f.cols)
+	f.cols = append(f.cols, c)
 }
 
 // Column returns the named column, or nil when absent.
@@ -104,7 +119,7 @@ func (f *Frame) Columns() []*Column {
 func (f *Frame) Take(idx []int) *Frame {
 	out := New(f.name)
 	for _, c := range f.cols {
-		out.mustAdd(c.Take(idx))
+		out.add(c.Take(idx))
 	}
 	return out
 }
@@ -135,7 +150,7 @@ func (f *Frame) Drop(names ...string) *Frame {
 	out := New(f.name)
 	for _, c := range f.cols {
 		if _, drop := skip[c.Name()]; !drop {
-			out.mustAdd(c)
+			out.add(c)
 		}
 	}
 	return out
@@ -151,7 +166,7 @@ func (f *Frame) Prefixed(prefix string) *Frame {
 		if !strings.HasPrefix(name, prefix+".") {
 			name = prefix + "." + name
 		}
-		out.mustAdd(c.WithName(name))
+		out.add(c.WithName(name))
 	}
 	return out
 }
@@ -164,7 +179,7 @@ func (f *Frame) ConcatCols(g *Frame) (*Frame, error) {
 	}
 	out := New(f.name)
 	for _, c := range f.cols {
-		out.mustAdd(c)
+		out.add(c)
 	}
 	for _, c := range g.cols {
 		name := c.Name()
@@ -183,7 +198,7 @@ func (f *Frame) ConcatCols(g *Frame) (*Frame, error) {
 func (f *Frame) Imputed() *Frame {
 	out := New(f.name)
 	for _, c := range f.cols {
-		out.mustAdd(c.Imputed())
+		out.add(c.Imputed())
 	}
 	return out
 }

@@ -1,6 +1,10 @@
 package fselect
 
-import "autofeat/internal/telemetry"
+import (
+	"context"
+
+	"autofeat/internal/telemetry"
+)
 
 // Pipeline is the streaming feature-selection pipeline of Section VI: each
 // batch of candidate features (the columns added by one join) first passes
@@ -34,14 +38,31 @@ type Result struct {
 	// RedScores aligns with Kept: the redundancy J score of each kept
 	// feature (zero when the redundancy stage is disabled).
 	RedScores []float64
+	// Cancelled reports that the batch was abandoned at a stage boundary
+	// because the RunContext context was cancelled; Kept is empty and the
+	// caller should treat the batch as unevaluated, not as "no features".
+	Cancelled bool
 }
 
-// Run pushes one batch of candidate columns through the pipeline. selected
-// holds the columns already in the selected feature set R_sel; y is the
-// label. Candidates are column-major []float64 with NaN nulls.
+// Run pushes one batch of candidate columns through the pipeline with no
+// cancellation; it is RunContext under context.Background().
 func (p *Pipeline) Run(candidates, selected [][]float64, y []int) Result {
+	return p.RunContext(context.Background(), candidates, selected, y)
+}
+
+// RunContext pushes one batch of candidate columns through the pipeline.
+// selected holds the columns already in the selected feature set R_sel; y
+// is the label. Candidates are column-major []float64 with NaN nulls.
+// ctx is checked at the stage boundaries (before relevance and before
+// redundancy): a cancelled context short-circuits to an empty, cancelled
+// result so the surrounding search can degrade gracefully instead of
+// finishing the batch.
+func (p *Pipeline) RunContext(ctx context.Context, candidates, selected [][]float64, y []int) Result {
 	if len(candidates) == 0 {
 		return Result{}
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return Result{Cancelled: true}
 	}
 
 	// Stage 1: relevance analysis, keep top-κ (Algorithm 1, line 16).
@@ -70,6 +91,9 @@ func (p *Pipeline) Run(candidates, selected [][]float64, y []int) Result {
 	// Stage 2: redundancy analysis against R_sel (Algorithm 1, line 17).
 	if p.Redundancy == nil {
 		return Result{Kept: relIdx, RelScores: relScores, RedScores: make([]float64, len(relIdx))}
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return Result{Cancelled: true}
 	}
 	redSpan := p.Telemetry.Trace().Start(telemetry.SpanRedundancy)
 	relCols := make([][]float64, len(relIdx))

@@ -2,11 +2,12 @@ package ml
 
 import "sort"
 
-// Accuracy returns the fraction of matching predictions.
+// Accuracy returns the fraction of matching predictions. Mismatched
+// lengths — the signature of a corrupt evaluation — degrade to the common
+// prefix instead of panicking (see the error-taxonomy notes in
+// docs/OPERATIONS.md).
 func Accuracy(pred, truth []int) float64 {
-	if len(pred) != len(truth) {
-		panic("ml: Accuracy length mismatch")
-	}
+	pred, truth = commonPrefix(pred, truth)
 	if len(pred) == 0 {
 		return 0
 	}
@@ -23,8 +24,8 @@ func Accuracy(pred, truth []int) float64 {
 // (Mann–Whitney U), with tie correction. Returns 0.5 when a class is
 // absent, the uninformative default.
 func AUC(proba []float64, truth []int) float64 {
-	if len(proba) != len(truth) {
-		panic("ml: AUC length mismatch")
+	if n := min(len(proba), len(truth)); n != len(proba) || n != len(truth) {
+		proba, truth = proba[:n], truth[:n]
 	}
 	type pt struct {
 		p float64
@@ -64,11 +65,9 @@ func AUC(proba []float64, truth []int) float64 {
 }
 
 // F1 returns the F1 score for the positive class; 0 when precision and
-// recall are both zero.
+// recall are both zero. Mismatched lengths degrade to the common prefix.
 func F1(pred, truth []int) float64 {
-	if len(pred) != len(truth) {
-		panic("ml: F1 length mismatch")
-	}
+	pred, truth = commonPrefix(pred, truth)
 	tp, fp, fn := 0, 0, 0
 	for i := range pred {
 		switch {
@@ -86,4 +85,11 @@ func F1(pred, truth []int) float64 {
 	precision := float64(tp) / float64(tp+fp)
 	recall := float64(tp) / float64(tp+fn)
 	return 2 * precision * recall / (precision + recall)
+}
+
+// commonPrefix truncates both slices to the shorter length, the graceful
+// degradation for corrupt (length-mismatched) evaluations.
+func commonPrefix(pred, truth []int) ([]int, []int) {
+	n := min(len(pred), len(truth))
+	return pred[:n], truth[:n]
 }

@@ -259,20 +259,18 @@ func TestAccuracyAUCF1(t *testing.T) {
 	}
 }
 
-func TestMetricsPanicOnMismatch(t *testing.T) {
-	for name, fn := range map[string]func(){
-		"accuracy": func() { Accuracy([]int{1}, []int{1, 2}) },
-		"auc":      func() { AUC([]float64{0.5}, []int{1, 0}) },
-		"f1":       func() { F1([]int{1}, []int{1, 0}) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s: mismatch must panic", name)
-				}
-			}()
-			fn()
-		}()
+func TestMetricsMismatchDegrades(t *testing.T) {
+	// Mismatched lengths (corrupt evaluations) degrade to the common
+	// prefix instead of panicking — graceful degradation so one corrupt
+	// table never kills the process.
+	if got := Accuracy([]int{1}, []int{1, 2}); got != 1 {
+		t.Errorf("accuracy over prefix = %v, want 1", got)
+	}
+	if got := AUC([]float64{0.5}, []int{1, 0}); got != 0.5 {
+		t.Errorf("auc over single-class prefix = %v, want 0.5", got)
+	}
+	if got := F1([]int{1}, []int{1, 0}); got != 1 {
+		t.Errorf("f1 over prefix = %v, want 1", got)
 	}
 }
 

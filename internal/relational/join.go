@@ -12,16 +12,23 @@
 package relational
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
 
+	"autofeat/internal/errs"
 	"autofeat/internal/frame"
 	"autofeat/internal/telemetry"
 )
 
 // Options controls join behaviour.
 type Options struct {
+	// Ctx, when non-nil, is checked cooperatively during the join (every
+	// ctxCheckRows left rows): a cancelled context aborts the join with an
+	// error wrapping errs.ErrCancelled, so a deadline cuts a large
+	// materialisation short instead of running it to completion.
+	Ctx context.Context
 	// Normalize reduces the right side to one row per join key before the
 	// join, preventing row duplication (the paper's cardinality handling).
 	// When false, a key with multiple right rows keeps the first.
@@ -99,6 +106,10 @@ func LeftJoin(left, right *frame.Frame, leftKey, rightKey string, opt Options) (
 	}()
 	opt.Telemetry.Meter().Inc(telemetry.CtrJoins)
 
+	if err := cancelled(opt.Ctx); err != nil {
+		return nil, err
+	}
+
 	// Build key -> right-row index, normalising cardinality. The cache
 	// (when present) reuses indexes across joins against the same column.
 	rowFor := opt.Cache.index(rc, opt)
@@ -107,6 +118,11 @@ func LeftJoin(left, right *frame.Frame, leftKey, rightKey string, opt Options) (
 	idx := make([]int, left.NumRows())
 	matched := 0
 	for i := range idx {
+		if i%ctxCheckRows == 0 && i > 0 {
+			if err := cancelled(opt.Ctx); err != nil {
+				return nil, err
+			}
+		}
 		idx[i] = -1
 		if k, ok := lc.Key(i); ok {
 			if r, ok := rowFor[k]; ok {
@@ -126,6 +142,23 @@ func LeftJoin(left, right *frame.Frame, leftKey, rightKey string, opt Options) (
 	sp.SetInt("matched_rows", matched)
 	added := out.ColumnNames()[left.NumCols():]
 	return &Result{Frame: out.WithName(left.Name()), AddedColumns: added, MatchedRows: matched}, nil
+}
+
+// ctxCheckRows is the row stride between cooperative cancellation checks
+// inside LeftJoin's row-mapping loop — frequent enough to stop a large
+// join within microseconds of a deadline, rare enough to cost nothing.
+const ctxCheckRows = 4096
+
+// cancelled returns an errs.Cancelled-classified error when ctx is done,
+// nil otherwise (including for a nil ctx).
+func cancelled(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return errs.Cancelled(err)
+	}
+	return nil
 }
 
 // keyIndexKey identifies one memoised key index. The column pointer is

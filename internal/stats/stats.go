@@ -48,11 +48,11 @@ func Variance(x []float64) float64 {
 // Pearson returns the Pearson correlation coefficient between x and y,
 // computed over rows where both are non-NaN. Returns 0 when either variable
 // is constant (no linear association can be measured) or fewer than two
-// complete pairs exist.
+// complete pairs exist. Mismatched lengths — the signature of a corrupt
+// table — degrade to the common prefix instead of panicking, so one bad
+// input prunes one feature rather than killing the process.
 func Pearson(x, y []float64) float64 {
-	if len(x) != len(y) {
-		panic("stats: Pearson length mismatch")
-	}
+	x, y = commonPrefix(x, y)
 	var sx, sy, sxx, syy, sxy float64
 	n := 0
 	for i := range x {
@@ -128,12 +128,22 @@ func Spearman(x, y []float64) float64 {
 	return Pearson(Ranks(x), Ranks(y))
 }
 
+// commonPrefix truncates both slices to the shorter length. Length
+// mismatches only arise from corrupt input; degrading to the shared rows
+// keeps the estimators total (no panics on user-reachable paths).
+func commonPrefix(x, y []float64) ([]float64, []float64) {
+	if len(x) == len(y) {
+		return x, y
+	}
+	n := min(len(x), len(y))
+	return x[:n], y[:n]
+}
+
 // pairwiseComplete returns x and y restricted to rows where both are
 // non-NaN. When every row is complete the inputs are returned as-is.
+// Mismatched lengths degrade to the common prefix (see commonPrefix).
 func pairwiseComplete(x, y []float64) ([]float64, []float64) {
-	if len(x) != len(y) {
-		panic("stats: pairwiseComplete length mismatch")
-	}
+	x, y = commonPrefix(x, y)
 	n := 0
 	for i := range x {
 		if !math.IsNaN(x[i]) && !math.IsNaN(y[i]) {
@@ -276,9 +286,10 @@ func Entropy(x []int) float64 {
 // MutualInformation returns I(X;Y) in nats for discrete variables, skipping
 // rows where either code is < 0. I is symmetric and zero for independent
 // variables; this is the paper's "information gain" relevance metric.
+// Mismatched lengths degrade to the common prefix instead of panicking.
 func MutualInformation(x, y []int) float64 {
-	if len(x) != len(y) {
-		panic("stats: MutualInformation length mismatch")
+	if n := min(len(x), len(y)); n != len(x) || n != len(y) {
+		x, y = x[:n], y[:n]
 	}
 	joint := make(map[[2]int]int, 64)
 	mx := make(map[int]int, 16)
@@ -384,10 +395,11 @@ func supportSize(z []int) int {
 
 // ConditionalMutualInformation returns I(X;Y|Z) in nats for discrete
 // variables: sum_z p(z) * I(X;Y | Z=z). Rows with any negative code are
-// skipped.
+// skipped. Mismatched lengths degrade to the common prefix instead of
+// panicking.
 func ConditionalMutualInformation(x, y, z []int) float64 {
-	if len(x) != len(y) || len(x) != len(z) {
-		panic("stats: ConditionalMutualInformation length mismatch")
+	if n := min(len(x), min(len(y), len(z))); n != len(x) || n != len(y) || n != len(z) {
+		x, y, z = x[:n], y[:n], z[:n]
 	}
 	// Group rows by z, then compute MI within each group.
 	groups := make(map[int][]int, 8)

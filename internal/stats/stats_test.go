@@ -48,13 +48,16 @@ func TestPearsonNaNSkipping(t *testing.T) {
 	approx(t, Pearson(x, y), 1, 1e-12, "NaN rows skipped")
 }
 
-func TestPearsonMismatchPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("length mismatch must panic")
-		}
-	}()
-	Pearson([]float64{1}, []float64{1, 2})
+func TestPearsonMismatchDegrades(t *testing.T) {
+	// Mismatched lengths (corrupt input) degrade to the common prefix
+	// instead of panicking: a single shared row -> no measurable
+	// association -> 0.
+	if got := Pearson([]float64{1}, []float64{1, 2}); got != 0 {
+		t.Fatalf("mismatched Pearson = %v, want 0", got)
+	}
+	if got := Pearson([]float64{1, 2, 3, 4}, []float64{2, 4, 6}); got != 1 {
+		t.Fatalf("prefix Pearson = %v, want 1", got)
+	}
 }
 
 func TestRanksTies(t *testing.T) {
@@ -397,11 +400,19 @@ func TestSpearmanPairwiseComplete(t *testing.T) {
 	approx(t, Spearman([]float64{1, 2, 3}, []float64{3, 5, 9}), 1, 1e-12, "clean fast path")
 }
 
-func TestSpearmanPairwiseMismatchPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("length mismatch must panic")
-		}
-	}()
-	Spearman([]float64{1}, []float64{1, 2})
+func TestSpearmanPairwiseMismatchDegrades(t *testing.T) {
+	// Corrupt (length-mismatched) inputs degrade to the common prefix
+	// instead of panicking.
+	if got := Spearman([]float64{1}, []float64{1, 2}); got != 0 {
+		t.Fatalf("mismatched Spearman = %v, want 0", got)
+	}
+	if got := Spearman([]float64{1, 2, 3, 4}, []float64{3, 5, 9}); got != 1 {
+		t.Fatalf("prefix Spearman = %v, want 1", got)
+	}
+	if got := MutualInformation([]int{0, 1}, []int{0, 1, 0}); got < 0 {
+		t.Fatalf("mismatched MI = %v, want >= 0", got)
+	}
+	if got := ConditionalMutualInformation([]int{0, 1}, []int{0, 1, 0}, []int{0}); got != 0 {
+		t.Fatalf("mismatched CMI = %v, want 0", got)
+	}
 }

@@ -54,16 +54,30 @@ const (
 
 // Metric names emitted by the online pipeline.
 const (
+	// CtrPathsExplored counts every evaluated join across the run.
 	CtrPathsExplored = "discovery.paths_explored"
-	CtrPathsKept     = "discovery.paths_kept"
-	CtrJoins         = "relational.joins"
+	// CtrPathsKept counts the join paths that survived into the ranking.
+	CtrPathsKept = "discovery.paths_kept"
+	// CtrJoins counts relational.LeftJoin invocations.
+	CtrJoins = "relational.joins"
 	// CtrKeyIndexHits / CtrKeyIndexMisses count key-index cache lookups in
 	// relational.LeftJoin when a KeyIndexCache is attached.
 	CtrKeyIndexHits   = "relational.key_index_cache_hits"
 	CtrKeyIndexMisses = "relational.key_index_cache_misses"
+	// CtrJoinPanics counts join evaluations that panicked and were
+	// recovered into a join_failed prune (graceful degradation: one
+	// corrupt table prunes one path instead of killing the process).
+	CtrJoinPanics = "discovery.join_panics"
+	// CtrPartialRuns counts discovery runs that returned a partial
+	// ranking (cancellation, deadline or budget exhaustion).
+	CtrPartialRuns = "discovery.partial_runs"
+	// GaugeSelectionSeconds records the wall-clock feature-discovery time
+	// of the last run.
 	GaugeSelectionSeconds = "discovery.selection_seconds"
 	// GaugeWorkers records the resolved worker-pool size of the last run.
-	GaugeWorkers          = "discovery.workers"
+	GaugeWorkers = "discovery.workers"
+	// HistJoinSeconds observes per-join latency; HistRelevanceSeconds and
+	// HistRedundancySeconds observe the two halves of feature selection.
 	HistJoinSeconds       = "relational.left_join_seconds"
 	HistRelevanceSeconds  = "fselect.relevance_seconds"
 	HistRedundancySeconds = "fselect.redundancy_seconds"
@@ -76,14 +90,31 @@ const CtrPrunedPrefix = "discovery.pruned."
 
 // Pruning reasons. JoinFailed and QualityBelowTau discard evaluated
 // joins (their counters sum to PathsExplored - len(Paths)); Similarity,
-// BeamEvicted and MaxPathsCap truncate the search space before or after
-// evaluation and are tracked separately.
+// BeamEvicted, MaxPathsCap, BudgetExhausted and Cancelled truncate the
+// search space before or after evaluation and are tracked separately.
 const (
-	PruneSimilarity      = "similarity"
-	PruneJoinFailed      = "join_failed"
+	// PruneSimilarity counts parallel edges dropped by similarity-score
+	// pruning before evaluation.
+	PruneSimilarity = "similarity"
+	// PruneJoinFailed counts evaluated joins that matched no rows, errored
+	// or would have joined on the label column.
+	PruneJoinFailed = "join_failed"
+	// PruneQualityBelowTau counts evaluated joins whose completeness fell
+	// below the τ threshold.
 	PruneQualityBelowTau = "quality_below_tau"
-	PruneBeamEvicted     = "beam_evicted"
-	PruneMaxPathsCap     = "max_paths_cap"
+	// PruneBeamEvicted counts frontier states dropped by beam search.
+	PruneBeamEvicted = "beam_evicted"
+	// PruneMaxPathsCap counts candidate edges skipped once the MaxPaths
+	// safety valve fired.
+	PruneMaxPathsCap = "max_paths_cap"
+	// PruneBudgetExhausted counts candidate edges skipped because an
+	// enforceable budget (MaxEvalJoins, MaxJoinedRows) ran out; the run
+	// returns a partial ranking.
+	PruneBudgetExhausted = "budget_exhausted"
+	// PruneCancelled counts candidate edges abandoned when the run's
+	// context was cancelled or its deadline expired; the run returns a
+	// partial ranking.
+	PruneCancelled = "cancelled"
 )
 
 // PrunedCounter returns the counter name for a pruning reason.
