@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench check docs-check
+.PHONY: build vet test race bench bench-diff check docs-check
 
 build:
 	$(GO) build ./...
@@ -22,13 +22,22 @@ bench:
 	$(GO) test -run xxx -bench 'BenchmarkMicro' -benchmem .
 	AUTOFEAT_BENCH_OUT=BENCH_parallel.json $(GO) test -run TestWriteParallelBench -v .
 
+# bench-diff regenerates a candidate worker-scaling baseline and diffs it
+# against the committed BENCH_parallel.json; the exit code fails the make
+# on a >5% wall-clock regression (tune with `go run ./cmd/benchdiff
+# -threshold N OLD NEW` directly).
+bench-diff:
+	AUTOFEAT_BENCH_OUT=BENCH_candidate.json $(GO) test -run TestWriteParallelBench .
+	$(GO) run ./cmd/benchdiff BENCH_parallel.json BENCH_candidate.json
+
 # docs-check is the documentation gate: a godoc audit over the
 # public-facing packages (exported identifiers must carry doc comments
 # that start with their name) plus a relative-link check over README,
 # DESIGN and docs/.
 docs-check:
 	$(GO) run ./cmd/doccheck -md README.md,DESIGN.md,docs \
-		internal/core internal/relational internal/fselect internal/telemetry .
+		internal/core internal/relational internal/fselect internal/telemetry \
+		internal/obsrv .
 
 # check is the tier-1 verification gate (see ROADMAP.md).
 check: docs-check

@@ -19,6 +19,7 @@ package autofeat
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -31,6 +32,7 @@ import (
 	"autofeat/internal/fselect"
 	"autofeat/internal/graph"
 	"autofeat/internal/ml"
+	"autofeat/internal/obsrv"
 	"autofeat/internal/telemetry"
 )
 
@@ -249,6 +251,66 @@ func WriteMetricsFile(path string, s *TelemetrySnapshot) error {
 // TelemetryReport renders a snapshot as a human-readable run report.
 func TelemetryReport(w io.Writer, s *TelemetrySnapshot) error {
 	return telemetry.ReportSink{W: w}.Flush(s)
+}
+
+// RunProgress is the live run tracker behind the introspection server's
+// /runs/{id} endpoint: attach one to Config.Progress and the discovery
+// pipeline publishes BFS depth, frontier size, per-reason prune counts,
+// budget consumption and worker occupancy into it, lock-cheap and nil-safe.
+type RunProgress = obsrv.RunProgress
+
+// RunStatus is the JSON document a RunProgress snapshot renders to — the
+// payload of GET /runs/{id}.
+type RunStatus = obsrv.RunStatus
+
+// IntrospectionConfig configures an introspection Server.
+type IntrospectionConfig = obsrv.Config
+
+// IntrospectionServer is the embeddable HTTP introspection server:
+// /metrics (Prometheus text), /healthz, /runs and /runs/{id}, optionally
+// sharing its mux with the net/http/pprof handlers.
+type IntrospectionServer = obsrv.Server
+
+// NewRunProgress returns a live tracker for Config.Progress under the
+// given run id.
+func NewRunProgress(id string) *RunProgress { return obsrv.NewRunProgress(id) }
+
+// NewIntrospectionServer builds an introspection server; call
+// ListenAndServe to serve it or Handler to mount it elsewhere.
+func NewIntrospectionServer(cfg IntrospectionConfig) *IntrospectionServer {
+	return obsrv.NewServer(cfg)
+}
+
+// NewLogger returns a structured logger for Config.Logger writing to w at
+// the given level; format "json" selects JSON output, anything else text.
+func NewLogger(w io.Writer, level slog.Level, format string) *slog.Logger {
+	return telemetry.NewLogger(w, level, format)
+}
+
+// ParseLogLevel parses a -log-level flag value ("debug", "info", "warn",
+// "error"); ok is false for the empty string, "off" and "none", which
+// disable logging.
+func ParseLogLevel(s string) (level slog.Level, ok bool, err error) {
+	return telemetry.ParseLogLevel(s)
+}
+
+// Manifest is the per-run provenance record (run_manifest.json): config
+// snapshot, graph inventory and the full lineage of every ranked path —
+// joins taken, similarity and data-quality at each decision point, and the
+// relevance/redundancy score of every selected feature.
+type Manifest = core.Manifest
+
+// PathLineage is the provenance of one ranked path inside a Manifest.
+type PathLineage = core.PathLineage
+
+// WriteManifestFile writes a manifest to path as indented JSON.
+func WriteManifestFile(path string, m *Manifest) error {
+	return core.WriteManifestFile(path, m)
+}
+
+// ReadManifestFile parses a run_manifest.json document.
+func ReadManifestFile(path string) (*Manifest, error) {
+	return core.ReadManifestFile(path)
 }
 
 // Relevance is a pluggable relevance metric for Config (ablation studies).

@@ -9,6 +9,8 @@ package autofeat
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"sync"
 	"testing"
 
@@ -284,6 +286,37 @@ func BenchmarkMicroDiscoveryTelemetry(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := DefaultConfig()
 		cfg.Telemetry = NewTelemetry()
+		disc, err := NewDiscovery(g, d.Base.Name(), d.Label, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := disc.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroDiscoveryObserved is the full-observability variant of
+// the overhead guard: telemetry, a live RunProgress tracker and a
+// debug-level structured logger (to io.Discard) are all attached, the
+// worst case a production run can configure. Compare against
+// BenchmarkMicroDiscovery (everything nil) — the acceptance bound for the
+// disabled path is <2%, and this benchmark bounds the enabled path.
+func BenchmarkMicroDiscoveryObserved(b *testing.B) {
+	d, err := datagen.Generate(datagen.SmallSpecs()[1])
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := BuildDRG(d.Tables, d.KFKs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.Telemetry = NewTelemetry()
+		cfg.Progress = NewRunProgress("bench")
+		cfg.Logger = NewLogger(io.Discard, slog.LevelDebug, "json")
 		disc, err := NewDiscovery(g, d.Base.Name(), d.Label, cfg)
 		if err != nil {
 			b.Fatal(err)

@@ -10,14 +10,16 @@
 //	autofeat -dir lake/credit -base credit -label target -model xgboost -tau 0.7 -kappa 10
 //	autofeat -dir lake/credit -base credit -label target -dot   # print the DRG and exit
 //	autofeat -dir lake/credit -base credit -label target -trace-out t.json -metrics-out m.json
+//	autofeat -dir lake/credit -base credit -label target -serve localhost:6060 -manifest-out run_manifest.json
+//	autofeat explain path-001 -manifest run_manifest.json
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,29 +29,40 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "explain" {
+		if err := runExplain(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "autofeat explain: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
-		dir        = flag.String("dir", "", "directory of CSV tables (required)")
-		base       = flag.String("base", "", "base table name (required)")
-		label      = flag.String("label", "target", "label column in the base table")
-		model      = flag.String("model", "lightgbm", "model: lightgbm|xgboost|randomforest|extratrees|knn|lr_l1")
-		tau        = flag.Float64("tau", 0.65, "data-quality pruning threshold")
-		kappa      = flag.Int("kappa", 15, "max features selected per table")
-		topK       = flag.Int("topk", 4, "ranked paths to train models on")
-		depth      = flag.Int("depth", 3, "max join path length")
-		threshold  = flag.Float64("threshold", 0.55, "matcher threshold when no constraints file exists")
-		seed       = flag.Int64("seed", 1, "random seed")
-		workers    = flag.Int("workers", 0, "parallel join-evaluation workers (0 = GOMAXPROCS, 1 = sequential)")
-		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none); on expiry the best partial ranking is returned")
-		budgetJ    = flag.Int("budget-joins", 0, "max joins to evaluate (0 = unlimited); exhaustion yields a partial ranking")
-		budgetR    = flag.Int64("budget-rows", 0, "max cumulative joined rows to materialise during discovery (0 = unlimited)")
-		dot        = flag.Bool("dot", false, "print the DRG in Graphviz DOT format and exit")
-		paths      = flag.Int("paths", 5, "ranked paths to print")
-		beam       = flag.Int("beam", 0, "beam width (0 = exhaustive BFS)")
-		sketched   = flag.Bool("sketched", false, "use MinHash-sketched discovery (large lakes)")
-		autotune   = flag.Bool("autotune", false, "grid-search tau and kappa before the final run")
-		traceOut   = flag.String("trace-out", "", "write the span trace as JSON to this file")
-		metricsOut = flag.String("metrics-out", "", "write counters/histograms/pruning breakdown as JSON to this file")
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		dir         = flag.String("dir", "", "directory of CSV tables (required)")
+		base        = flag.String("base", "", "base table name (required)")
+		label       = flag.String("label", "target", "label column in the base table")
+		model       = flag.String("model", "lightgbm", "model: lightgbm|xgboost|randomforest|extratrees|knn|lr_l1")
+		tau         = flag.Float64("tau", 0.65, "data-quality pruning threshold")
+		kappa       = flag.Int("kappa", 15, "max features selected per table")
+		topK        = flag.Int("topk", 4, "ranked paths to train models on")
+		depth       = flag.Int("depth", 3, "max join path length")
+		threshold   = flag.Float64("threshold", 0.55, "matcher threshold when no constraints file exists")
+		seed        = flag.Int64("seed", 1, "random seed")
+		workers     = flag.Int("workers", 0, "parallel join-evaluation workers (0 = GOMAXPROCS, 1 = sequential)")
+		timeout     = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = none); on expiry the best partial ranking is returned")
+		budgetJ     = flag.Int("budget-joins", 0, "max joins to evaluate (0 = unlimited); exhaustion yields a partial ranking")
+		budgetR     = flag.Int64("budget-rows", 0, "max cumulative joined rows to materialise during discovery (0 = unlimited)")
+		dot         = flag.Bool("dot", false, "print the DRG in Graphviz DOT format and exit")
+		paths       = flag.Int("paths", 5, "ranked paths to print")
+		beam        = flag.Int("beam", 0, "beam width (0 = exhaustive BFS)")
+		sketched    = flag.Bool("sketched", false, "use MinHash-sketched discovery (large lakes)")
+		autotune    = flag.Bool("autotune", false, "grid-search tau and kappa before the final run")
+		traceOut    = flag.String("trace-out", "", "write the span trace as JSON to this file")
+		metricsOut  = flag.String("metrics-out", "", "write counters/histograms/pruning breakdown as JSON to this file")
+		manifestOut = flag.String("manifest-out", "", "write the run provenance manifest (run_manifest.json) to this file")
+		serveAddr   = flag.String("serve", "", "serve live introspection (/metrics, /healthz, /runs/{id}, /debug/pprof/) on this address")
+		pprofAddr   = flag.String("pprof", "", "alias for -serve (kept for compatibility)")
+		logLevel    = flag.String("log-level", "", "structured log level: debug|info|warn|error (empty = off)")
+		logFormat   = flag.String("log-format", "text", "structured log format: text|json")
 	)
 	flag.Parse()
 	if *dir == "" || *base == "" {
@@ -57,26 +70,56 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "autofeat: pprof server: %v\n", err)
-			}
-		}()
-		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	if *serveAddr == "" {
+		*serveAddr = *pprofAddr
 	}
 	opts := runOpts{
 		dir: *dir, base: *base, label: *label, model: *model,
 		tau: *tau, kappa: *kappa, topK: *topK, depth: *depth,
 		threshold: *threshold, seed: *seed, workers: *workers, dot: *dot, paths: *paths,
 		beam: *beam, sketched: *sketched, autotune: *autotune,
-		traceOut: *traceOut, metricsOut: *metricsOut,
+		traceOut: *traceOut, metricsOut: *metricsOut, manifestOut: *manifestOut,
+		serveAddr: *serveAddr, logLevel: *logLevel, logFormat: *logFormat,
 		timeout: *timeout, budgetJoins: *budgetJ, budgetRows: *budgetR,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintf(os.Stderr, "autofeat: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runExplain implements the `autofeat explain <path-id>` subcommand: it
+// loads a provenance manifest and pretty-prints one path's lineage.
+func runExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	manifest := fs.String("manifest", "run_manifest.json", "provenance manifest to read")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: autofeat explain <path-id> [-manifest run_manifest.json]")
+		fmt.Fprintln(os.Stderr, "  <path-id> is \"path-NNN\", a bare rank number, or \"base\"")
+		fs.PrintDefaults()
+	}
+	// Accept flags on either side of the path-id (`explain path-001
+	// -manifest f.json` reads naturally; flag.Parse stops at the first
+	// positional, so re-parse whatever followed it).
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) >= 2 {
+		if err := fs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		rest = append(rest[:1], fs.Args()...)
+	}
+	if len(rest) != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	m, err := autofeat.ReadManifestFile(*manifest)
+	if err != nil {
+		return err
+	}
+	return m.Explain(os.Stdout, rest[0])
 }
 
 // runOpts bundles the CLI flags.
@@ -93,6 +136,9 @@ type runOpts struct {
 	sketched                bool
 	autotune                bool
 	traceOut, metricsOut    string
+	manifestOut             string
+	serveAddr               string
+	logLevel, logFormat     string
 	timeout                 time.Duration
 	budgetJoins             int
 	budgetRows              int64
@@ -130,6 +176,38 @@ func run(o runOpts) error {
 	cfg.MaxJoinedRows = o.budgetRows
 	base, label, model, nPaths := o.base, o.label, o.model, o.paths
 
+	if o.traceOut != "" || o.metricsOut != "" || o.serveAddr != "" {
+		cfg.Telemetry = autofeat.NewTelemetry()
+	}
+	if o.logLevel != "" {
+		level, on, err := autofeat.ParseLogLevel(o.logLevel)
+		if err != nil {
+			return err
+		}
+		if on {
+			cfg.Logger = autofeat.NewLogger(os.Stderr, level, o.logFormat)
+		}
+	}
+	// The introspection server starts before any heavy work (including the
+	// autotune grid search) so /metrics and /debug/pprof/ are reachable for
+	// the whole process lifetime; /runs/{id} tracks the final run.
+	if o.serveAddr != "" {
+		cfg.Progress = autofeat.NewRunProgress(base)
+		srv := autofeat.NewIntrospectionServer(autofeat.IntrospectionConfig{
+			Addr:        o.serveAddr,
+			Collector:   cfg.Telemetry,
+			EnablePprof: true,
+		})
+		srv.Register(cfg.Progress)
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "autofeat: introspection server: %v\n", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("introspection listening on http://%s/ (metrics, healthz, runs/%s, debug/pprof)\n", o.serveAddr, base)
+	}
+
 	if o.autotune {
 		out, err := autofeat.AutoTune(g, base, label, cfg, factory, nil, nil)
 		if err != nil {
@@ -139,10 +217,6 @@ func run(o runOpts) error {
 			out.Best.Tau, out.Best.Kappa, out.Best.Accuracy, len(out.Tried), out.Elapsed.Round(time.Millisecond))
 		cfg.Tau = out.Best.Tau
 		cfg.Kappa = out.Best.Kappa
-	}
-
-	if o.traceOut != "" || o.metricsOut != "" {
-		cfg.Telemetry = autofeat.NewTelemetry()
 	}
 
 	disc, err := autofeat.NewDiscovery(g, base, label, cfg)
@@ -192,6 +266,15 @@ func run(o runOpts) error {
 			}
 			fmt.Printf("metrics written to %s\n", o.metricsOut)
 		}
+	}
+	if o.manifestOut != "" {
+		m := disc.Manifest(res.Ranking)
+		m.AttachEvaluation(res)
+		if err := autofeat.WriteManifestFile(o.manifestOut, m); err != nil {
+			return err
+		}
+		fmt.Printf("manifest written to %s (%d paths); inspect with: autofeat explain path-001 -manifest %s\n",
+			o.manifestOut, len(m.Paths), o.manifestOut)
 	}
 	return nil
 }

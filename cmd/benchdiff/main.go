@@ -1,0 +1,151 @@
+// Command benchdiff compares two worker-scaling baselines produced by
+// `make bench` (BENCH_parallel.json) and fails when wall-clock time
+// regressed. It is the CI-friendly half of the performance workflow:
+// regenerate a candidate baseline, diff it against the committed one,
+// and let the exit code gate the change.
+//
+// Usage:
+//
+//	benchdiff [-threshold pct] OLD.json NEW.json
+//
+// Exit status is 0 when no workers row slowed down by more than
+// -threshold percent, 1 on regression, 2 on usage or read errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// benchEntry is one workers-row of a baseline file.
+type benchEntry struct {
+	Workers    int     `json:"workers"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+}
+
+// benchDoc mirrors the BENCH_parallel.json layout written by
+// TestWriteParallelBench.
+type benchDoc struct {
+	Benchmark  string       `json:"benchmark"`
+	Dataset    string       `json:"dataset"`
+	Rows       int          `json:"rows"`
+	Tables     int          `json:"joinable_tables"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
+	Results    []benchEntry `json:"results"`
+}
+
+// rowDiff is the comparison of one workers row across the two files.
+type rowDiff struct {
+	Workers    int
+	OldNs      int64
+	NewNs      int64
+	DeltaPct   float64 // positive = slower
+	Regression bool
+}
+
+func loadDoc(path string) (*benchDoc, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Results) == 0 {
+		return nil, fmt.Errorf("%s: no results", path)
+	}
+	return &doc, nil
+}
+
+// diff pairs the two baselines' rows by worker count and flags every row
+// whose ns/op grew by more than thresholdPct percent. Rows present in
+// only one file are skipped (they have nothing to compare against).
+func diff(oldDoc, newDoc *benchDoc, thresholdPct float64) []rowDiff {
+	oldBy := map[int]benchEntry{}
+	for _, e := range oldDoc.Results {
+		oldBy[e.Workers] = e
+	}
+	var out []rowDiff
+	for _, n := range newDoc.Results {
+		o, ok := oldBy[n.Workers]
+		if !ok || o.NsPerOp <= 0 {
+			continue
+		}
+		pct := (float64(n.NsPerOp) - float64(o.NsPerOp)) / float64(o.NsPerOp) * 100
+		out = append(out, rowDiff{
+			Workers:    n.Workers,
+			OldNs:      o.NsPerOp,
+			NewNs:      n.NsPerOp,
+			DeltaPct:   pct,
+			Regression: pct > thresholdPct,
+		})
+	}
+	return out
+}
+
+// report renders the comparison table and returns whether any row
+// regressed.
+func report(w io.Writer, oldDoc, newDoc *benchDoc, diffs []rowDiff, thresholdPct float64) bool {
+	if oldDoc.Benchmark != newDoc.Benchmark || oldDoc.Dataset != newDoc.Dataset {
+		fmt.Fprintf(w, "warning: comparing %s/%s against %s/%s\n",
+			oldDoc.Benchmark, oldDoc.Dataset, newDoc.Benchmark, newDoc.Dataset)
+	}
+	if oldDoc.GOMAXPROCS != newDoc.GOMAXPROCS {
+		fmt.Fprintf(w, "warning: GOMAXPROCS differs (old %d, new %d); timings are not directly comparable\n",
+			oldDoc.GOMAXPROCS, newDoc.GOMAXPROCS)
+	}
+	fmt.Fprintf(w, "%-8s %14s %14s %9s\n", "workers", "old ns/op", "new ns/op", "delta")
+	regressed := false
+	for _, d := range diffs {
+		mark := ""
+		if d.Regression {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(w, "%-8d %14d %14d %+8.1f%%%s\n", d.Workers, d.OldNs, d.NewNs, d.DeltaPct, mark)
+	}
+	if regressed {
+		fmt.Fprintf(w, "FAIL: wall-clock regression beyond %.1f%% threshold\n", thresholdPct)
+	} else {
+		fmt.Fprintf(w, "ok: within %.1f%% threshold\n", thresholdPct)
+	}
+	return regressed
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 5, "max tolerated ns/op increase in percent before failing")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [-threshold pct] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldDoc, err := loadDoc(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newDoc, err := loadDoc(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	diffs := diff(oldDoc, newDoc, *threshold)
+	if len(diffs) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no comparable workers rows between the two files")
+		os.Exit(2)
+	}
+	if report(os.Stdout, oldDoc, newDoc, diffs, *threshold) {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func doc(ns ...int64) *benchDoc {
+	d := &benchDoc{Benchmark: "BenchmarkMicroDiscoveryWorkers", Dataset: "wide", GOMAXPROCS: 4}
+	workers := []int{1, 4, 8}
+	for i, n := range ns {
+		d.Results = append(d.Results, benchEntry{Workers: workers[i], Iterations: 10, NsPerOp: n, SpeedupVs1: 1})
+	}
+	return d
+}
+
+func TestDiffFlagsRegression(t *testing.T) {
+	oldDoc := doc(1000, 500, 400)
+	newDoc := doc(1040, 600, 390) // +4%, +20%, -2.5%
+	diffs := diff(oldDoc, newDoc, 5)
+	if len(diffs) != 3 {
+		t.Fatalf("diffs = %d, want 3", len(diffs))
+	}
+	wantReg := []bool{false, true, false}
+	for i, d := range diffs {
+		if d.Regression != wantReg[i] {
+			t.Errorf("workers=%d: regression=%v, want %v (delta %.1f%%)", d.Workers, d.Regression, wantReg[i], d.DeltaPct)
+		}
+	}
+}
+
+func TestDiffSkipsUnpairedRows(t *testing.T) {
+	oldDoc := doc(1000)       // workers=1 only
+	newDoc := doc(1000, 2000) // workers=1 and 4
+	diffs := diff(oldDoc, newDoc, 5)
+	if len(diffs) != 1 || diffs[0].Workers != 1 {
+		t.Fatalf("diffs = %+v, want only workers=1", diffs)
+	}
+}
+
+func TestReportOutput(t *testing.T) {
+	oldDoc := doc(1000, 500)
+	newDoc := doc(1200, 490)
+	newDoc.GOMAXPROCS = 8
+	var buf bytes.Buffer
+	regressed := report(&buf, oldDoc, newDoc, diff(oldDoc, newDoc, 5), 5)
+	out := buf.String()
+	if !regressed {
+		t.Error("expected regression")
+	}
+	for _, want := range []string{"GOMAXPROCS differs", "REGRESSION", "+20.0%", "-2.0%", "FAIL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportOK(t *testing.T) {
+	oldDoc := doc(1000, 500)
+	newDoc := doc(1010, 505)
+	var buf bytes.Buffer
+	if report(&buf, oldDoc, newDoc, diff(oldDoc, newDoc, 5), 5) {
+		t.Errorf("unexpected regression:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "ok: within") {
+		t.Errorf("missing ok line:\n%s", buf.String())
+	}
+}
+
+func TestLoadDocErrors(t *testing.T) {
+	if _, err := loadDoc(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file: want error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"benchmark":"x","results":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadDoc(empty); err == nil {
+		t.Error("empty results: want error")
+	}
+}
+
+// TestLoadCommittedBaseline keeps benchdiff honest against the real file
+// format: the committed BENCH_parallel.json must load and self-diff clean.
+func TestLoadCommittedBaseline(t *testing.T) {
+	d, err := loadDoc("../../BENCH_parallel.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs := diff(d, d, 0)
+	if len(diffs) != len(d.Results) {
+		t.Fatalf("self-diff rows %d != results %d", len(diffs), len(d.Results))
+	}
+	for _, r := range diffs {
+		if r.Regression || r.DeltaPct != 0 {
+			t.Errorf("self-diff not clean: %+v", r)
+		}
+	}
+}

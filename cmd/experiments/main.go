@@ -11,28 +11,34 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"autofeat/internal/bench"
 	"autofeat/internal/datagen"
+	"autofeat/internal/obsrv"
 	"autofeat/internal/telemetry"
 )
 
 func main() {
 	var (
-		scale   = flag.String("scale", "quick", "quick | full")
-		only    = flag.String("only", "all", "comma-separated experiment ids (table1,table2,figure1,figure3a,figure3b,figure4..figure9,ablations) or 'all'")
-		seed    = flag.Int64("seed", 7, "random seed")
-		workers = flag.Int("workers", 0, "parallel join-evaluation workers per discovery (0 = GOMAXPROCS, 1 = sequential)")
-		verbose = flag.Bool("v", false, "print per-run progress")
-		telOut  = flag.String("telemetry-out", "", "write accumulated discovery telemetry as JSON to this file")
-		timeout = flag.Duration("timeout", 0, "wall-clock budget per discovery (0 = none); expiry truncates rankings (partial)")
-		budgetJ = flag.Int("budget-joins", 0, "max joins evaluated per discovery (0 = unlimited)")
-		budgetR = flag.Int64("budget-rows", 0, "max cumulative joined rows per discovery (0 = unlimited)")
+		scale     = flag.String("scale", "quick", "quick | full")
+		only      = flag.String("only", "all", "comma-separated experiment ids (table1,table2,figure1,figure3a,figure3b,figure4..figure9,ablations) or 'all'")
+		seed      = flag.Int64("seed", 7, "random seed")
+		workers   = flag.Int("workers", 0, "parallel join-evaluation workers per discovery (0 = GOMAXPROCS, 1 = sequential)")
+		verbose   = flag.Bool("v", false, "print per-run progress")
+		telOut    = flag.String("telemetry-out", "", "write accumulated discovery telemetry as JSON to this file")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget per discovery (0 = none); expiry truncates rankings (partial)")
+		budgetJ   = flag.Int("budget-joins", 0, "max joins evaluated per discovery (0 = unlimited)")
+		budgetR   = flag.Int64("budget-rows", 0, "max cumulative joined rows per discovery (0 = unlimited)")
+		serveAddr = flag.String("serve", "", "serve live introspection (/metrics, /healthz, /runs/sweep, /debug/pprof/) on this address")
+		logLevel  = flag.String("log-level", "", "structured log level: debug|info|warn|error (empty = off)")
+		logFormat = flag.String("log-format", "text", "structured log format: text|json")
 	)
 	flag.Parse()
 
@@ -52,8 +58,36 @@ func main() {
 	runner.Timeout = *timeout
 	runner.MaxEvalJoins = *budgetJ
 	runner.MaxJoinedRows = *budgetR
-	if *telOut != "" {
+	if *telOut != "" || *serveAddr != "" {
 		runner.Telemetry = telemetry.New()
+	}
+	if *logLevel != "" {
+		level, on, err := telemetry.ParseLogLevel(*logLevel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+		if on {
+			runner.Logger = telemetry.NewLogger(os.Stderr, level, *logFormat)
+		}
+	}
+	if *serveAddr != "" {
+		// The sweep reuses one progress tracker across its discoveries: the
+		// /runs/sweep endpoint always shows the run currently in flight.
+		runner.Progress = obsrv.NewRunProgress("sweep")
+		srv := obsrv.NewServer(obsrv.Config{
+			Addr:        *serveAddr,
+			Collector:   runner.Telemetry,
+			EnablePprof: true,
+		})
+		srv.Register(runner.Progress)
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "experiments: introspection server: %v\n", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("introspection listening on http://%s/ (metrics, healthz, runs/sweep, debug/pprof)\n", *serveAddr)
 	}
 
 	want := map[string]bool{}

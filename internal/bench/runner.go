@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
 	"autofeat/internal/baselines"
@@ -9,6 +10,7 @@ import (
 	"autofeat/internal/datagen"
 	"autofeat/internal/graph"
 	"autofeat/internal/ml"
+	"autofeat/internal/obsrv"
 	"autofeat/internal/telemetry"
 )
 
@@ -80,6 +82,13 @@ type Runner struct {
 	// MaxJoinedRows budgets cumulative joined rows per discovery
 	// (core.Config.MaxJoinedRows); 0 means unlimited.
 	MaxJoinedRows int64
+	// Logger, when non-nil, is threaded into every discovery the runner
+	// executes (core.Config.Logger). Nil disables structured logging.
+	Logger *slog.Logger
+	// Progress, when non-nil, receives live run state from every discovery
+	// the runner executes (core.Config.Progress), so a sweep can be watched
+	// through the introspection server's /runs/{id} endpoint.
+	Progress *obsrv.RunProgress
 
 	datasets map[string]*datagen.Dataset
 	drgs     map[string]*graph.Graph
@@ -182,6 +191,8 @@ func (r *Runner) autofeatRanking(name string, s Setting, cfg core.Config) (*rank
 	}
 	cfg.Telemetry = r.Telemetry
 	cfg.Workers = r.Workers
+	cfg.Logger = r.Logger
+	cfg.Progress = r.Progress
 	disc, err := core.New(g, d.Base.Name(), d.Label, cfg)
 	if err != nil {
 		return nil, err

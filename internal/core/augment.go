@@ -10,6 +10,7 @@ import (
 	"autofeat/internal/errs"
 	"autofeat/internal/frame"
 	"autofeat/internal/ml"
+	"autofeat/internal/obsrv"
 	"autofeat/internal/relational"
 	"autofeat/internal/telemetry"
 )
@@ -108,6 +109,8 @@ func (d *Discovery) EvaluateRankingContext(ctx context.Context, ranking *Ranking
 	candidates = append(candidates, ranking.TopK(d.cfg.TopK)...)
 
 	tr := d.cfg.Telemetry.Trace()
+	prog := d.cfg.Progress
+	lg := d.cfg.log()
 	bestAcc := -1.0
 	for i, p := range candidates {
 		// The base candidate materialises without joins; run it under a
@@ -118,8 +121,11 @@ func (d *Discovery) EvaluateRankingContext(ctx context.Context, ranking *Ranking
 			candCtx = context.Background()
 		} else if err := ctx.Err(); err != nil {
 			markPartialResult(res, partialReason(err))
+			prog.MarkPartial(res.PartialReason)
+			lg.Warn("evaluation stopped early", "reason", res.PartialReason, "evaluated", len(res.Evaluated), "candidates", len(candidates))
 			break
 		}
+		prog.SetPhase(obsrv.PhaseMaterialize)
 		matSpan := tr.Start(telemetry.SpanMaterialize)
 		table, features, err := d.MaterializePathContext(candCtx, p, base)
 		matSpan.SetInt("hops", len(p.Edges))
@@ -127,14 +133,17 @@ func (d *Discovery) EvaluateRankingContext(ctx context.Context, ranking *Ranking
 		if err != nil {
 			if errors.Is(err, errs.ErrCancelled) {
 				markPartialResult(res, partialReason(ctx.Err()))
+				prog.MarkPartial(res.PartialReason)
+				lg.Warn("materialisation cancelled", "reason", res.PartialReason, "evaluated", len(res.Evaluated))
 				break
 			}
 			return nil, err
 		}
+		prog.SetPhase(obsrv.PhaseTrain)
 		trainSpan := tr.Start(telemetry.SpanTrainEval)
 		trainSpan.SetStr("model", factory.Name)
 		trainSpan.SetInt("features", len(features))
-		eval, err := ml.EvaluateFrame(table, features, ranking.Label, factory.New(d.cfg.Seed), d.cfg.Seed)
+		eval, err := ml.EvaluateFrameLogged(table, features, ranking.Label, factory.New(d.cfg.Seed), d.cfg.Seed, d.cfg.Logger)
 		trainSpan.End()
 		if err != nil {
 			return nil, err
@@ -154,6 +163,11 @@ func (d *Discovery) EvaluateRankingContext(ctx context.Context, ranking *Ranking
 		// evaluation-phase stop adds a new partial run.
 		d.cfg.Telemetry.Meter().Inc(telemetry.CtrPartialRuns)
 	}
+	prog.Finish()
+	lg.Info("augmentation finished",
+		"evaluated", len(res.Evaluated), "best_model", res.Best.Eval.Model,
+		"best_accuracy", res.Best.Eval.Accuracy, "partial", res.Partial,
+		"total_time", res.TotalTime)
 	return res, nil
 }
 
@@ -196,6 +210,7 @@ func (d *Discovery) MaterializePathContext(ctx context.Context, p RankedPath, ba
 		Normalize: d.cfg.NormalizeJoins,
 		Rng:       joinRng,
 		Telemetry: d.cfg.Telemetry,
+		Log:       d.cfg.Logger,
 	})
 	if err != nil {
 		return nil, nil, err

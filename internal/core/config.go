@@ -10,10 +10,12 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
 	"autofeat/internal/frame"
 	"autofeat/internal/fselect"
+	"autofeat/internal/obsrv"
 	"autofeat/internal/relational"
 	"autofeat/internal/telemetry"
 )
@@ -101,6 +103,16 @@ type Config struct {
 	// positionally like MaxEvalJoins; an exhausted budget flags the
 	// ranking Partial. <= 0 disables the budget.
 	MaxJoinedRows int64
+	// Progress, when non-nil, receives live run state (BFS depth, frontier
+	// size, per-reason prunes, budget consumption, worker occupancy) for
+	// the introspection server's /runs/{id} endpoint. Nil — the default —
+	// disables tracking; every update is nil-safe and lock-cheap.
+	Progress *obsrv.RunProgress
+	// Logger, when non-nil, receives structured log records from the
+	// pipeline (run lifecycle at Info, per-depth progress at Debug,
+	// partial results and recovered panics at Warn). Nil — the default —
+	// disables logging.
+	Logger *slog.Logger
 	// joinFn, when non-nil, replaces relational.LeftJoin for every join
 	// evaluation — the fault-injection seam used by tests to prove that
 	// failing or slow joins degrade deterministically. Unexported: only
@@ -125,6 +137,10 @@ func DefaultConfig() Config {
 		Seed:              1,
 	}
 }
+
+// log returns the configured logger, normalised so call sites never
+// nil-check: a nil Logger becomes the nop logger.
+func (c Config) log() *slog.Logger { return telemetry.OrNop(c.Logger) }
 
 func (c Config) validate() error {
 	if c.Tau < 0 || c.Tau > 1 {

@@ -18,6 +18,7 @@ import (
 	"autofeat/internal/frame"
 	"autofeat/internal/fselect"
 	"autofeat/internal/graph"
+	"autofeat/internal/obsrv"
 	"autofeat/internal/relational"
 	"autofeat/internal/telemetry"
 )
@@ -154,6 +155,10 @@ type state struct {
 	relScores []float64
 	redScores []float64
 	quality   float64
+	// qualities is the per-hop completeness history, aligned with edges —
+	// the provenance manifest records the non-null ratio at every
+	// decision point, not just the path minimum.
+	qualities []float64
 	// selCols is R_sel for THIS path: the base features plus the columns
 	// selected along the path, in sample-row space. Redundancy is
 	// "conditioned on a feature subset" (Section III-A); the subset that
@@ -194,10 +199,19 @@ func (d *Discovery) RunContext(ctx context.Context) (*Ranking, error) {
 	}
 	tr := d.cfg.Telemetry.Trace()
 	mx := d.cfg.Telemetry.Meter()
+	prog := d.cfg.Progress
+	lg := d.cfg.log()
 	runSpan := tr.Start(telemetry.SpanRun)
 	runSpan.SetStr("base", d.baseName)
 	runSpan.SetStr("label", d.label)
 	defer runSpan.End()
+
+	prog.Begin(d.baseName, d.label, d.cfg.MaxDepth, d.cfg.Timeout, d.cfg.MaxEvalJoins, d.cfg.MaxJoinedRows)
+	prog.SetPhase(obsrv.PhaseSample)
+	lg.Info("discovery started",
+		"base", d.baseName, "label", d.label,
+		"max_depth", d.cfg.MaxDepth, "tau", d.cfg.Tau, "kappa", d.cfg.Kappa,
+		"timeout", d.cfg.Timeout, "budget_joins", d.cfg.MaxEvalJoins, "budget_rows", d.cfg.MaxJoinedRows)
 
 	rng := rand.New(rand.NewSource(d.cfg.Seed))
 
@@ -238,6 +252,7 @@ func (d *Discovery) RunContext(ctx context.Context) (*Ranking, error) {
 		Redundancy: d.cfg.Redundancy,
 		K:          d.cfg.Kappa,
 		Telemetry:  d.cfg.Telemetry,
+		Log:        d.cfg.Logger,
 	}
 
 	rank := &Ranking{Base: base, BaseFeatures: baseFeatures, Label: d.label}
@@ -255,6 +270,8 @@ func (d *Discovery) RunContext(ctx context.Context) (*Ranking, error) {
 	}
 	runSpan.SetInt("workers", workers)
 	mx.SetGauge(telemetry.GaugeWorkers, float64(workers))
+	prog.SetWorkers(workers)
+	prog.SetPhase(obsrv.PhaseDiscover)
 	// cache memoises right-side key indexes across the run: every join
 	// against the same (table column, normalisation seed) reuses the
 	// key→row map instead of rescanning the column.
@@ -270,12 +287,13 @@ func (d *Discovery) RunContext(ctx context.Context) (*Ranking, error) {
 	var rowsJoined int64
 	for depth := 0; depth < d.cfg.MaxDepth && len(frontier) > 0 && !capped; depth++ {
 		if err := ctx.Err(); err != nil {
-			markPartial(rank, partialReason(err))
+			markPartial(rank, prog, partialReason(err))
 			break
 		}
 		depthSpan := tr.Start(telemetry.SpanDepth)
 		depthSpan.SetInt("depth", depth+1)
 		depthSpan.SetInt("frontier", len(frontier))
+		prog.BeginDepth(depth+1, len(frontier))
 
 		// Phase 1 — enumerate this depth's candidate joins sequentially,
 		// in deterministic (frontier, neighbour, edge) order. Similarity
@@ -298,11 +316,13 @@ func (d *Discovery) RunContext(ctx context.Context) (*Ranking, error) {
 				enumSpan.End()
 				rank.Prune.Similarity += simPruned
 				mx.Add(telemetry.PrunedCounter(telemetry.PruneSimilarity), int64(simPruned))
+				prog.AddPruned(telemetry.PruneSimilarity, simPruned)
 				for _, e := range edges {
 					jobs = append(jobs, job{st: st, e: e})
 				}
 			}
 		}
+		prog.AddEnumerated(len(jobs))
 
 		// Apply the MaxPaths cap positionally: every evaluated join
 		// increments PathsExplored by exactly one, so the sequential
@@ -319,6 +339,7 @@ func (d *Discovery) RunContext(ctx context.Context) (*Ranking, error) {
 				allowed = room
 				rank.Prune.MaxPathsCap += skipped
 				mx.Add(telemetry.PrunedCounter(telemetry.PruneMaxPathsCap), int64(skipped))
+				prog.AddPruned(telemetry.PruneMaxPathsCap, skipped)
 			}
 		}
 
@@ -336,7 +357,8 @@ func (d *Discovery) RunContext(ctx context.Context) (*Ranking, error) {
 				allowed = room
 				rank.Prune.BudgetExhausted += skipped
 				mx.Add(telemetry.PrunedCounter(telemetry.PruneBudgetExhausted), int64(skipped))
-				markPartial(rank, "max_eval_joins")
+				prog.AddPruned(telemetry.PruneBudgetExhausted, skipped)
+				markPartial(rank, prog, "max_eval_joins")
 			}
 		}
 		if d.cfg.MaxJoinedRows > 0 {
@@ -347,6 +369,7 @@ func (d *Discovery) RunContext(ctx context.Context) (*Ranking, error) {
 					break
 				}
 				rowsJoined += rows
+				prog.AddRowsJoined(rows)
 			}
 			if fit < allowed {
 				capped = true
@@ -354,9 +377,11 @@ func (d *Discovery) RunContext(ctx context.Context) (*Ranking, error) {
 				allowed = fit
 				rank.Prune.BudgetExhausted += skipped
 				mx.Add(telemetry.PrunedCounter(telemetry.PruneBudgetExhausted), int64(skipped))
-				markPartial(rank, "max_joined_rows")
+				prog.AddPruned(telemetry.PruneBudgetExhausted, skipped)
+				markPartial(rank, prog, "max_joined_rows")
 			}
 		}
+		prog.SetDepthCandidates(allowed)
 
 		// Phase 2 — evaluate the candidates on the worker pool. Each join
 		// is independent: per-edge RNG streams (see edgeSeed) and the
@@ -373,6 +398,7 @@ func (d *Discovery) RunContext(ctx context.Context) (*Ranking, error) {
 			if ctx.Err() != nil {
 				return false
 			}
+			prog.JoinStart()
 			jb := jobs[i]
 			joinSpan := tr.Start(telemetry.SpanJoinEval)
 			joinSpan.SetStr("edge", fmt.Sprintf("%s.%s -> %s.%s", jb.e.A, jb.e.ColA, jb.e.B, jb.e.ColB))
@@ -388,6 +414,7 @@ func (d *Discovery) RunContext(ctx context.Context) (*Ranking, error) {
 				joinSpan.SetStr("pruned", reason)
 			}
 			joinSpan.End()
+			prog.JoinDone(reason)
 			outcomes[i] = outcome{child: child, reason: reason}
 			return true
 		}
@@ -427,9 +454,11 @@ func (d *Discovery) RunContext(ctx context.Context) (*Ranking, error) {
 		if err := ctx.Err(); err != nil {
 			rank.Prune.Cancelled += allowed
 			mx.Add(telemetry.PrunedCounter(telemetry.PruneCancelled), int64(allowed))
-			markPartial(rank, partialReason(err))
+			prog.AddPruned(telemetry.PruneCancelled, allowed)
+			markPartial(rank, prog, partialReason(err))
 			depthSpan.SetStr("discarded", partialReason(err))
 			depthSpan.End()
+			lg.Warn("depth discarded", "depth", depth+1, "reason", partialReason(err), "candidates", allowed)
 			break
 		}
 
@@ -452,7 +481,9 @@ func (d *Discovery) RunContext(ctx context.Context) (*Ranking, error) {
 				RelScores: oc.child.relScores,
 				RedScores: oc.child.redScores,
 				Quality:   oc.child.quality,
+				Qualities: oc.child.qualities,
 			})
+			prog.AddPathsKept(1)
 			next = append(next, oc.child)
 		}
 		if d.cfg.BeamWidth > 0 && len(next) > d.cfg.BeamWidth {
@@ -466,12 +497,17 @@ func (d *Discovery) RunContext(ctx context.Context) (*Ranking, error) {
 			evicted := len(next) - d.cfg.BeamWidth
 			rank.Prune.BeamEvicted += evicted
 			mx.Add(telemetry.PrunedCounter(telemetry.PruneBeamEvicted), int64(evicted))
+			prog.AddPruned(telemetry.PruneBeamEvicted, evicted)
 			next = next[:d.cfg.BeamWidth]
 		}
 		depthSpan.End()
+		lg.Debug("depth complete",
+			"depth", depth+1, "frontier", len(frontier), "evaluated", allowed,
+			"kept", len(next), "paths_total", len(rank.Paths))
 		frontier = next
 	}
 
+	prog.SetPhase(obsrv.PhaseRank)
 	rankSpan := tr.Start(telemetry.SpanRank)
 	sort.SliceStable(rank.Paths, func(i, j int) bool {
 		if rank.Paths[i].Score != rank.Paths[j].Score {
@@ -488,20 +524,28 @@ func (d *Discovery) RunContext(ctx context.Context) (*Ranking, error) {
 	if rank.Partial {
 		mx.Inc(telemetry.CtrPartialRuns)
 		runSpan.SetStr("partial_reason", rank.PartialReason)
+		lg.Warn("partial ranking", "reason", rank.PartialReason, "paths", len(rank.Paths))
 	}
 	mx.Add(telemetry.CtrPathsExplored, int64(rank.PathsExplored))
 	mx.Add(telemetry.CtrPathsKept, int64(len(rank.Paths)))
 	mx.SetGauge(telemetry.GaugeSelectionSeconds, rank.SelectionTime.Seconds())
+	prog.SetPhase(obsrv.PhaseRanked)
+	lg.Info("discovery finished",
+		"paths", len(rank.Paths), "explored", rank.PathsExplored,
+		"pruned", rank.Prune.Total(), "partial", rank.Partial,
+		"selection_time", rank.SelectionTime)
 	return rank, nil
 }
 
-// markPartial flags the ranking Partial under reason. The first cause to
-// fire wins when several stop conditions trigger in one run.
-func markPartial(rank *Ranking, reason string) {
+// markPartial flags the ranking Partial under reason and mirrors the flag
+// into the live progress tracker. The first cause to fire wins when
+// several stop conditions trigger in one run.
+func markPartial(rank *Ranking, prog *obsrv.RunProgress, reason string) {
 	if !rank.Partial {
 		rank.Partial = true
 		rank.PartialReason = reason
 	}
+	prog.MarkPartial(reason)
 }
 
 // partialReason maps a context error to its Ranking.PartialReason name.
@@ -580,6 +624,9 @@ func (d *Discovery) safeExpand(ctx context.Context, st *state, e graph.Edge, y [
 		if r := recover(); r != nil {
 			d.cfg.Telemetry.Meter().Inc(telemetry.CtrJoinPanics)
 			sp.SetStr("panic", fmt.Sprint(r))
+			d.cfg.log().Warn("join panic recovered",
+				"edge", fmt.Sprintf("%s.%s -> %s.%s", e.A, e.ColA, e.B, e.ColB),
+				"panic", fmt.Sprint(r))
 			child, reason = nil, telemetry.PruneJoinFailed
 		}
 	}()
@@ -615,6 +662,7 @@ func (d *Discovery) expand(ctx context.Context, st *state, e graph.Edge, y []int
 		Seed:      seed,
 		Cache:     cache,
 		Telemetry: d.cfg.Telemetry,
+		Log:       d.cfg.Logger,
 	})
 	if err != nil && errors.Is(err, errs.ErrCancelled) {
 		return nil, telemetry.PruneCancelled
@@ -651,6 +699,7 @@ func (d *Discovery) expand(ctx context.Context, st *state, e graph.Edge, y []int
 		visited: copyVisited(st.visited, e.B),
 		quality: math.Min(st.quality, quality),
 	}
+	child.qualities = append(append([]float64{}, st.qualities...), quality)
 	child.features = append(append([]string{}, st.features...), pick(names, sel.Kept)...)
 	child.relScores = append(append([]float64{}, st.relScores...), sel.RelScores...)
 	child.redScores = append(append([]float64{}, st.redScores...), sel.RedScores...)

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"autofeat/internal/ml"
+)
+
+// TestManifestInventory checks the manifest's graph inventory: every table
+// once (sorted), every undirected edge exactly once.
+func TestManifestInventory(t *testing.T) {
+	g := testLake(t, 200)
+	d, _ := New(g, "base", "y", DefaultConfig())
+	r, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Manifest(r)
+	if m.Schema != ManifestSchema {
+		t.Errorf("schema %q", m.Schema)
+	}
+	wantTables := []string{"base", "bridge", "gold", "junk"}
+	var names []string
+	for _, ti := range m.Tables {
+		names = append(names, ti.Name)
+		if ti.Rows <= 0 || ti.Cols <= 0 {
+			t.Errorf("table %s has empty dimensions: %+v", ti.Name, ti)
+		}
+	}
+	if !reflect.DeepEqual(names, wantTables) {
+		t.Errorf("tables %v, want %v", names, wantTables)
+	}
+	// testLake declares exactly 3 undirected edges; each must appear once.
+	if len(m.Edges) != 3 {
+		t.Errorf("edges %d, want 3: %+v", len(m.Edges), m.Edges)
+	}
+	seen := map[string]bool{}
+	for _, e := range m.Edges {
+		k := e.From + "." + e.FromCol + "-" + e.To + "." + e.ToCol
+		if seen[k] {
+			t.Errorf("edge %s listed twice", k)
+		}
+		seen[k] = true
+		if e.Similarity <= 0 || e.Similarity > 1 {
+			t.Errorf("edge %s similarity %v out of (0,1]", k, e.Similarity)
+		}
+	}
+	if m.PathsExplored != r.PathsExplored {
+		t.Errorf("paths explored %d != %d", m.PathsExplored, r.PathsExplored)
+	}
+	if len(m.Paths) != len(r.Paths) {
+		t.Fatalf("lineage count %d != ranked %d", len(m.Paths), len(r.Paths))
+	}
+	for i, p := range m.Paths {
+		if p.Rank != i+1 {
+			t.Errorf("path %d rank %d", i, p.Rank)
+		}
+		if p.Score != r.Paths[i].Score {
+			t.Errorf("path %s score %v != ranking %v", p.ID, p.Score, r.Paths[i].Score)
+		}
+		if len(p.Hops) != len(r.Paths[i].Edges) {
+			t.Errorf("path %s hops %d != edges %d", p.ID, len(p.Hops), len(r.Paths[i].Edges))
+		}
+		for h, hop := range p.Hops {
+			if hop.Quality <= 0 || hop.Quality > 1 {
+				t.Errorf("path %s hop %d quality %v out of (0,1]", p.ID, h, hop.Quality)
+			}
+		}
+		if len(p.Features) != len(r.Paths[i].Features) {
+			t.Errorf("path %s features %d != ranking %d", p.ID, len(p.Features), len(r.Paths[i].Features))
+		}
+		for j, f := range p.Features {
+			if f.Relevance != r.Paths[i].RelScores[j] {
+				t.Errorf("path %s feature %s relevance drifted", p.ID, f.Name)
+			}
+		}
+	}
+}
+
+// TestManifestRoundTrip writes a fully-evaluated manifest to disk, reads
+// it back, and drives Explain over it — the `autofeat explain` flow.
+func TestManifestRoundTrip(t *testing.T) {
+	g := testLake(t, 400)
+	d, _ := New(g, "base", "y", DefaultConfig())
+	r, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory, _ := ml.FactoryByName("lightgbm")
+	res, err := d.EvaluateRanking(r, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Manifest(r)
+	m.AttachEvaluation(res)
+	if len(m.Evaluations) != len(res.Evaluated) {
+		t.Fatalf("evaluations %d != %d", len(m.Evaluations), len(res.Evaluated))
+	}
+	if m.Evaluations[0].PathID != BasePathID {
+		t.Errorf("candidate 0 must be %q, got %q", BasePathID, m.Evaluations[0].PathID)
+	}
+	if m.BestPath == "" {
+		t.Error("best path not recorded")
+	}
+	if m.BestPath != BasePathID && m.PathByID(m.BestPath) == nil {
+		t.Errorf("best path %q has no lineage", m.BestPath)
+	}
+
+	path := filepath.Join(t.TempDir(), "run_manifest.json")
+	if err := WriteManifestFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadManifestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, m) {
+		t.Error("manifest did not round-trip through JSON")
+	}
+
+	var buf bytes.Buffer
+	if err := back.Explain(&buf, "path-001"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"path-001", "rank 1", "hops (", "features (", "relevance="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	// Bare rank numbers and the base alias are accepted too.
+	buf.Reset()
+	if err := back.Explain(&buf, "1"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "path-001") {
+		t.Errorf("bare rank explain:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := back.Explain(&buf, BasePathID); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no augmentation") {
+		t.Errorf("base explain:\n%s", buf.String())
+	}
+	if err := back.Explain(&buf, "path-999"); err == nil {
+		t.Error("unknown path id must error")
+	}
+}
+
+// TestReadManifestRejectsForeignSchema guards the schema check.
+func TestReadManifestRejectsForeignSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "other.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifestFile(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("want schema error, got %v", err)
+	}
+	if err := os.WriteFile(path, []byte(`{broken`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifestFile(path); err == nil {
+		t.Error("want parse error")
+	}
+}
+
+// TestManifestWorkerDeterminism asserts the acceptance criterion: the
+// lineage — every similarity, quality and relevance/MRMR score at every
+// decision point — is bit-identical no matter the worker count. Only the
+// creation timestamp and wall-clock fields may differ.
+func TestManifestWorkerDeterminism(t *testing.T) {
+	build := func(workers int) *Manifest {
+		g := testLake(t, 300)
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		d, err := New(g, "base", "y", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := d.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := d.Manifest(r)
+		// Normalise the only legitimately nondeterministic fields.
+		m.CreatedUnixMS = 0
+		m.SelectionSeconds = 0
+		m.Config.Workers = 0
+		return m
+	}
+	one, err := json.Marshal(build(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 8} {
+		many, err := json.Marshal(build(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(one, many) {
+			t.Errorf("manifest differs between workers=1 and workers=%d:\n%s\nvs\n%s", workers, one, many)
+		}
+	}
+}

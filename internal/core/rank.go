@@ -22,6 +22,10 @@ type RankedPath struct {
 	RedScores []float64
 	// Quality is the lowest join completeness observed along the path.
 	Quality float64
+	// Qualities aligns with Edges: the completeness (non-null ratio)
+	// measured at each hop's data-quality check, so the provenance
+	// manifest can show every decision point, not just the minimum.
+	Qualities []float64
 }
 
 // String renders the path in the paper's arrow notation with its score.

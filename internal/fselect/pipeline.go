@@ -2,6 +2,7 @@ package fselect
 
 import (
 	"context"
+	"log/slog"
 
 	"autofeat/internal/telemetry"
 )
@@ -25,6 +26,10 @@ type Pipeline struct {
 	// Telemetry, when non-nil, records spans and duration histograms for
 	// the relevance and redundancy halves of every batch.
 	Telemetry *telemetry.Collector
+	// Log, when non-nil, receives a Debug record per batch (candidate and
+	// survivor counts for both stages). Nil — the default — disables
+	// logging.
+	Log *slog.Logger
 }
 
 // Result reports one pipeline run over a candidate batch.
@@ -110,6 +115,11 @@ func (p *Pipeline) RunContext(ctx context.Context, candidates, selected [][]floa
 	for j, a := range accepted {
 		kept[j] = relIdx[a]
 		keptRel[j] = relScores[a]
+	}
+	if p.Log != nil {
+		p.Log.Debug("feature selection batch",
+			"candidates", len(candidates), "relevant", len(relIdx),
+			"kept", len(kept), "selected_set", len(selected))
 	}
 	return Result{Kept: kept, RelScores: keptRel, RedScores: redScores}
 }

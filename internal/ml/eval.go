@@ -2,6 +2,7 @@ package ml
 
 import (
 	"fmt"
+	"log/slog"
 	"math/rand"
 
 	"autofeat/internal/frame"
@@ -20,6 +21,13 @@ type EvalResult struct {
 // held-out test rows — the Section V-B methodology (imputation with the
 // most frequent value, stratified split, accuracy on the test set).
 func EvaluateFrame(f *frame.Frame, features []string, label string, c Classifier, seed int64) (EvalResult, error) {
+	return EvaluateFrameLogged(f, features, label, c, seed, nil)
+}
+
+// EvaluateFrameLogged is EvaluateFrame with an optional structured logger:
+// a non-nil lg receives one Debug record per evaluation (model, feature
+// count, scores). A nil lg behaves exactly like EvaluateFrame.
+func EvaluateFrameLogged(f *frame.Frame, features []string, label string, c Classifier, seed int64, lg *slog.Logger) (EvalResult, error) {
 	if len(features) == 0 {
 		return EvalResult{}, fmt.Errorf("ml: no features to evaluate")
 	}
@@ -28,7 +36,13 @@ func EvaluateFrame(f *frame.Frame, features []string, label string, c Classifier
 	if err != nil {
 		return EvalResult{}, err
 	}
-	return evaluateSplit(split.Train, split.Test, features, label, c)
+	res, err := evaluateSplit(split.Train, split.Test, features, label, c)
+	if err == nil && lg != nil {
+		lg.Debug("model evaluated",
+			"model", res.Model, "features", len(features),
+			"accuracy", res.Accuracy, "auc", res.AUC, "f1", res.F1)
+	}
+	return res, err
 }
 
 func evaluateSplit(train, test *frame.Frame, features []string, label string, c Classifier) (EvalResult, error) {

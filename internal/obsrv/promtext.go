@@ -1,0 +1,107 @@
+package obsrv
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+
+	"autofeat/internal/telemetry"
+)
+
+// Prometheus text exposition rendering, zero-dependency: the /metrics
+// endpoint converts a telemetry.Snapshot into the text format scrapers
+// expect (one "# TYPE" header per family, cumulative histogram buckets
+// with an le label, _sum and _count series).
+
+// MetricPrefix namespaces every exported series, so the dotted internal
+// names ("discovery.paths_explored") become valid Prometheus names
+// ("autofeat_discovery_paths_explored").
+const MetricPrefix = "autofeat_"
+
+// promName converts an internal dotted metric name into a valid
+// Prometheus metric name: the autofeat_ namespace prefix plus the name
+// with every character outside [a-zA-Z0-9_:] replaced by '_'.
+func promName(name string) string {
+	b := []byte(MetricPrefix + name)
+	for i := len(MetricPrefix); i < len(b); i++ {
+		c := b[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// promFloat formats a float the way Prometheus expects: shortest
+// round-trip representation, with +Inf/-Inf/NaN spelled out.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single series,
+// histograms as cumulative le-bucketed series plus _sum and _count.
+// Families are emitted in sorted name order so the output is stable.
+func WritePrometheus(w io.Writer, s *telemetry.Snapshot) error {
+	if s == nil {
+		return nil
+	}
+	for _, name := range sortedNames(s.Counters) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedNames(s.Gauges) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(s.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedNames(s.Histograms) {
+		h := s.Histograms[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		// The telemetry histogram stores per-bucket counts; Prometheus
+		// buckets are cumulative.
+		var cum int64
+		for i, bound := range h.Bounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, promFloat(bound), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, promFloat(h.Sum), pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedNames[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -14,6 +14,7 @@ package relational
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sync"
 
@@ -48,6 +49,9 @@ type Options struct {
 	// Telemetry, when non-nil, records a span and duration histogram per
 	// join. Nil disables collection.
 	Telemetry *telemetry.Collector
+	// Log, when non-nil, receives a Debug record per join (keys, row
+	// counts, match ratio). Nil — the default — disables logging.
+	Log *slog.Logger
 }
 
 // Result is the outcome of a left join.
@@ -140,6 +144,11 @@ func LeftJoin(left, right *frame.Frame, leftKey, rightKey string, opt Options) (
 	sp.SetStr("on", leftKey+" = "+right.Name()+"."+rightKey)
 	sp.SetInt("left_rows", left.NumRows())
 	sp.SetInt("matched_rows", matched)
+	if opt.Log != nil {
+		opt.Log.Debug("left join",
+			"on", leftKey+" = "+right.Name()+"."+rightKey,
+			"left_rows", left.NumRows(), "matched_rows", matched)
+	}
 	added := out.ColumnNames()[left.NumCols():]
 	return &Result{Frame: out.WithName(left.Name()), AddedColumns: added, MatchedRows: matched}, nil
 }

@@ -1,0 +1,152 @@
+package telemetry
+
+// Vocabulary-sync test: the span/metric/prune-reason constants declared in
+// telemetry.go and the tables in docs/TELEMETRY.md must agree, in both
+// directions, so the docs never drift from the code. The constants are
+// read from the AST (not from a hand-maintained list) so adding a constant
+// without documenting it fails here.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// docPath is the vocabulary reference the constants must stay in sync with.
+const docPath = "../../docs/TELEMETRY.md"
+
+// vocabPrefixes are the constant-name prefixes that make up the public
+// telemetry vocabulary.
+var vocabPrefixes = []string{"Span", "Ctr", "Gauge", "Hist", "Prune"}
+
+// telemetryConsts extracts every vocabulary constant (name -> string
+// value) from telemetry.go's AST.
+func telemetryConsts(t *testing.T) map[string]string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "telemetry.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]string{}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				matched := false
+				for _, p := range vocabPrefixes {
+					if strings.HasPrefix(name.Name, p) {
+						matched = true
+						break
+					}
+				}
+				if !matched || i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				v, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					t.Fatalf("const %s: %v", name.Name, err)
+				}
+				out[name.Name] = v
+			}
+		}
+	}
+	if len(out) < 20 {
+		t.Fatalf("suspiciously few vocabulary constants parsed: %d", len(out))
+	}
+	return out
+}
+
+// TestVocabularyDocumented asserts the code -> docs direction: every
+// Span*/Ctr*/Gauge*/Hist* name and every Prune* reason declared in
+// telemetry.go appears in docs/TELEMETRY.md.
+func TestVocabularyDocumented(t *testing.T) {
+	doc, err := os.ReadFile(docPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+	for name, value := range telemetryConsts(t) {
+		needle := value
+		if strings.HasPrefix(name, "Prune") {
+			// Reasons are documented as bare backticked words.
+			needle = "`" + value + "`"
+		}
+		if !strings.Contains(text, needle) {
+			t.Errorf("constant %s = %q is not documented in %s", name, value, docPath)
+		}
+	}
+}
+
+// dottedName matches the backticked dotted telemetry names the docs use
+// (`discovery.paths_explored`, `relational.left_join`, ...). Placeholder
+// forms like `discovery.pruned.<reason>` contain '<' and do not match.
+var dottedName = regexp.MustCompile("`((?:discovery|relational|fselect|ml)\\.[a-z0-9_.]+)`")
+
+// TestDocsMatchVocabulary asserts the docs -> code direction: every dotted
+// telemetry name referenced in docs/TELEMETRY.md resolves to a declared
+// constant (directly, or as a pruned-prefix + reason composition).
+func TestDocsMatchVocabulary(t *testing.T) {
+	doc, err := os.ReadFile(docPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consts := telemetryConsts(t)
+	values := map[string]bool{}
+	reasons := map[string]bool{}
+	for name, v := range consts {
+		values[v] = true
+		if strings.HasPrefix(name, "Prune") {
+			reasons[v] = true
+		}
+	}
+	for _, m := range dottedName.FindAllStringSubmatch(string(doc), -1) {
+		name := m[1]
+		if values[name] {
+			continue
+		}
+		if strings.HasPrefix(name, CtrPrunedPrefix) && reasons[strings.TrimPrefix(name, CtrPrunedPrefix)] {
+			continue
+		}
+		t.Errorf("docs reference %q, which is not a telemetry constant (stale docs or missing constant?)", name)
+	}
+}
+
+// TestPruneReasonsTracked asserts every Prune* reason round-trips through
+// PrunedCounter and back through Snapshot.Pruning, so no reason can be
+// silently dropped from the breakdown.
+func TestPruneReasonsTracked(t *testing.T) {
+	c := New()
+	var reasons []string
+	for name, v := range telemetryConsts(t) {
+		if strings.HasPrefix(name, "Prune") {
+			reasons = append(reasons, v)
+			c.Meter().Inc(PrunedCounter(v))
+		}
+	}
+	got := c.Snapshot().Pruning()
+	for _, r := range reasons {
+		if got[r] != 1 {
+			t.Errorf("reason %q lost in Pruning(): %v", r, got)
+		}
+	}
+	if len(got) != len(reasons) {
+		t.Errorf("Pruning() has %d entries, want %d", len(got), len(reasons))
+	}
+}
