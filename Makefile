@@ -17,18 +17,23 @@ race:
 # bench runs the micro benchmarks only (the figure benchmarks regenerate
 # the whole evaluation and are slow); use `go test -bench .` for all.
 # It also refreshes BENCH_parallel.json, the committed worker-scaling
-# baseline (speedup at 4/8 workers is bounded by the cores available).
+# baseline (speedup at 4/8 workers is bounded by the cores available),
+# and BENCH_serve.json, the cold-vs-warm serving baseline (the warm row
+# must stay >= 2x faster than cold).
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkMicro' -benchmem .
 	AUTOFEAT_BENCH_OUT=BENCH_parallel.json $(GO) test -run TestWriteParallelBench -v .
+	AUTOFEAT_SERVE_BENCH_OUT=BENCH_serve.json $(GO) test -run TestWriteServeBench -v .
 
-# bench-diff regenerates a candidate worker-scaling baseline and diffs it
-# against the committed BENCH_parallel.json; the exit code fails the make
-# on a >5% wall-clock regression (tune with `go run ./cmd/benchdiff
-# -threshold N OLD NEW` directly).
+# bench-diff regenerates candidate baselines and diffs them against the
+# committed BENCH_parallel.json and BENCH_serve.json; the exit code fails
+# the make on a >5% wall-clock regression (tune with `go run
+# ./cmd/benchdiff -threshold N OLD NEW` directly).
 bench-diff:
 	AUTOFEAT_BENCH_OUT=BENCH_candidate.json $(GO) test -run TestWriteParallelBench .
 	$(GO) run ./cmd/benchdiff BENCH_parallel.json BENCH_candidate.json
+	AUTOFEAT_SERVE_BENCH_OUT=BENCH_serve_candidate.json $(GO) test -run TestWriteServeBench .
+	$(GO) run ./cmd/benchdiff BENCH_serve.json BENCH_serve_candidate.json
 
 # docs-check is the documentation gate: a godoc audit over the
 # public-facing packages (exported identifiers must carry doc comments
@@ -37,7 +42,7 @@ bench-diff:
 docs-check:
 	$(GO) run ./cmd/doccheck -md README.md,DESIGN.md,docs \
 		internal/core internal/relational internal/fselect internal/telemetry \
-		internal/obsrv .
+		internal/obsrv internal/lake internal/serve .
 
 # check is the tier-1 verification gate (see ROADMAP.md).
 check: docs-check

@@ -1,0 +1,54 @@
+package autofeat
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoPanickingModelInToolingAndExamples enforces the API-surface
+// demotion of Model: every compiled-in tool and example must use
+// ModelByName (error-returning) instead of the panicking Model helper,
+// so no shipped entry point can die on a typo'd model name. Model stays
+// available to end users for literal names in short scripts; this repo's
+// own code is held to the stricter form.
+func TestNoPanickingModelInToolingAndExamples(t *testing.T) {
+	fset := token.NewFileSet()
+	for _, root := range []string{"cmd", "examples"} {
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			f, perr := parser.ParseFile(fset, path, nil, 0)
+			if perr != nil {
+				return perr
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Model" {
+					return true
+				}
+				if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "autofeat" {
+					t.Errorf("%s: calls autofeat.Model — use autofeat.ModelByName and handle the error",
+						fset.Position(call.Pos()))
+				}
+				return true
+			})
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walk %s: %v", root, err)
+		}
+	}
+}

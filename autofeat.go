@@ -7,22 +7,30 @@
 // Spearman + MRMR, ranks the surviving paths without training a model,
 // and finally trains the target model only on the top-k paths.
 //
-// Typical usage:
+// The primary entry points are OpenLake (load a lake once, keep it
+// resident) and Lake.Discover (run one augmentation request against it);
+// the Lake memoises the Dataset Relation Graph per matcher setting and
+// shares a join-key index cache across requests, so repeated discoveries
+// skip the paper's offline phase entirely:
 //
-//	tables, _ := autofeat.ReadTablesDir("lake/")
-//	g, _ := autofeat.DiscoverDRG(tables, 0.55)      // or BuildDRG with known KFKs
-//	d, _ := autofeat.NewDiscovery(g, "orders", "churned", autofeat.DefaultConfig())
-//	result, _ := d.Augment(autofeat.Model("lightgbm"))
-//	fmt.Println(result.Best.Path, result.Best.Eval.Accuracy)
+//	lk, _ := autofeat.OpenLake("lake/")             // offline phase, paid once
+//	res, _ := lk.Discover(ctx, autofeat.Request{
+//	        Base: "orders", Label: "churned", Model: "lightgbm",
+//	})
+//	fmt.Println(res.Augment.Best.Path, res.Augment.Best.Eval.Accuracy)
+//
+// Context-first methods are the canonical pipeline API:
+// Discovery.RunContext and Discovery.AugmentContext (Run and Augment are
+// the same calls under context.Background()). The pre-Lake package-level
+// constructors (ReadTablesDir, DiscoverDRG, DiscoverDRGSketched,
+// NewDiscovery) remain as deprecated thin wrappers over the Lake path.
 package autofeat
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
-	"os"
-	"path/filepath"
-	"sort"
 	"strings"
 
 	"autofeat/internal/core"
@@ -31,8 +39,10 @@ import (
 	"autofeat/internal/frame"
 	"autofeat/internal/fselect"
 	"autofeat/internal/graph"
+	"autofeat/internal/lake"
 	"autofeat/internal/ml"
 	"autofeat/internal/obsrv"
+	"autofeat/internal/relational"
 	"autofeat/internal/telemetry"
 )
 
@@ -96,10 +106,92 @@ type EvalResult = ml.EvalResult
 // κ = 15, Spearman relevance, MRMR redundancy.
 func DefaultConfig() Config { return core.DefaultConfig() }
 
+// Lake is a resident data-lake session — the primary entry point of the
+// package. A Lake loads its tables once, memoises the DRG per (matcher,
+// threshold) or KFK set, and shares one join-key index cache across every
+// discovery run against it, so repeated discoveries skip the paper's
+// offline phase. Safe for concurrent use; the long-lived discovery
+// service (`autofeat serve`) schedules many overlapping requests against
+// one Lake.
+type Lake = lake.Lake
+
+// LakeOption configures a Lake at open time or overrides its defaults
+// for one DRG build / Discover call: WithMatcher, WithThreshold,
+// WithKFKs.
+type LakeOption = lake.Option
+
+// MatcherKind names a DRG construction strategy: MatcherExact or
+// MatcherSketched.
+type MatcherKind = lake.MatcherKind
+
+// DRG matcher kinds selectable with WithMatcher.
+const (
+	// MatcherExact is the COMA-style composite matcher with exact
+	// value-set containment (the paper's data-lake setting).
+	MatcherExact = lake.MatcherExact
+	// MatcherSketched replaces exact value-set intersection with MinHash
+	// sketches — constant-time column comparisons for large lakes.
+	MatcherSketched = lake.MatcherSketched
+)
+
+// Request describes one discovery run against a Lake: base table, label
+// column, optional model name and per-request overrides.
+type Request = lake.Request
+
+// LakeResult is the outcome of one Lake.Discover call: ranking,
+// optional model evaluation, provenance manifest, and cache/graph
+// warmth indicators.
+type LakeResult = lake.Result
+
+// KeyIndexCache memoises the right-side key→row indexes the join engine
+// builds, shared across runs by a Lake. See Config.KeyCache.
+type KeyIndexCache = relational.KeyIndexCache
+
+// NewKeyIndexCache returns an empty join-key index cache for
+// Config.KeyCache; Lakes create and share one automatically.
+func NewKeyIndexCache() *KeyIndexCache { return relational.NewKeyIndexCache() }
+
+// OpenLake loads every *.csv in dir (sorted by name) as a resident Lake
+// session. Options set the lake-wide DRG defaults: matcher kind
+// (WithMatcher), threshold (WithThreshold) or declared constraints
+// (WithKFKs). A directory without CSV files is an error; an unparsable
+// file aborts with an ErrBadInput-matching error naming it.
+func OpenLake(dir string, opts ...LakeOption) (*Lake, error) { return lake.Open(dir, opts...) }
+
+// OpenLakeLenient loads a lake like OpenLake but skips files that fail
+// to parse instead of aborting; each skipped file is reported as an
+// ErrBadInput-matching error.
+func OpenLakeLenient(dir string, opts ...LakeOption) (*Lake, []error) {
+	return lake.OpenLenient(dir, opts...)
+}
+
+// NewLake wraps already-loaded tables as a resident Lake session.
+func NewLake(tables []*Table, opts ...LakeOption) *Lake { return lake.New(tables, opts...) }
+
+// WithMatcher selects the schema-matching strategy used to build DRGs
+// (MatcherExact by default). It replaces the DiscoverDRG /
+// DiscoverDRGSketched constructor pair.
+func WithMatcher(kind MatcherKind) LakeOption { return lake.WithMatcher(kind) }
+
+// WithThreshold sets the matcher threshold above which a column
+// correspondence becomes a DRG edge (0.55 by default, the paper's
+// data-lake setting).
+func WithThreshold(t float64) LakeOption { return lake.WithThreshold(t) }
+
+// WithKFKs switches DRG construction to the curated benchmark setting:
+// only the declared key–foreign-key constraints become weight-1 edges
+// and the matcher settings are ignored.
+func WithKFKs(constraints []KFK) LakeOption { return lake.WithKFKs(constraints) }
+
 // NewDiscovery prepares an AutoFeat run: base names the base table node in
 // g, label the label column inside it.
+//
+// Deprecated: use OpenLake (or NewLake) and Lake.Discover — or
+// Lake.NewDiscovery when the two-step prepare/run flow is needed. The
+// Lake path reuses key-index caches across runs; this wrapper builds a
+// fresh single-use session around g.
 func NewDiscovery(g *Graph, base, label string, cfg Config) (*Discovery, error) {
-	return core.New(g, base, label, cfg)
+	return lake.FromGraph(g).NewDiscovery(base, label, cfg)
 }
 
 // ReadTableCSV loads one CSV file (with header) as a Table; the table name
@@ -111,30 +203,15 @@ func ReadTable(name string, r io.Reader) (*Table, error) { return frame.ReadCSV(
 
 // ReadTablesDir loads every *.csv in a directory as tables, sorted by
 // name.
+//
+// Deprecated: use OpenLake, which loads the same files once into a
+// resident session (Lake.Tables returns this slice).
 func ReadTablesDir(dir string) ([]*Table, error) {
-	entries, err := os.ReadDir(dir)
+	l, err := lake.Open(dir)
 	if err != nil {
 		return nil, err
 	}
-	var paths []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".csv") {
-			paths = append(paths, filepath.Join(dir, e.Name()))
-		}
-	}
-	sort.Strings(paths)
-	if len(paths) == 0 {
-		return nil, fmt.Errorf("autofeat: no CSV files in %q", dir)
-	}
-	tables := make([]*Table, 0, len(paths))
-	for _, p := range paths {
-		t, err := frame.ReadCSVFile(p)
-		if err != nil {
-			return nil, errs.BadInput("autofeat: read %q: %w", p, err)
-		}
-		tables = append(tables, t)
-	}
-	return tables, nil
+	return l.Tables(), nil
 }
 
 // ReadTablesDirLenient loads every *.csv in a directory like ReadTablesDir
@@ -143,35 +220,20 @@ func ReadTablesDir(dir string) ([]*Table, error) {
 // through it. The skipped files are reported as errors (each matching
 // ErrBadInput), so callers can log what was dropped. With every file
 // corrupt, the table slice is empty and errs holds one entry per file.
+//
+// Deprecated: use OpenLakeLenient, the session-returning equivalent.
 func ReadTablesDirLenient(dir string) (tables []*Table, errors []error) {
-	all, err := ReadTablesDir(dir)
-	if err == nil {
-		return all, nil
+	l, errors := lake.OpenLenient(dir)
+	if l == nil {
+		return nil, errors
 	}
-	entries, derr := os.ReadDir(dir)
-	if derr != nil {
-		return nil, []error{errs.BadInput("autofeat: read dir %q: %w", dir, derr)}
-	}
-	var paths []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".csv") {
-			paths = append(paths, filepath.Join(dir, e.Name()))
-		}
-	}
-	sort.Strings(paths)
-	for _, p := range paths {
-		t, rerr := frame.ReadCSVFile(p)
-		if rerr != nil {
-			errors = append(errors, errs.BadInput("autofeat: read %q: %w", p, rerr))
-			continue
-		}
-		tables = append(tables, t)
-	}
-	return tables, errors
+	return l.Tables(), errors
 }
 
 // BuildDRG constructs the DRG from known KFK constraints (the curated
-// "benchmark setting"): every constraint becomes a weight-1 edge.
+// "benchmark setting"): every constraint becomes a weight-1 edge. The
+// Lake equivalent is OpenLake(dir, WithKFKs(constraints)) followed by
+// Lake.DRG.
 func BuildDRG(tables []*Table, constraints []KFK) (*Graph, error) {
 	return discovery.BuildBenchmarkDRG(tables, constraints)
 }
@@ -180,15 +242,35 @@ func BuildDRG(tables []*Table, constraints []KFK) (*Graph, error) {
 // matcher (the "data lake setting"): every column correspondence scoring
 // at or above threshold becomes a weighted edge. The paper uses threshold
 // 0.55.
+//
+// Deprecated: use NewLake(tables).DRG(WithThreshold(threshold)) — or
+// OpenLake with the same options — which memoises the graph for reuse
+// across requests.
 func DiscoverDRG(tables []*Table, threshold float64) (*Graph, error) {
-	return discovery.DiscoverDRG(tables, threshold, nil)
+	return NewLake(tables).DRG(WithThreshold(threshold))
 }
 
 // DiscoverDRGSketched builds the DRG with MinHash-sketched instance
 // evidence instead of exact value-set intersection — constant-time column
 // comparisons for lakes whose tables are too large to intersect exactly.
+//
+// Deprecated: use NewLake(tables).DRG(WithMatcher(MatcherSketched),
+// WithThreshold(threshold)); the sketched/exact choice is a LakeOption,
+// not a separate constructor.
 func DiscoverDRGSketched(tables []*Table, threshold float64) (*Graph, error) {
-	return discovery.DiscoverDRGSketched(tables, threshold)
+	return NewLake(tables).DRG(WithMatcher(MatcherSketched), WithThreshold(threshold))
+}
+
+// Discover is the one-call convenience over the Lake path: open dir,
+// build (or reuse) the DRG and run one request. Long-lived callers
+// should hold the Lake from OpenLake instead, so consecutive requests
+// hit its caches.
+func Discover(ctx context.Context, dir string, req Request, opts ...LakeOption) (*LakeResult, error) {
+	l, err := OpenLake(dir, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return l.Discover(ctx, req)
 }
 
 // SaveGraph persists a DRG's structure (node names and edges, not table
@@ -332,9 +414,12 @@ func RedundancyMetric(name string) Redundancy { return fselect.RedundancyByName(
 // Model returns the named model factory. The supported names are
 // "lightgbm", "xgboost", "randomforest", "extratrees" (tree ensembles)
 // and "knn", "lr_l1" (k-nearest-neighbours, L1-regularised logistic
-// regression). Model panics on an unknown name — it is the convenience
-// form for literal names in code; use ModelByName to validate untrusted
-// input such as a CLI flag.
+// regression). Model panics on an unknown name.
+//
+// Prefer ModelByName, which returns an ErrBadInput-matching error
+// instead of panicking — it is the form every cmd/ tool and example
+// uses (enforced by a repo test). Model remains only for compiled-in
+// literal names in short scripts.
 func Model(name string) ModelFactory {
 	f, ok := ml.FactoryByName(name)
 	if !ok {

@@ -12,26 +12,38 @@
 //	autofeat -dir lake/credit -base credit -label target -trace-out t.json -metrics-out m.json
 //	autofeat -dir lake/credit -base credit -label target -serve localhost:6060 -manifest-out run_manifest.json
 //	autofeat explain path-001 -manifest run_manifest.json
+//	autofeat serve -addr localhost:8080 -jobs 4        # long-lived discovery service
 package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"autofeat"
+	"autofeat/internal/serve"
 )
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "explain" {
 		if err := runExplain(os.Args[2:]); err != nil {
 			fmt.Fprintf(os.Stderr, "autofeat explain: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "autofeat serve: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -122,6 +134,100 @@ func runExplain(args []string) error {
 	return m.Explain(os.Stdout, rest[0])
 }
 
+// runServe implements the `autofeat serve` subcommand: the long-lived
+// discovery service. Lakes are registered over HTTP (POST /v1/lakes) or
+// pre-registered with repeated -lake flags; discoveries are submitted
+// with POST /v1/discoveries and observed via GET /v1/discoveries/{id},
+// /runs/{id} and /metrics, all on one listener. SIGTERM/SIGINT drains:
+// new submissions are rejected while in-flight jobs run to completion.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		addr         = fs.String("addr", "localhost:8080", "listen address")
+		jobs         = fs.Int("jobs", 0, "max concurrently running discovery jobs (0 = GOMAXPROCS)")
+		queue        = fs.Int("queue", 0, "max queued jobs before submissions get 429 (0 = 2x jobs)")
+		jobTimeout   = fs.Duration("job-timeout", 0, "default per-job wall-clock budget (0 = unbounded)")
+		drainWait    = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
+		enablePprof  = fs.Bool("pprof", true, "mount /debug/pprof/ handlers")
+		logLevel     = fs.String("log-level", "info", "structured log level: debug|info|warn|error (empty = off)")
+		logFormat    = fs.String("log-format", "text", "structured log format: text|json")
+		preloadLakes multiFlag
+	)
+	fs.Var(&preloadLakes, "lake", "pre-register a lake as id=dir (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := serve.Config{
+		Workers:        *jobs,
+		QueueDepth:     *queue,
+		DefaultTimeout: *jobTimeout,
+		Collector:      autofeat.NewTelemetry(),
+	}
+	if *logLevel != "" {
+		level, on, err := autofeat.ParseLogLevel(*logLevel)
+		if err != nil {
+			return err
+		}
+		if on {
+			cfg.Logger = autofeat.NewLogger(os.Stderr, level, *logFormat)
+		}
+	}
+	srv := autofeat.NewIntrospectionServer(autofeat.IntrospectionConfig{
+		Addr:        *addr,
+		Collector:   cfg.Collector,
+		EnablePprof: *enablePprof,
+	})
+	svc := serve.New(cfg)
+	svc.Mount(srv)
+	for _, spec := range preloadLakes {
+		id, dir, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("bad -lake %q (want id=dir)", spec)
+		}
+		l, err := autofeat.OpenLake(dir)
+		if err != nil {
+			return err
+		}
+		svc.AddLake(id, l)
+		fmt.Printf("lake %q registered from %s (%d tables)\n", id, dir, len(l.Tables()))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("discovery service listening on http://%s/ (v1/lakes, v1/discoveries, runs, metrics, healthz)\n", *addr)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "autofeat serve: signal received, draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := svc.Drain(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "autofeat serve: %v\n", err)
+	}
+	return srv.Shutdown(drainCtx)
+}
+
+// multiFlag collects repeated string flag values.
+type multiFlag []string
+
+// String renders the collected values for -help output.
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+// Set appends one flag occurrence.
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
 // runOpts bundles the CLI flags.
 type runOpts struct {
 	dir, base, label, model string
@@ -149,11 +255,15 @@ func run(o runOpts) error {
 	if err != nil {
 		return err
 	}
-	tables, err := autofeat.ReadTablesDir(o.dir)
+	opts, setting, err := lakeOptions(o.dir, o.threshold, o.sketched)
 	if err != nil {
 		return err
 	}
-	g, setting, err := buildGraph(o.dir, tables, o.threshold, o.sketched)
+	l, err := autofeat.OpenLake(o.dir, opts...)
+	if err != nil {
+		return err
+	}
+	g, err := l.DRG()
 	if err != nil {
 		return err
 	}
@@ -219,14 +329,13 @@ func run(o runOpts) error {
 		cfg.Kappa = out.Best.Kappa
 	}
 
-	disc, err := autofeat.NewDiscovery(g, base, label, cfg)
+	out, err := l.Discover(context.Background(), autofeat.Request{
+		Base: base, Label: label, Model: factory.Name, Config: &cfg,
+	})
 	if err != nil {
 		return err
 	}
-	res, err := disc.Augment(factory)
-	if err != nil {
-		return err
-	}
+	res := out.Augment
 
 	if res.Partial {
 		fmt.Printf("\nPARTIAL RESULT (%s): the search stopped early; the ranking covers only what was reached\n", res.PartialReason)
@@ -268,8 +377,7 @@ func run(o runOpts) error {
 		}
 	}
 	if o.manifestOut != "" {
-		m := disc.Manifest(res.Ranking)
-		m.AttachEvaluation(res)
+		m := out.Manifest
 		if err := autofeat.WriteManifestFile(o.manifestOut, m); err != nil {
 			return err
 		}
@@ -279,22 +387,23 @@ func run(o runOpts) error {
 	return nil
 }
 
-// buildGraph prefers a constraints.txt (benchmark setting); without one it
-// falls back to schema matching (data lake setting).
-func buildGraph(dir string, tables []*autofeat.Table, threshold float64, sketched bool) (*autofeat.Graph, string, error) {
+// lakeOptions prefers a constraints.txt (benchmark setting); without one
+// it falls back to schema matching (data lake setting), exact or
+// sketched.
+func lakeOptions(dir string, threshold float64, sketched bool) ([]autofeat.LakeOption, string, error) {
 	kfks, err := readConstraints(filepath.Join(dir, "constraints.txt"))
 	switch {
 	case err == nil && len(kfks) > 0:
-		g, err := autofeat.BuildDRG(tables, kfks)
-		return g, "benchmark", err
+		return []autofeat.LakeOption{autofeat.WithKFKs(kfks)}, "benchmark", nil
 	case err != nil && !os.IsNotExist(err):
 		return nil, "", err
 	case sketched:
-		g, err := autofeat.DiscoverDRGSketched(tables, threshold)
-		return g, "lake (sketched)", err
+		return []autofeat.LakeOption{
+			autofeat.WithMatcher(autofeat.MatcherSketched),
+			autofeat.WithThreshold(threshold),
+		}, "lake (sketched)", nil
 	default:
-		g, err := autofeat.DiscoverDRG(tables, threshold)
-		return g, "lake", err
+		return []autofeat.LakeOption{autofeat.WithThreshold(threshold)}, "lake", nil
 	}
 }
 

@@ -1,15 +1,18 @@
-// Command benchdiff compares two worker-scaling baselines produced by
-// `make bench` (BENCH_parallel.json) and fails when wall-clock time
-// regressed. It is the CI-friendly half of the performance workflow:
-// regenerate a candidate baseline, diff it against the committed one,
-// and let the exit code gate the change.
+// Command benchdiff compares two benchmark baselines produced by
+// `make bench` (BENCH_parallel.json, BENCH_serve.json) and fails when
+// wall-clock time regressed. It is the CI-friendly half of the
+// performance workflow: regenerate a candidate baseline, diff it against
+// the committed one, and let the exit code gate the change.
 //
 // Usage:
 //
 //	benchdiff [-threshold pct] OLD.json NEW.json
 //
-// Exit status is 0 when no workers row slowed down by more than
-// -threshold percent, 1 on regression, 2 on usage or read errors.
+// Rows are paired by (mode, workers): the worker-scaling baseline keys
+// rows by worker count alone (mode empty), the serve baseline by
+// cold/warm mode. Exit status is 0 when no paired row slowed down by
+// more than -threshold percent, 1 on regression, 2 on usage or read
+// errors.
 package main
 
 import (
@@ -20,12 +23,20 @@ import (
 	"os"
 )
 
-// benchEntry is one workers-row of a baseline file.
+// benchEntry is one row of a baseline file. Mode is empty in the
+// worker-scaling baseline and "cold"/"warm" in the serve baseline.
 type benchEntry struct {
+	Mode       string  `json:"mode,omitempty"`
 	Workers    int     `json:"workers"`
 	Iterations int     `json:"iterations"`
 	NsPerOp    int64   `json:"ns_per_op"`
 	SpeedupVs1 float64 `json:"speedup_vs_1"`
+}
+
+// rowKey pairs rows across the two files.
+type rowKey struct {
+	mode    string
+	workers int
 }
 
 // benchDoc mirrors the BENCH_parallel.json layout written by
@@ -40,13 +51,22 @@ type benchDoc struct {
 	Results    []benchEntry `json:"results"`
 }
 
-// rowDiff is the comparison of one workers row across the two files.
+// rowDiff is the comparison of one row across the two files.
 type rowDiff struct {
+	Mode       string
 	Workers    int
 	OldNs      int64
 	NewNs      int64
 	DeltaPct   float64 // positive = slower
 	Regression bool
+}
+
+// label renders the row key for the report table.
+func (d rowDiff) label() string {
+	if d.Mode != "" {
+		return fmt.Sprintf("%s/w%d", d.Mode, d.Workers)
+	}
+	return fmt.Sprintf("%d", d.Workers)
 }
 
 func loadDoc(path string) (*benchDoc, error) {
@@ -64,22 +84,23 @@ func loadDoc(path string) (*benchDoc, error) {
 	return &doc, nil
 }
 
-// diff pairs the two baselines' rows by worker count and flags every row
-// whose ns/op grew by more than thresholdPct percent. Rows present in
-// only one file are skipped (they have nothing to compare against).
+// diff pairs the two baselines' rows by (mode, workers) and flags every
+// row whose ns/op grew by more than thresholdPct percent. Rows present
+// in only one file are skipped (they have nothing to compare against).
 func diff(oldDoc, newDoc *benchDoc, thresholdPct float64) []rowDiff {
-	oldBy := map[int]benchEntry{}
+	oldBy := map[rowKey]benchEntry{}
 	for _, e := range oldDoc.Results {
-		oldBy[e.Workers] = e
+		oldBy[rowKey{e.Mode, e.Workers}] = e
 	}
 	var out []rowDiff
 	for _, n := range newDoc.Results {
-		o, ok := oldBy[n.Workers]
+		o, ok := oldBy[rowKey{n.Mode, n.Workers}]
 		if !ok || o.NsPerOp <= 0 {
 			continue
 		}
 		pct := (float64(n.NsPerOp) - float64(o.NsPerOp)) / float64(o.NsPerOp) * 100
 		out = append(out, rowDiff{
+			Mode:       n.Mode,
 			Workers:    n.Workers,
 			OldNs:      o.NsPerOp,
 			NewNs:      n.NsPerOp,
@@ -101,7 +122,7 @@ func report(w io.Writer, oldDoc, newDoc *benchDoc, diffs []rowDiff, thresholdPct
 		fmt.Fprintf(w, "warning: GOMAXPROCS differs (old %d, new %d); timings are not directly comparable\n",
 			oldDoc.GOMAXPROCS, newDoc.GOMAXPROCS)
 	}
-	fmt.Fprintf(w, "%-8s %14s %14s %9s\n", "workers", "old ns/op", "new ns/op", "delta")
+	fmt.Fprintf(w, "%-10s %14s %14s %9s\n", "row", "old ns/op", "new ns/op", "delta")
 	regressed := false
 	for _, d := range diffs {
 		mark := ""
@@ -109,7 +130,7 @@ func report(w io.Writer, oldDoc, newDoc *benchDoc, diffs []rowDiff, thresholdPct
 			mark = "  REGRESSION"
 			regressed = true
 		}
-		fmt.Fprintf(w, "%-8d %14d %14d %+8.1f%%%s\n", d.Workers, d.OldNs, d.NewNs, d.DeltaPct, mark)
+		fmt.Fprintf(w, "%-10s %14d %14d %+8.1f%%%s\n", d.label(), d.OldNs, d.NewNs, d.DeltaPct, mark)
 	}
 	if regressed {
 		fmt.Fprintf(w, "FAIL: wall-clock regression beyond %.1f%% threshold\n", thresholdPct)
@@ -142,7 +163,7 @@ func main() {
 	}
 	diffs := diff(oldDoc, newDoc, *threshold)
 	if len(diffs) == 0 {
-		fmt.Fprintln(os.Stderr, "benchdiff: no comparable workers rows between the two files")
+		fmt.Fprintln(os.Stderr, "benchdiff: no comparable rows between the two files")
 		os.Exit(2)
 	}
 	if report(os.Stdout, oldDoc, newDoc, diffs, *threshold) {

@@ -32,6 +32,45 @@ func TestDiffFlagsRegression(t *testing.T) {
 	}
 }
 
+// serveDoc builds a cold/warm (mode-keyed) baseline like BENCH_serve.json.
+func serveDoc(coldNs, warmNs int64) *benchDoc {
+	return &benchDoc{
+		Benchmark: "BenchmarkServeColdWarm", Dataset: "smol", GOMAXPROCS: 4,
+		Results: []benchEntry{
+			{Mode: "cold", Workers: 1, Iterations: 5, NsPerOp: coldNs, SpeedupVs1: 1},
+			{Mode: "warm", Workers: 1, Iterations: 5, NsPerOp: warmNs, SpeedupVs1: float64(coldNs) / float64(warmNs)},
+		},
+	}
+}
+
+func TestDiffPairsByMode(t *testing.T) {
+	oldDoc := serveDoc(1000, 400)
+	newDoc := serveDoc(1010, 600) // warm +50%: regression
+	diffs := diff(oldDoc, newDoc, 5)
+	if len(diffs) != 2 {
+		t.Fatalf("diffs = %d, want 2", len(diffs))
+	}
+	byMode := map[string]rowDiff{}
+	for _, d := range diffs {
+		byMode[d.Mode] = d
+	}
+	if byMode["cold"].Regression {
+		t.Errorf("cold row flagged: %+v", byMode["cold"])
+	}
+	if !byMode["warm"].Regression {
+		t.Errorf("warm row not flagged: %+v", byMode["warm"])
+	}
+	var buf bytes.Buffer
+	report(&buf, oldDoc, newDoc, diffs, 5)
+	if !strings.Contains(buf.String(), "warm/w1") {
+		t.Errorf("report missing mode label:\n%s", buf.String())
+	}
+	// A mode-keyed row never pairs with a workers-only row.
+	if mixed := diff(doc(1000), serveDoc(1000, 400), 5); len(mixed) != 0 {
+		t.Errorf("mode row paired with workers-only row: %+v", mixed)
+	}
+}
+
 func TestDiffSkipsUnpairedRows(t *testing.T) {
 	oldDoc := doc(1000)       // workers=1 only
 	newDoc := doc(1000, 2000) // workers=1 and 4
@@ -84,19 +123,21 @@ func TestLoadDocErrors(t *testing.T) {
 }
 
 // TestLoadCommittedBaseline keeps benchdiff honest against the real file
-// format: the committed BENCH_parallel.json must load and self-diff clean.
+// formats: each committed baseline must load and self-diff clean.
 func TestLoadCommittedBaseline(t *testing.T) {
-	d, err := loadDoc("../../BENCH_parallel.json")
-	if err != nil {
-		t.Fatal(err)
-	}
-	diffs := diff(d, d, 0)
-	if len(diffs) != len(d.Results) {
-		t.Fatalf("self-diff rows %d != results %d", len(diffs), len(d.Results))
-	}
-	for _, r := range diffs {
-		if r.Regression || r.DeltaPct != 0 {
-			t.Errorf("self-diff not clean: %+v", r)
+	for _, path := range []string{"../../BENCH_parallel.json", "../../BENCH_serve.json"} {
+		d, err := loadDoc(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffs := diff(d, d, 0)
+		if len(diffs) != len(d.Results) {
+			t.Fatalf("%s: self-diff rows %d != results %d", path, len(diffs), len(d.Results))
+		}
+		for _, r := range diffs {
+			if r.Regression || r.DeltaPct != 0 {
+				t.Errorf("%s: self-diff not clean: %+v", path, r)
+			}
 		}
 	}
 }

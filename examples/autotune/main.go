@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,11 +21,14 @@ func main() {
 	spec, _ := datagen.SpecByName("steel")
 	ds, err := datagen.Generate(spec)
 	must(err)
-	g, err := autofeat.BuildDRG(ds.Tables, ds.KFKs)
+	l := autofeat.NewLake(ds.Tables, autofeat.WithKFKs(ds.KFKs))
+	g, err := l.DRG()
+	must(err)
+	model, err := autofeat.ModelByName("lightgbm")
 	must(err)
 
 	out, err := autofeat.AutoTune(g, ds.Base.Name(), ds.Label, autofeat.DefaultConfig(),
-		autofeat.Model("lightgbm"),
+		model,
 		[]float64{0.5, 0.65, 0.9},
 		[]int{5, 15})
 	must(err)
@@ -36,15 +40,20 @@ func main() {
 	fmt.Printf("\nwinner: tau=%.2f kappa=%d (accuracy %.4f), tuned in %v\n",
 		out.Best.Tau, out.Best.Kappa, out.Best.Accuracy, out.Elapsed)
 
-	// Final run with the tuned configuration plus beam pruning.
+	// Final run with the tuned configuration plus beam pruning, reusing
+	// the Lake's memoised DRG and warm join-index cache.
 	cfg := autofeat.DefaultConfig()
 	cfg.Tau = out.Best.Tau
 	cfg.Kappa = out.Best.Kappa
 	cfg.BeamWidth = 4
-	disc, err := autofeat.NewDiscovery(g, ds.Base.Name(), ds.Label, cfg)
+	final, err := l.Discover(context.Background(), autofeat.Request{
+		Base:   ds.Base.Name(),
+		Label:  ds.Label,
+		Model:  "lightgbm",
+		Config: &cfg,
+	})
 	must(err)
-	res, err := disc.Augment(autofeat.Model("lightgbm"))
-	must(err)
+	res := final.Augment
 	fmt.Printf("\ntuned + beam(4) run: accuracy %.4f via %s\n", res.Best.Eval.Accuracy, res.Best.Path)
 	fmt.Printf("explored %d joins (beam bounds the frontier), selection %v\n",
 		res.Ranking.PathsExplored, res.SelectionTime)

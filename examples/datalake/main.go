@@ -3,13 +3,16 @@
 // lake setting (relationships rediscovered by schema matching, spurious
 // edges included), and shows AutoFeat pruning the noise.
 //
-// The lake comes from the bundled synthetic generator; with your own
-// data, point autofeat.ReadTablesDir at a directory of CSVs instead.
+// Both settings run against one resident Lake session, so the tables are
+// loaded once and each DRG is built once and memoised. The lake comes
+// from the bundled synthetic generator; with your own data, point
+// autofeat.OpenLake at a directory of CSVs instead.
 //
 //	go run ./examples/datalake
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,22 +27,30 @@ func main() {
 	fmt.Printf("generated %q: %d tables, %d rows, spurious table %q\n",
 		spec.Name, len(ds.Tables), spec.Rows, ds.SpuriousTable)
 
+	l := autofeat.NewLake(ds.Tables)
 	// Setting 1: curated KFK constraints (snowflake schema).
-	bench, err := autofeat.BuildDRG(ds.Tables, ds.KFKs)
+	bench, err := l.DRG(autofeat.WithKFKs(ds.KFKs))
 	must(err)
 	// Setting 2: drop the metadata, rediscover with the matcher.
-	lake, err := autofeat.DiscoverDRG(ds.Tables, 0.55)
+	lakeDRG, err := l.DRG(autofeat.WithThreshold(0.55))
 	must(err)
 	fmt.Printf("benchmark DRG: %d edges | lake DRG: %d edges (extra = spurious candidates)\n",
-		bench.NumEdges(), lake.NumEdges())
+		bench.NumEdges(), lakeDRG.NumEdges())
 
+	model, err := autofeat.ModelByName("lightgbm")
+	must(err)
 	for _, tc := range []struct {
 		name string
-		g    *autofeat.Graph
-	}{{"benchmark", bench}, {"lake", lake}} {
-		disc, err := autofeat.NewDiscovery(tc.g, ds.Base.Name(), ds.Label, autofeat.DefaultConfig())
+		opts []autofeat.LakeOption
+	}{
+		{"benchmark", []autofeat.LakeOption{autofeat.WithKFKs(ds.KFKs)}},
+		{"lake", []autofeat.LakeOption{autofeat.WithThreshold(0.55)}},
+	} {
+		// The DRG for each setting is already memoised from above; the
+		// discovery run reuses it plus the Lake's shared join-index cache.
+		disc, err := l.NewDiscovery(ds.Base.Name(), ds.Label, autofeat.DefaultConfig(), tc.opts...)
 		must(err)
-		res, err := disc.Augment(autofeat.Model("lightgbm"))
+		res, err := disc.AugmentContext(context.Background(), model)
 		must(err)
 		fmt.Printf("\n[%s setting]\n", tc.name)
 		fmt.Printf("  paths explored %d, pruned %d\n", res.Ranking.PathsExplored, res.Ranking.PathsPruned)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -18,10 +19,10 @@ import (
 )
 
 func main() {
-	tables := buildLake()
 	// Data-lake setting: no constraints, discover relationships with the
 	// composite matcher at the paper's 0.55 threshold.
-	g, err := autofeat.DiscoverDRG(tables, 0.55)
+	l := autofeat.NewLake(buildLake(), autofeat.WithThreshold(0.55))
+	g, err := l.DRG()
 	must(err)
 	fmt.Printf("discovered DRG: %d tables, %d candidate join edges (multigraph)\n",
 		g.NumNodes(), g.NumEdges())
@@ -29,11 +30,13 @@ func main() {
 		fmt.Printf("  applicants: %s\n", e)
 	}
 
-	cfg := autofeat.DefaultConfig()
-	disc, err := autofeat.NewDiscovery(g, "applicants", "loan_approval", cfg)
+	out, err := l.Discover(context.Background(), autofeat.Request{
+		Base:  "applicants",
+		Label: "loan_approval",
+		Model: "xgboost",
+	})
 	must(err)
-	res, err := disc.Augment(autofeat.Model("xgboost"))
-	must(err)
+	res := out.Augment
 
 	fmt.Println("\ntop ranked join paths:")
 	for i, p := range res.Ranking.TopK(4) {

@@ -1,12 +1,13 @@
 // Quickstart: transitive feature discovery on a toy lake built from
-// inline CSV. Demonstrates the minimal public-API workflow: load tables,
-// declare (or discover) relationships, run discovery, train on the best
-// path.
+// inline CSV. Demonstrates the minimal public-API workflow: wrap the
+// tables as a Lake session, declare (or discover) relationships, and run
+// one Discover request that ranks join paths and trains on the best one.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -46,19 +47,24 @@ func main() {
 	usage, err := autofeat.ReadTable("usage", strings.NewReader(uCSV))
 	must(err)
 
-	// Known key–foreign-key constraints (the "benchmark setting").
-	g, err := autofeat.BuildDRG(
+	// A Lake is a resident session: tables stay loaded, the DRG is built
+	// once per setting, and join indexes are cached across requests. Known
+	// key–foreign-key constraints select the "benchmark setting". (With a
+	// directory of CSVs, use autofeat.OpenLake(dir, ...) instead.)
+	l := autofeat.NewLake(
 		[]*autofeat.Table{customers, accounts, usage},
-		[]autofeat.KFK{
+		autofeat.WithKFKs([]autofeat.KFK{
 			{ParentTable: "accounts", ParentCol: "cust", ChildTable: "customers", ChildCol: "customer_id"},
 			{ParentTable: "usage", ParentCol: "account", ChildTable: "accounts", ChildCol: "account_id"},
-		})
-	must(err)
+		}))
 
-	disc, err := autofeat.NewDiscovery(g, "customers", "churn", autofeat.DefaultConfig())
+	out, err := l.Discover(context.Background(), autofeat.Request{
+		Base:  "customers",
+		Label: "churn",
+		Model: "lightgbm",
+	})
 	must(err)
-	res, err := disc.Augment(autofeat.Model("lightgbm"))
-	must(err)
+	res := out.Augment
 
 	fmt.Println("ranked join paths:")
 	for i, p := range res.Ranking.TopK(3) {

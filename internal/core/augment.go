@@ -51,7 +51,8 @@ type AugmentResult struct {
 }
 
 // Augment runs the full AutoFeat pipeline with no external cancellation;
-// it is AugmentContext under context.Background().
+// it is exactly AugmentContext under context.Background(), which is the
+// canonical (context-first) form.
 func (d *Discovery) Augment(factory ml.Factory) (*AugmentResult, error) {
 	return d.AugmentContext(context.Background(), factory)
 }

@@ -103,6 +103,16 @@ type Config struct {
 	// positionally like MaxEvalJoins; an exhausted budget flags the
 	// ranking Partial. <= 0 disables the budget.
 	MaxJoinedRows int64
+	// KeyCache, when non-nil, is the join-key index cache the run uses
+	// instead of a fresh per-run cache: right-side key→row indexes built
+	// for one run are then reused by every later run sharing the cache.
+	// A resident Lake session injects its lake-wide cache here so warm
+	// discoveries skip the index builds entirely. The cache keys on
+	// column identity, so sharing is only effective (and only safe)
+	// while the graph's tables stay resident and immutable — both
+	// guaranteed by the Lake. Nil — the default — keeps the per-run
+	// cache of the one-shot path.
+	KeyCache *relational.KeyIndexCache
 	// Progress, when non-nil, receives live run state (BFS depth, frontier
 	// size, per-reason prunes, budget consumption, worker occupancy) for
 	// the introspection server's /runs/{id} endpoint. Nil — the default —

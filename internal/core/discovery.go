@@ -167,9 +167,10 @@ type state struct {
 	selCols [][]float64
 }
 
-// Run executes Algorithm 1 with no external cancellation; it is
-// RunContext under context.Background(). Config budgets (Timeout,
-// MaxEvalJoins, MaxJoinedRows) still apply.
+// Run executes Algorithm 1 with no external cancellation; it is exactly
+// RunContext under context.Background(), which is the canonical
+// (context-first) form. Config budgets (Timeout, MaxEvalJoins,
+// MaxJoinedRows) still apply.
 func (d *Discovery) Run() (*Ranking, error) {
 	return d.RunContext(context.Background())
 }
@@ -274,8 +275,14 @@ func (d *Discovery) RunContext(ctx context.Context) (*Ranking, error) {
 	prog.SetPhase(obsrv.PhaseDiscover)
 	// cache memoises right-side key indexes across the run: every join
 	// against the same (table column, normalisation seed) reuses the
-	// key→row map instead of rescanning the column.
-	cache := relational.NewKeyIndexCache()
+	// key→row map instead of rescanning the column. A Config.KeyCache
+	// (injected by a resident Lake session) extends the memo across
+	// runs, which is what makes warm served discoveries skip the
+	// offline index builds.
+	cache := d.cfg.KeyCache
+	if cache == nil {
+		cache = relational.NewKeyIndexCache()
+	}
 
 	// capped flips once the MaxPaths cap or a budget fires; the rest of
 	// the active frontier is then only counted, never evaluated, and the

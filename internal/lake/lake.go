@@ -1,0 +1,422 @@
+// Package lake implements the resident data-lake session behind the
+// public autofeat.Lake API and the long-lived discovery service
+// (internal/serve). The paper separates an offline phase (profile the
+// lake, build the Dataset Relation Graph) from an online phase (answer
+// one augmentation query); a one-shot CLI process pays the offline phase
+// on every invocation. A Lake pays it once:
+//
+//   - tables are loaded from disk exactly once and stay resident, so
+//     per-column memos (distinct-value sets, minhash inputs) amortise
+//     across every request that touches the column;
+//   - the DRG is memoised per (matcher, threshold) — or per KFK
+//     constraint set — with single-flight construction, so concurrent
+//     requests against the same settings share one build;
+//   - one relational.KeyIndexCache is shared by every discovery run, so
+//     the key→row indexes a join builds for a right-side table are
+//     reused by every later request that joins against it.
+//
+// All methods are safe for concurrent use; a Lake is designed to serve
+// many overlapping Discover calls.
+package lake
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"autofeat/internal/core"
+	"autofeat/internal/discovery"
+	"autofeat/internal/errs"
+	"autofeat/internal/frame"
+	"autofeat/internal/graph"
+	"autofeat/internal/ml"
+	"autofeat/internal/relational"
+)
+
+// MatcherKind names a DRG construction strategy for the data-lake
+// setting (schema matching, no declared constraints).
+type MatcherKind string
+
+const (
+	// MatcherExact is the COMA-style composite matcher with exact
+	// value-set containment — the paper's data-lake setting.
+	MatcherExact MatcherKind = "exact"
+	// MatcherSketched replaces exact value-set intersection with MinHash
+	// sketches: constant-time column comparisons for large lakes.
+	MatcherSketched MatcherKind = "sketched"
+)
+
+// DefaultThreshold is the paper's matcher threshold for the data-lake
+// setting ("to encourage spurious, but not irrelevant, connections").
+const DefaultThreshold = 0.55
+
+// settings is the resolved DRG-construction configuration of a Lake (or
+// of one DRG call overriding the Lake's defaults).
+type settings struct {
+	matcher   MatcherKind
+	threshold float64
+	kfks      []discovery.KFK
+}
+
+// key is the DRG memo key: two settings with equal keys build the same
+// graph.
+func (s settings) key() string {
+	if len(s.kfks) > 0 {
+		parts := make([]string, len(s.kfks))
+		for i, k := range s.kfks {
+			parts[i] = k.ParentTable + "." + k.ParentCol + "=" + k.ChildTable + "." + k.ChildCol
+		}
+		sort.Strings(parts)
+		return "kfk|" + strings.Join(parts, ";")
+	}
+	return fmt.Sprintf("%s|%.6f", s.matcher, s.threshold)
+}
+
+// Option configures a Lake at open time, or overrides its defaults for
+// one DRG build / Discover call.
+type Option func(*settings)
+
+// WithMatcher selects the schema-matching strategy used to build DRGs
+// (MatcherExact by default).
+func WithMatcher(kind MatcherKind) Option {
+	return func(s *settings) { s.matcher = kind }
+}
+
+// WithThreshold sets the matcher threshold above which a column
+// correspondence becomes a DRG edge (DefaultThreshold by default).
+func WithThreshold(t float64) Option {
+	return func(s *settings) { s.threshold = t }
+}
+
+// WithKFKs switches DRG construction to the curated benchmark setting:
+// only the declared key–foreign-key constraints become (weight-1) edges
+// and the matcher settings are ignored. An empty slice restores the
+// matcher path.
+func WithKFKs(constraints []discovery.KFK) Option {
+	return func(s *settings) { s.kfks = constraints }
+}
+
+// graphEntry is one memoised DRG with single-flight construction.
+type graphEntry struct {
+	once sync.Once
+	g    *graph.Graph
+	err  error
+}
+
+// Lake is a resident data-lake session: tables loaded once, DRGs
+// memoised per setting, and one shared join-key index cache reused by
+// every discovery run against it.
+type Lake struct {
+	dir    string
+	def    settings
+	tables []*frame.Frame
+	byName map[string]*frame.Frame
+	cache  *relational.KeyIndexCache
+
+	// attached, when non-nil, pins every DRG call to one externally
+	// built graph (the FromGraph compatibility path).
+	attached *graph.Graph
+
+	mu     sync.Mutex
+	graphs map[string]*graphEntry
+}
+
+// defaultSettings returns the Lake defaults before options are applied.
+func defaultSettings() settings {
+	return settings{matcher: MatcherExact, threshold: DefaultThreshold}
+}
+
+// New wraps already-loaded tables as a Lake. The table order is
+// preserved; later tables shadow earlier ones under the same name.
+func New(tables []*frame.Frame, opts ...Option) *Lake {
+	def := defaultSettings()
+	for _, o := range opts {
+		o(&def)
+	}
+	l := &Lake{
+		def:    def,
+		tables: tables,
+		byName: make(map[string]*frame.Frame, len(tables)),
+		cache:  relational.NewKeyIndexCache(),
+		graphs: make(map[string]*graphEntry),
+	}
+	for _, t := range tables {
+		l.byName[t.Name()] = t
+	}
+	return l
+}
+
+// Open loads every *.csv in dir (sorted by name) as the Lake's resident
+// tables. A directory without CSV files is an error; a file that fails
+// to parse aborts with an errs.ErrBadInput-matching error naming it.
+func Open(dir string, opts ...Option) (*Lake, error) {
+	paths, err := csvPaths(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("autofeat: no CSV files in %q", dir)
+	}
+	tables := make([]*frame.Frame, 0, len(paths))
+	for _, p := range paths {
+		t, err := frame.ReadCSVFile(p)
+		if err != nil {
+			return nil, errs.BadInput("autofeat: read %q: %w", p, err)
+		}
+		tables = append(tables, t)
+	}
+	l := New(tables, opts...)
+	l.dir = dir
+	return l, nil
+}
+
+// OpenLenient loads every *.csv in dir like Open but skips files that
+// fail to parse instead of aborting the whole lake; each skipped file is
+// reported as an errs.ErrBadInput-matching error. With every file
+// corrupt the Lake has no tables and errors holds one entry per file.
+func OpenLenient(dir string, opts ...Option) (l *Lake, errors []error) {
+	paths, derr := csvPaths(dir)
+	if derr != nil {
+		return nil, []error{errs.BadInput("autofeat: read dir %q: %w", dir, derr)}
+	}
+	var tables []*frame.Frame
+	for _, p := range paths {
+		t, rerr := frame.ReadCSVFile(p)
+		if rerr != nil {
+			errors = append(errors, errs.BadInput("autofeat: read %q: %w", p, rerr))
+			continue
+		}
+		tables = append(tables, t)
+	}
+	l = New(tables, opts...)
+	l.dir = dir
+	return l, errors
+}
+
+// csvPaths lists dir's *.csv files sorted by name.
+func csvPaths(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".csv") {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// FromGraph wraps an externally constructed DRG as a Lake session: the
+// graph's tables become the resident tables and every DRG call returns
+// the attached graph unchanged. It is the bridge under the deprecated
+// NewDiscovery wrapper, giving legacy callers the shared key-index cache
+// without changing how their graph was built.
+func FromGraph(g *graph.Graph) *Lake {
+	nodes := g.Nodes()
+	tables := make([]*frame.Frame, 0, len(nodes))
+	for _, n := range nodes {
+		if t := g.Table(n); t != nil {
+			tables = append(tables, t)
+		}
+	}
+	l := New(tables)
+	l.attached = g
+	return l
+}
+
+// Dir returns the directory the Lake was opened from ("" for in-memory
+// lakes).
+func (l *Lake) Dir() string { return l.dir }
+
+// Tables returns the resident tables in load order. The slice is shared;
+// treat it as read-only.
+func (l *Lake) Tables() []*frame.Frame { return l.tables }
+
+// Table returns the resident table with the given name, or nil.
+func (l *Lake) Table(name string) *frame.Frame { return l.byName[name] }
+
+// KeyCache returns the Lake's shared join-key index cache — the one
+// every discovery run against this Lake reuses.
+func (l *Lake) KeyCache() *relational.KeyIndexCache { return l.cache }
+
+// CacheStats reports the shared key-index cache's cumulative hits and
+// misses. A warm lake shows hits rising run over run.
+func (l *Lake) CacheStats() (hits, misses int64) { return l.cache.Stats() }
+
+// resolve merges the Lake defaults with per-call options.
+func (l *Lake) resolve(opts []Option) settings {
+	eff := l.def
+	for _, o := range opts {
+		o(&eff)
+	}
+	return eff
+}
+
+// DRG returns the Dataset Relation Graph for the Lake's settings,
+// optionally overridden per call. Graphs are memoised per setting with
+// single-flight construction: concurrent callers under the same
+// settings share one build, and later callers get the cached graph.
+func (l *Lake) DRG(opts ...Option) (*graph.Graph, error) {
+	g, _, err := l.drg(l.resolve(opts))
+	return g, err
+}
+
+// drg returns the memoised graph for eff, reporting whether it was
+// already warm (present before this call).
+func (l *Lake) drg(eff settings) (g *graph.Graph, warm bool, err error) {
+	if l.attached != nil {
+		return l.attached, true, nil
+	}
+	key := eff.key()
+	l.mu.Lock()
+	e, ok := l.graphs[key]
+	if !ok {
+		e = &graphEntry{}
+		l.graphs[key] = e
+	}
+	l.mu.Unlock()
+	e.once.Do(func() { e.g, e.err = l.build(eff) })
+	return e.g, ok, e.err
+}
+
+// build constructs one DRG from the resolved settings.
+func (l *Lake) build(eff settings) (*graph.Graph, error) {
+	if len(eff.kfks) > 0 {
+		return discovery.BuildBenchmarkDRG(l.tables, eff.kfks)
+	}
+	switch eff.matcher {
+	case MatcherSketched:
+		return discovery.DiscoverDRGSketched(l.tables, eff.threshold)
+	case MatcherExact, "":
+		return discovery.DiscoverDRG(l.tables, eff.threshold, nil)
+	default:
+		return nil, errs.BadInput("autofeat: unknown matcher %q (supported: %s, %s)",
+			eff.matcher, MatcherExact, MatcherSketched)
+	}
+}
+
+// NewDiscovery prepares a core discovery run over the Lake's DRG (built
+// or reused under the given options), wiring in the shared key-index
+// cache. It is the session-aware equivalent of the deprecated
+// package-level NewDiscovery.
+func (l *Lake) NewDiscovery(base, label string, cfg core.Config, opts ...Option) (*core.Discovery, error) {
+	g, _, err := l.drg(l.resolve(opts))
+	if err != nil {
+		return nil, err
+	}
+	return l.discoveryOn(g, base, label, cfg)
+}
+
+// discoveryOn builds a core.Discovery over g with the Lake's shared
+// cache injected (unless the caller supplied its own).
+func (l *Lake) discoveryOn(g *graph.Graph, base, label string, cfg core.Config) (*core.Discovery, error) {
+	if cfg.KeyCache == nil {
+		cfg.KeyCache = l.cache
+	}
+	return core.New(g, base, label, cfg)
+}
+
+// Request describes one discovery run against a Lake — the unit of work
+// the long-lived service schedules. The zero value of every optional
+// field means "use the default".
+type Request struct {
+	// Base names the base table node; Label the label column inside it.
+	Base  string
+	Label string
+	// Model, when non-empty, names the model trained on the top-k ranked
+	// paths ("lightgbm", "xgboost", ...). Empty skips model training and
+	// returns the ranking alone.
+	Model string
+	// Matcher overrides the Lake's DRG matcher for this request ("" =
+	// lake default). Ignored when KFKs were configured on the Lake.
+	Matcher MatcherKind
+	// Threshold overrides the matcher threshold (0 = lake default).
+	Threshold float64
+	// Config overrides the discovery hyper-parameters; nil uses
+	// core.DefaultConfig(). Telemetry, Progress, Logger, budgets and
+	// Workers all pass through.
+	Config *core.Config
+}
+
+// Result is the outcome of one Lake.Discover call.
+type Result struct {
+	// Ranking is the discovery output (always present).
+	Ranking *core.Ranking
+	// Augment is the model-evaluation outcome; nil when Request.Model
+	// was empty.
+	Augment *core.AugmentResult
+	// Manifest is the run's provenance record, with evaluation records
+	// attached when a model ran.
+	Manifest *core.Manifest
+	// GraphNodes and GraphEdges describe the DRG the run used.
+	GraphNodes, GraphEdges int
+	// WarmGraph reports that the DRG was served from the Lake's memo
+	// instead of being built for this request — the offline phase was
+	// skipped entirely.
+	WarmGraph bool
+	// CacheHits and CacheMisses are the Lake-wide cumulative key-index
+	// cache counters after this run.
+	CacheHits, CacheMisses int64
+}
+
+// Discover runs one feature-discovery request against the Lake: DRG
+// (memoised), BFS ranking, provenance manifest, and — when a model is
+// named — top-k evaluation. ctx cancellation degrades to a Partial
+// ranking exactly as in Discovery.RunContext; it does not error.
+func (l *Lake) Discover(ctx context.Context, req Request) (*Result, error) {
+	var opts []Option
+	if req.Matcher != "" {
+		opts = append(opts, WithMatcher(req.Matcher))
+	}
+	if req.Threshold > 0 {
+		opts = append(opts, WithThreshold(req.Threshold))
+	}
+	g, warm, err := l.drg(l.resolve(opts))
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig()
+	if req.Config != nil {
+		cfg = *req.Config
+	}
+	var factory ml.Factory
+	if req.Model != "" {
+		f, ok := ml.FactoryByName(req.Model)
+		if !ok {
+			return nil, errs.BadInput("autofeat: unknown model %q", req.Model)
+		}
+		factory = f
+	}
+	d, err := l.discoveryOn(g, req.Base, req.Label, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ranking, err := d.RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Ranking:    ranking,
+		GraphNodes: g.NumNodes(),
+		GraphEdges: g.NumEdges(),
+		WarmGraph:  warm,
+	}
+	res.Manifest = d.Manifest(ranking)
+	if req.Model != "" {
+		aug, err := d.EvaluateRankingContext(ctx, ranking, factory)
+		if err != nil {
+			return nil, err
+		}
+		res.Augment = aug
+		res.Manifest.AttachEvaluation(aug)
+	}
+	res.CacheHits, res.CacheMisses = l.cache.Stats()
+	return res, nil
+}

@@ -1,0 +1,205 @@
+package lake
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"autofeat/internal/core"
+	"autofeat/internal/datagen"
+	"autofeat/internal/errs"
+)
+
+// writeLakeDir materialises a generated dataset as a CSV directory.
+func writeLakeDir(t *testing.T) (dir string, ds *datagen.Dataset) {
+	t.Helper()
+	ds, err := datagen.Generate(datagen.SmallSpecs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir = t.TempDir()
+	for _, tb := range ds.Tables {
+		if err := tb.WriteCSVFile(filepath.Join(dir, tb.Name()+".csv")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir, ds
+}
+
+func TestOpenLoadsTablesOnce(t *testing.T) {
+	dir, ds := writeLakeDir(t)
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Dir() != dir {
+		t.Errorf("Dir() = %q, want %q", l.Dir(), dir)
+	}
+	if got, want := len(l.Tables()), len(ds.Tables); got != want {
+		t.Fatalf("loaded %d tables, want %d", got, want)
+	}
+	for _, tb := range ds.Tables {
+		if l.Table(tb.Name()) == nil {
+			t.Errorf("Table(%q) = nil", tb.Name())
+		}
+	}
+	if l.Table("no-such-table") != nil {
+		t.Error("Table on unknown name should be nil")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Error("Open on an empty dir should fail")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.csv"), []byte("a,b\n1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(dir)
+	if !errors.Is(err, errs.ErrBadInput) {
+		t.Errorf("Open on a corrupt CSV: err = %v, want ErrBadInput", err)
+	}
+	l, lerrs := OpenLenient(dir)
+	if len(lerrs) != 1 {
+		t.Errorf("OpenLenient reported %d errors, want 1", len(lerrs))
+	}
+	if len(l.Tables()) != 0 {
+		t.Errorf("OpenLenient kept %d tables, want 0", len(l.Tables()))
+	}
+}
+
+func TestDRGMemoisedPerSetting(t *testing.T) {
+	_, ds := writeLakeDir(t)
+	l := New(ds.Tables)
+
+	g1, err := l.DRG(WithThreshold(0.55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := l.DRG(WithThreshold(0.55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Error("same settings should return the identical memoised graph")
+	}
+	g3, err := l.DRG(WithThreshold(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3 == g1 {
+		t.Error("a different threshold must build a different graph")
+	}
+	gk, err := l.DRG(WithKFKs(ds.KFKs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gk.NumEdges() != len(ds.KFKs) {
+		t.Errorf("benchmark DRG has %d edges, want %d", gk.NumEdges(), len(ds.KFKs))
+	}
+	if gk2, _ := l.DRG(WithKFKs(ds.KFKs)); gk2 != gk {
+		t.Error("identical KFK sets should share one memoised graph")
+	}
+	if _, err := l.DRG(WithMatcher("bogus")); !errors.Is(err, errs.ErrBadInput) {
+		t.Errorf("unknown matcher: err = %v, want ErrBadInput", err)
+	}
+}
+
+// TestDiscoverWarmMatchesCold is the session-cache correctness
+// invariant: a request served by a warm Lake (memoised DRG, populated
+// key-index cache) must rank bit-identically to the same request on a
+// cold Lake, while the warm run's cache counters show actual reuse.
+func TestDiscoverWarmMatchesCold(t *testing.T) {
+	_, ds := writeLakeDir(t)
+	req := Request{Base: ds.Base.Name(), Label: ds.Label}
+
+	cold := New(ds.Tables, WithKFKs(ds.KFKs))
+	first, err := cold.Discover(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.WarmGraph {
+		t.Error("first request should build the DRG, not find it warm")
+	}
+	warm, err := cold.Discover(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.WarmGraph {
+		t.Error("second request should reuse the memoised DRG")
+	}
+	if warm.CacheHits <= first.CacheHits {
+		t.Errorf("warm run should add key-index cache hits: first=%d warm=%d",
+			first.CacheHits, warm.CacheHits)
+	}
+
+	if got, want := rankingKey(warm.Ranking), rankingKey(first.Ranking); got != want {
+		t.Errorf("warm ranking diverged from cold:\nwarm: %s\ncold: %s", got, want)
+	}
+}
+
+// rankingKey flattens the parts of a ranking that must be bit-identical
+// across warm and cold runs.
+func rankingKey(r *core.Ranking) string {
+	s := fmt.Sprintf("explored=%d pruned=%d;", r.PathsExplored, r.PathsPruned)
+	for _, p := range r.Paths {
+		s += fmt.Sprintf("%s score=%.17g quality=%.17g features=%v;", p, p.Score, p.Quality, p.Features)
+	}
+	return s
+}
+
+func TestDiscoverValidatesModel(t *testing.T) {
+	_, ds := writeLakeDir(t)
+	l := New(ds.Tables, WithKFKs(ds.KFKs))
+	_, err := l.Discover(context.Background(), Request{Base: ds.Base.Name(), Label: ds.Label, Model: "no-such-model"})
+	if !errors.Is(err, errs.ErrBadInput) {
+		t.Errorf("unknown model: err = %v, want ErrBadInput", err)
+	}
+}
+
+func TestFromGraphPinsAttachedGraph(t *testing.T) {
+	_, ds := writeLakeDir(t)
+	g, err := New(ds.Tables).DRG(WithKFKs(ds.KFKs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := FromGraph(g)
+	got, err := l.DRG(WithThreshold(0.1)) // options must be ignored
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != g {
+		t.Error("FromGraph lake must always return the attached graph")
+	}
+	if len(l.Tables()) != len(ds.Tables) {
+		t.Errorf("FromGraph adopted %d tables, want %d", len(l.Tables()), len(ds.Tables))
+	}
+	res, err := l.Discover(context.Background(), Request{Base: ds.Base.Name(), Label: ds.Label})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.WarmGraph {
+		t.Error("attached graph should always count as warm")
+	}
+}
+
+// TestDiscoverInjectsSharedCache confirms every run against one Lake
+// shares the key-index cache unless the caller supplies its own.
+func TestDiscoverInjectsSharedCache(t *testing.T) {
+	_, ds := writeLakeDir(t)
+	l := New(ds.Tables, WithKFKs(ds.KFKs))
+	if _, err := l.Discover(context.Background(), Request{Base: ds.Base.Name(), Label: ds.Label}); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := l.CacheStats()
+	if hits+misses == 0 {
+		t.Error("a discovery run should touch the Lake's shared key-index cache")
+	}
+	if c := l.KeyCache(); c == nil {
+		t.Error("KeyCache should never be nil")
+	}
+}

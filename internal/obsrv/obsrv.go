@@ -25,6 +25,7 @@
 package obsrv
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
@@ -116,6 +117,12 @@ func (s *Server) Run(id string) *RunProgress {
 // Handler returns the server's mux for mounting on an external listener.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// Handle registers an additional handler on the server's mux, letting
+// other subsystems (the discovery service in internal/serve) share the
+// introspection listener. pattern follows Go 1.22 mux syntax, method
+// prefixes included.
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+
 // ListenAndServe serves cfg.Addr on the explicitly-configured
 // http.Server until Close; it has the blocking semantics of
 // http.Server.ListenAndServe.
@@ -123,6 +130,11 @@ func (s *Server) ListenAndServe() error { return s.srv.ListenAndServe() }
 
 // Close immediately closes the underlying http.Server.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown gracefully shuts the underlying http.Server down: it stops
+// accepting new connections and waits for in-flight requests until ctx
+// expires. Pair it with serve.Service.Drain for a clean SIGTERM path.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
 
 // healthDoc is the /healthz response body.
 type healthDoc struct {

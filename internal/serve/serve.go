@@ -1,0 +1,632 @@
+// Package serve implements the long-lived discovery service: a REST
+// layer over resident lake sessions (internal/lake) that lets many
+// augmentation requests run against a lake that was loaded, profiled
+// and graph-matched once. It mounts on the internal/obsrv introspection
+// mux, so one listener serves both planes:
+//
+//   - POST   /v1/lakes             — register (open) a lake directory
+//   - GET    /v1/lakes             — list registered lakes
+//   - POST   /v1/discoveries       — submit a discovery run (202 + id)
+//   - GET    /v1/discoveries       — list jobs with their states
+//   - GET    /v1/discoveries/{id}  — job status, and the result once done
+//   - GET    /v1/discoveries/{id}/manifest — the run's provenance manifest
+//   - DELETE /v1/discoveries/{id}  — cancel a queued or running job
+//
+// Jobs run on a bounded scheduler: at most Config.Workers discoveries
+// execute concurrently (admission via a semaphore), at most
+// Config.QueueDepth jobs wait behind them, and submissions beyond that
+// are rejected with 429 and a Retry-After header. Every job threads the
+// existing RunProgress, telemetry collector and provenance manifest, so
+// GET /runs/{id} and GET /metrics work unchanged for served traffic.
+// Drain implements graceful shutdown: new submissions get 503 while
+// in-flight jobs run to completion.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autofeat/internal/core"
+	"autofeat/internal/lake"
+	"autofeat/internal/obsrv"
+	"autofeat/internal/telemetry"
+)
+
+// Job states, in lifecycle order.
+const (
+	// StateQueued is a job admitted but waiting for a scheduler slot.
+	StateQueued = "queued"
+	// StateRunning is a job holding a scheduler slot.
+	StateRunning = "running"
+	// StateDone is a job that finished with a result (possibly Partial).
+	StateDone = "done"
+	// StateFailed is a job that returned an error.
+	StateFailed = "failed"
+	// StateCancelled is a job stopped by DELETE before completion; a
+	// partial result may still be attached.
+	StateCancelled = "cancelled"
+)
+
+// Config sizes and wires a Service.
+type Config struct {
+	// Workers bounds how many discovery jobs run concurrently — the
+	// admission semaphore size. 0 defaults to GOMAXPROCS. Note each job
+	// may itself use a per-request worker pool (core.Config.Workers), so
+	// total parallelism is the product; size accordingly.
+	Workers int
+	// QueueDepth bounds how many admitted jobs may wait for a slot.
+	// Submissions beyond it are rejected with 429 and Retry-After.
+	// 0 defaults to 2×Workers.
+	QueueDepth int
+	// DefaultTimeout is applied as the per-job core.Config.Timeout when
+	// the request does not set one. 0 leaves jobs unbounded.
+	DefaultTimeout time.Duration
+	// Collector, when non-nil, is shared by every served run so the
+	// introspection /metrics endpoint aggregates served traffic.
+	Collector *telemetry.Collector
+	// Logger, when non-nil, receives service lifecycle records and is
+	// threaded into every served run.
+	Logger *slog.Logger
+}
+
+// Service is the long-lived discovery service: registered lake sessions,
+// a job table, and the bounded scheduler that runs jobs against them.
+type Service struct {
+	cfg Config
+	log *slog.Logger
+	srv *obsrv.Server
+	sem chan struct{}
+
+	mu        sync.Mutex
+	lakes     map[string]*lakeEntry
+	lakeOrder []string
+	jobs      map[string]*job
+	jobOrder  []string
+	nextLake  int
+	nextJob   int
+
+	queued   atomic.Int64
+	draining atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// lakeEntry is one registered lake session.
+type lakeEntry struct {
+	id      string
+	lake    *lake.Lake
+	created time.Time
+}
+
+// job is one scheduled discovery run.
+type job struct {
+	id     string
+	lakeID string
+	req    lake.Request
+	cancel context.CancelFunc
+
+	mu              sync.Mutex
+	state           string
+	err             string
+	cancelRequested bool
+	result          *lake.Result
+	hitsBefore      int64
+	missesBefore    int64
+	submitted       time.Time
+	started         time.Time
+	finished        time.Time
+}
+
+// New builds a Service. Mount it on an obsrv.Server to expose the REST
+// endpoints.
+func New(cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 2 * cfg.Workers
+	}
+	return &Service{
+		cfg:   cfg,
+		log:   telemetry.OrNop(cfg.Logger),
+		sem:   make(chan struct{}, cfg.Workers),
+		lakes: make(map[string]*lakeEntry),
+		jobs:  make(map[string]*job),
+	}
+}
+
+// Mount registers the service's routes on the introspection server's
+// mux and keeps a reference to it so each job's RunProgress appears
+// under /runs/{id}.
+func (s *Service) Mount(srv *obsrv.Server) {
+	s.srv = srv
+	srv.Handle("POST /v1/lakes", http.HandlerFunc(s.handleLakeCreate))
+	srv.Handle("GET /v1/lakes", http.HandlerFunc(s.handleLakeList))
+	srv.Handle("POST /v1/discoveries", http.HandlerFunc(s.handleSubmit))
+	srv.Handle("GET /v1/discoveries", http.HandlerFunc(s.handleJobList))
+	srv.Handle("GET /v1/discoveries/{id}", http.HandlerFunc(s.handleJobGet))
+	srv.Handle("GET /v1/discoveries/{id}/manifest", http.HandlerFunc(s.handleJobManifest))
+	srv.Handle("DELETE /v1/discoveries/{id}", http.HandlerFunc(s.handleJobCancel))
+}
+
+// AddLake registers an already-open lake session under the given id,
+// the programmatic path tests and embedders use instead of POST
+// /v1/lakes. An existing id is replaced.
+func (s *Service) AddLake(id string, l *lake.Lake) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.lakes[id]; !ok {
+		s.lakeOrder = append(s.lakeOrder, id)
+	}
+	s.lakes[id] = &lakeEntry{id: id, lake: l, created: time.Now()}
+}
+
+// Lake returns the registered lake session for id, or nil.
+func (s *Service) Lake(id string) *lake.Lake {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.lakes[id]; e != nil {
+		return e.lake
+	}
+	return nil
+}
+
+// Drain stops admission (new submissions get 503) and waits until every
+// in-flight and queued job has finished, or ctx expires. It is the
+// SIGTERM half of graceful shutdown; follow it with obsrv.Server.
+// Shutdown to close the listener.
+func (s *Service) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.log.Info("service draining", "jobs_queued", s.queued.Load())
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.log.Info("service drained")
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// lakeCreateRequest is the POST /v1/lakes body.
+type lakeCreateRequest struct {
+	// Dir is the CSV directory to open (required).
+	Dir string `json:"dir"`
+	// Matcher is the default DRG matcher for this lake: "exact"
+	// (default) or "sketched".
+	Matcher string `json:"matcher,omitempty"`
+	// Threshold is the default matcher threshold (0 = 0.55).
+	Threshold float64 `json:"threshold,omitempty"`
+}
+
+// lakeDoc describes one registered lake in responses.
+type lakeDoc struct {
+	ID     string `json:"id"`
+	Dir    string `json:"dir"`
+	Tables int    `json:"tables"`
+}
+
+func (s *Service) handleLakeCreate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "service is draining")
+		return
+	}
+	var req lakeCreateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.Dir == "" {
+		writeError(w, http.StatusBadRequest, "dir is required")
+		return
+	}
+	var opts []lake.Option
+	if req.Matcher != "" {
+		opts = append(opts, lake.WithMatcher(lake.MatcherKind(req.Matcher)))
+	}
+	if req.Threshold > 0 {
+		opts = append(opts, lake.WithThreshold(req.Threshold))
+	}
+	l, err := lake.Open(req.Dir, opts...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	s.nextLake++
+	id := fmt.Sprintf("lake-%03d", s.nextLake)
+	s.lakes[id] = &lakeEntry{id: id, lake: l, created: time.Now()}
+	s.lakeOrder = append(s.lakeOrder, id)
+	s.mu.Unlock()
+	s.log.Info("lake registered", "id", id, "dir", req.Dir, "tables", len(l.Tables()))
+	writeJSON(w, http.StatusCreated, lakeDoc{ID: id, Dir: l.Dir(), Tables: len(l.Tables())})
+}
+
+func (s *Service) handleLakeList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	docs := make([]lakeDoc, 0, len(s.lakeOrder))
+	for _, id := range s.lakeOrder {
+		e := s.lakes[id]
+		docs = append(docs, lakeDoc{ID: e.id, Dir: e.lake.Dir(), Tables: len(e.lake.Tables())})
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"lakes": docs})
+}
+
+// submitRequest is the POST /v1/discoveries body. Zero-valued optional
+// fields fall back to core.DefaultConfig (and the lake's DRG defaults).
+type submitRequest struct {
+	// Lake is the registered lake id (required).
+	Lake string `json:"lake"`
+	// Base and Label name the base table and its label column (required).
+	Base  string `json:"base"`
+	Label string `json:"label"`
+	// Model optionally names the model trained on the top-k paths;
+	// empty returns the ranking alone.
+	Model string `json:"model,omitempty"`
+	// Matcher and Threshold override the lake's DRG defaults per request.
+	Matcher   string  `json:"matcher,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+	// Discovery hyper-parameters (0 = default).
+	Tau      float64 `json:"tau,omitempty"`
+	Kappa    int     `json:"kappa,omitempty"`
+	TopK     int     `json:"topk,omitempty"`
+	Depth    int     `json:"depth,omitempty"`
+	Beam     int     `json:"beam,omitempty"`
+	Workers  int     `json:"workers,omitempty"`
+	Seed     int64   `json:"seed,omitempty"`
+	MaxPaths int     `json:"max_paths,omitempty"`
+	// Budgets (0 = service default timeout / unlimited).
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+	BudgetJoins    int     `json:"budget_joins,omitempty"`
+	BudgetRows     int64   `json:"budget_rows,omitempty"`
+}
+
+// config resolves the request's overrides over core.DefaultConfig.
+func (r submitRequest) config(def time.Duration) core.Config {
+	cfg := core.DefaultConfig()
+	if r.Tau > 0 {
+		cfg.Tau = r.Tau
+	}
+	if r.Kappa > 0 {
+		cfg.Kappa = r.Kappa
+	}
+	if r.TopK > 0 {
+		cfg.TopK = r.TopK
+	}
+	if r.Depth > 0 {
+		cfg.MaxDepth = r.Depth
+	}
+	if r.Beam > 0 {
+		cfg.BeamWidth = r.Beam
+	}
+	if r.Workers > 0 {
+		cfg.Workers = r.Workers
+	}
+	if r.Seed != 0 {
+		cfg.Seed = r.Seed
+	}
+	if r.MaxPaths > 0 {
+		cfg.MaxPaths = r.MaxPaths
+	}
+	cfg.Timeout = def
+	if r.TimeoutSeconds > 0 {
+		cfg.Timeout = time.Duration(r.TimeoutSeconds * float64(time.Second))
+	}
+	cfg.MaxEvalJoins = r.BudgetJoins
+	cfg.MaxJoinedRows = r.BudgetRows
+	return cfg
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "service is draining")
+		return
+	}
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.Lake == "" || req.Base == "" || req.Label == "" {
+		writeError(w, http.StatusBadRequest, "lake, base and label are required")
+		return
+	}
+	s.mu.Lock()
+	entry := s.lakes[req.Lake]
+	s.mu.Unlock()
+	if entry == nil {
+		writeError(w, http.StatusNotFound, "unknown lake "+req.Lake)
+		return
+	}
+	// Queue-depth admission control: reject beyond the configured
+	// backlog instead of buffering unboundedly.
+	if int(s.queued.Load()) >= s.cfg.QueueDepth {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests, "job queue is full")
+		return
+	}
+
+	cfg := req.config(s.cfg.DefaultTimeout)
+	cfg.Telemetry = s.cfg.Collector
+	cfg.Logger = s.cfg.Logger
+	lreq := lake.Request{
+		Base:      req.Base,
+		Label:     req.Label,
+		Model:     req.Model,
+		Matcher:   lake.MatcherKind(req.Matcher),
+		Threshold: req.Threshold,
+		Config:    &cfg,
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s.mu.Lock()
+	s.nextJob++
+	j := &job{
+		id:        fmt.Sprintf("disc-%06d", s.nextJob),
+		lakeID:    req.Lake,
+		req:       lreq,
+		cancel:    cancel,
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	s.jobs[j.id] = j
+	s.jobOrder = append(s.jobOrder, j.id)
+	s.mu.Unlock()
+
+	s.queued.Add(1)
+	s.wg.Add(1)
+	go s.runJob(ctx, j, entry.lake)
+
+	s.log.Info("discovery submitted", "id", j.id, "lake", req.Lake, "base", req.Base, "model", req.Model)
+	w.Header().Set("Location", "/v1/discoveries/"+j.id)
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "state": StateQueued})
+}
+
+// retryAfterSeconds estimates when a queue slot may free up: one second
+// per running job is a deliberately crude but monotone signal.
+func (s *Service) retryAfterSeconds() int {
+	n := len(s.sem)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// runJob is the scheduler goroutine of one job: acquire a slot, run the
+// discovery against the lake session, record the outcome.
+func (s *Service) runJob(ctx context.Context, j *job, l *lake.Lake) {
+	defer s.wg.Done()
+	defer j.cancel()
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		// Cancelled while still queued: never ran.
+		s.queued.Add(-1)
+		j.mu.Lock()
+		j.state = StateCancelled
+		j.finished = time.Now()
+		j.mu.Unlock()
+		return
+	}
+	s.queued.Add(-1)
+
+	prog := obsrv.NewRunProgress(j.id)
+	s.srv.Register(prog)
+	hits, misses := l.CacheStats()
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.hitsBefore, j.missesBefore = hits, misses
+	cfg := *j.req.Config
+	cfg.Progress = prog
+	j.req.Config = &cfg
+	req := j.req
+	j.mu.Unlock()
+
+	res, err := l.Discover(ctx, req)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	switch {
+	case err != nil:
+		j.state = StateFailed
+		j.err = err.Error()
+		s.log.Warn("discovery failed", "id", j.id, "error", err)
+	case j.cancelRequested:
+		j.state = StateCancelled
+		j.result = res
+		s.log.Info("discovery cancelled", "id", j.id, "paths", len(res.Ranking.Paths))
+	default:
+		j.state = StateDone
+		j.result = res
+		s.log.Info("discovery finished", "id", j.id,
+			"paths", len(res.Ranking.Paths), "partial", res.Ranking.Partial,
+			"warm_graph", res.WarmGraph, "duration", j.finished.Sub(j.started))
+	}
+}
+
+// resultDoc is the result section of a job document.
+type resultDoc struct {
+	Paths            int     `json:"paths"`
+	Explored         int     `json:"explored"`
+	Pruned           int     `json:"pruned"`
+	Partial          bool    `json:"partial"`
+	PartialReason    string  `json:"partial_reason,omitempty"`
+	BestPath         string  `json:"best_path,omitempty"`
+	BestAccuracy     float64 `json:"best_accuracy,omitempty"`
+	BestAUC          float64 `json:"best_auc,omitempty"`
+	Evaluated        int     `json:"evaluated,omitempty"`
+	SelectionSeconds float64 `json:"selection_seconds"`
+	TotalSeconds     float64 `json:"total_seconds,omitempty"`
+	GraphNodes       int     `json:"graph_nodes"`
+	GraphEdges       int     `json:"graph_edges"`
+	WarmGraph        bool    `json:"warm_graph"`
+	CacheHits        int64   `json:"cache_hits"`
+	CacheMisses      int64   `json:"cache_misses"`
+	CacheHitsDelta   int64   `json:"cache_hits_delta"`
+	CacheMissesDelta int64   `json:"cache_misses_delta"`
+}
+
+// jobDoc is the GET /v1/discoveries/{id} document.
+type jobDoc struct {
+	ID             string     `json:"id"`
+	Lake           string     `json:"lake"`
+	Base           string     `json:"base"`
+	Label          string     `json:"label"`
+	Model          string     `json:"model,omitempty"`
+	State          string     `json:"state"`
+	Error          string     `json:"error,omitempty"`
+	Run            string     `json:"run"`
+	SubmittedUnix  int64      `json:"submitted_unix_ms"`
+	StartedUnixMS  int64      `json:"started_unix_ms,omitempty"`
+	FinishedUnixMS int64      `json:"finished_unix_ms,omitempty"`
+	Result         *resultDoc `json:"result,omitempty"`
+}
+
+// doc renders the job's current state.
+func (j *job) doc() jobDoc {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	d := jobDoc{
+		ID:            j.id,
+		Lake:          j.lakeID,
+		Base:          j.req.Base,
+		Label:         j.req.Label,
+		Model:         j.req.Model,
+		State:         j.state,
+		Error:         j.err,
+		Run:           "/runs/" + j.id,
+		SubmittedUnix: j.submitted.UnixMilli(),
+	}
+	if !j.started.IsZero() {
+		d.StartedUnixMS = j.started.UnixMilli()
+	}
+	if !j.finished.IsZero() {
+		d.FinishedUnixMS = j.finished.UnixMilli()
+	}
+	if r := j.result; r != nil {
+		rd := &resultDoc{
+			Paths:            len(r.Ranking.Paths),
+			Explored:         r.Ranking.PathsExplored,
+			Pruned:           r.Ranking.Prune.Total(),
+			Partial:          r.Ranking.Partial,
+			PartialReason:    r.Ranking.PartialReason,
+			SelectionSeconds: r.Ranking.SelectionTime.Seconds(),
+			GraphNodes:       r.GraphNodes,
+			GraphEdges:       r.GraphEdges,
+			WarmGraph:        r.WarmGraph,
+			CacheHits:        r.CacheHits,
+			CacheMisses:      r.CacheMisses,
+			CacheHitsDelta:   r.CacheHits - j.hitsBefore,
+			CacheMissesDelta: r.CacheMisses - j.missesBefore,
+		}
+		if a := r.Augment; a != nil {
+			rd.Partial = a.Partial
+			rd.PartialReason = a.PartialReason
+			rd.BestPath = a.Best.Path.String()
+			rd.BestAccuracy = a.Best.Eval.Accuracy
+			rd.BestAUC = a.Best.Eval.AUC
+			rd.Evaluated = len(a.Evaluated)
+			rd.TotalSeconds = a.TotalTime.Seconds()
+		}
+		d.Result = rd
+	}
+	return d
+}
+
+func (s *Service) jobByID(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Service) handleJobList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobOrder))
+	for _, id := range s.jobOrder {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	docs := make([]jobDoc, 0, len(jobs))
+	for _, j := range jobs {
+		docs = append(docs, j.doc())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"discoveries": docs})
+}
+
+func (s *Service) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(r.PathValue("id"))
+	if j == nil {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.doc())
+}
+
+func (s *Service) handleJobManifest(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(r.PathValue("id"))
+	if j == nil {
+		http.NotFound(w, r)
+		return
+	}
+	j.mu.Lock()
+	var m *core.Manifest
+	if j.result != nil {
+		m = j.result.Manifest
+	}
+	j.mu.Unlock()
+	if m == nil {
+		writeError(w, http.StatusConflict, "job has no result yet")
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+func (s *Service) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(r.PathValue("id"))
+	if j == nil {
+		http.NotFound(w, r)
+		return
+	}
+	j.mu.Lock()
+	terminal := j.state == StateDone || j.state == StateFailed || j.state == StateCancelled
+	if !terminal {
+		j.cancelRequested = true
+	}
+	j.mu.Unlock()
+	if terminal {
+		writeJSON(w, http.StatusConflict, j.doc())
+		return
+	}
+	j.cancel()
+	s.log.Info("discovery cancel requested", "id", j.id)
+	writeJSON(w, http.StatusAccepted, j.doc())
+}
+
+// writeJSON writes v as indented JSON with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes a JSON error body with the given status.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

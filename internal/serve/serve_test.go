@@ -1,0 +1,372 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"autofeat/internal/core"
+	"autofeat/internal/datagen"
+	"autofeat/internal/lake"
+	"autofeat/internal/obsrv"
+	"autofeat/internal/telemetry"
+)
+
+// testStack is one wired service: dataset on disk, lake session,
+// obsrv server and an httptest listener in front of the shared mux.
+type testStack struct {
+	svc  *Service
+	ts   *httptest.Server
+	ds   *datagen.Dataset
+	dir  string
+	lake *lake.Lake
+}
+
+func newStack(t *testing.T, cfg Config) *testStack {
+	t.Helper()
+	ds, err := datagen.Generate(datagen.SmallSpecs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, tb := range ds.Tables {
+		if err := tb.WriteCSVFile(filepath.Join(dir, tb.Name()+".csv")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cfg.Collector == nil {
+		cfg.Collector = telemetry.New()
+	}
+	srv := obsrv.NewServer(obsrv.Config{Collector: cfg.Collector})
+	svc := New(cfg)
+	svc.Mount(srv)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	l, err := lake.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.AddLake("lake-test", l)
+	return &testStack{svc: svc, ts: ts, ds: ds, dir: dir, lake: l}
+}
+
+// postJSON posts v and decodes the response body into out (if non-nil).
+func postJSON(t *testing.T, url string, v any, out any) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s response: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s response: %v", url, err)
+		}
+	}
+	return resp
+}
+
+// waitState polls the job until it reaches a terminal state.
+func waitState(t *testing.T, baseURL, id string) jobDoc {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var doc jobDoc
+		getJSON(t, baseURL+"/v1/discoveries/"+id, &doc)
+		switch doc.State {
+		case StateDone, StateFailed, StateCancelled:
+			return doc
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish in time", id)
+	return jobDoc{}
+}
+
+func TestServiceEndToEnd(t *testing.T) {
+	st := newStack(t, Config{Workers: 2})
+
+	// Register a second lake over HTTP.
+	var ld lakeDoc
+	resp := postJSON(t, st.ts.URL+"/v1/lakes", lakeCreateRequest{Dir: st.dir}, &ld)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /v1/lakes: status %d", resp.StatusCode)
+	}
+	if ld.Tables != len(st.ds.Tables) {
+		t.Errorf("registered lake has %d tables, want %d", ld.Tables, len(st.ds.Tables))
+	}
+	var lakes struct {
+		Lakes []lakeDoc `json:"lakes"`
+	}
+	getJSON(t, st.ts.URL+"/v1/lakes", &lakes)
+	if len(lakes.Lakes) != 2 {
+		t.Errorf("listed %d lakes, want 2", len(lakes.Lakes))
+	}
+
+	// Submit a full run (ranking + model training) and poll to done.
+	var sub struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	resp = postJSON(t, st.ts.URL+"/v1/discoveries", submitRequest{
+		Lake: ld.ID, Base: st.ds.Base.Name(), Label: st.ds.Label, Model: "lightgbm",
+	}, &sub)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/discoveries: status %d", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/discoveries/"+sub.ID {
+		t.Errorf("Location = %q", loc)
+	}
+	doc := waitState(t, st.ts.URL, sub.ID)
+	if doc.State != StateDone {
+		t.Fatalf("job state = %s (error %q), want done", doc.State, doc.Error)
+	}
+	if doc.Result == nil || doc.Result.Paths == 0 {
+		t.Fatal("done job should carry a result with ranked paths")
+	}
+	if doc.Result.BestPath == "" || doc.Result.Evaluated == 0 {
+		t.Error("model run should report best_path and evaluated count")
+	}
+
+	// The job's RunProgress is visible on the introspection plane.
+	if r := getJSON(t, st.ts.URL+doc.Run, nil); r.StatusCode != http.StatusOK {
+		t.Errorf("GET %s: status %d", doc.Run, r.StatusCode)
+	}
+	// And its provenance manifest is served.
+	var m core.Manifest
+	if r := getJSON(t, st.ts.URL+"/v1/discoveries/"+sub.ID+"/manifest", &m); r.StatusCode != http.StatusOK {
+		t.Errorf("manifest: status %d", r.StatusCode)
+	} else if len(m.Paths) == 0 {
+		t.Error("manifest should carry path lineage")
+	}
+
+	var list struct {
+		Discoveries []jobDoc `json:"discoveries"`
+	}
+	getJSON(t, st.ts.URL+"/v1/discoveries", &list)
+	if len(list.Discoveries) != 1 {
+		t.Errorf("listed %d discoveries, want 1", len(list.Discoveries))
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	st := newStack(t, Config{Workers: 1})
+	if r := postJSON(t, st.ts.URL+"/v1/discoveries", submitRequest{Lake: "lake-test"}, nil); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing base/label: status %d, want 400", r.StatusCode)
+	}
+	if r := postJSON(t, st.ts.URL+"/v1/discoveries", submitRequest{Lake: "nope", Base: "b", Label: "l"}, nil); r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown lake: status %d, want 404", r.StatusCode)
+	}
+	resp, err := http.Post(st.ts.URL+"/v1/discoveries", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON: status %d, want 400", resp.StatusCode)
+	}
+	if r := getJSON(t, st.ts.URL+"/v1/discoveries/disc-999999", nil); r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", r.StatusCode)
+	}
+	if r := postJSON(t, st.ts.URL+"/v1/lakes", lakeCreateRequest{Dir: t.TempDir()}, nil); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty lake dir: status %d, want 400", r.StatusCode)
+	}
+}
+
+// TestConcurrentJobsShareCaches is the cross-request caching invariant,
+// end to end: two overlapping jobs against one lake session race freely
+// (run under -race), a follow-up job sees warm cache hits, and every
+// served ranking is bit-identical to a cold single-process run.
+func TestConcurrentJobsShareCaches(t *testing.T) {
+	st := newStack(t, Config{Workers: 2, QueueDepth: 8})
+	req := submitRequest{Lake: "lake-test", Base: st.ds.Base.Name(), Label: st.ds.Label}
+
+	// Two overlapping jobs on one Lake.
+	var a, b struct {
+		ID string `json:"id"`
+	}
+	postJSON(t, st.ts.URL+"/v1/discoveries", req, &a)
+	postJSON(t, st.ts.URL+"/v1/discoveries", req, &b)
+	docA := waitState(t, st.ts.URL, a.ID)
+	docB := waitState(t, st.ts.URL, b.ID)
+	if docA.State != StateDone || docB.State != StateDone {
+		t.Fatalf("states = %s/%s, want done/done", docA.State, docB.State)
+	}
+
+	// A third job on the now-warm lake must skip the offline phase and
+	// reuse cached join indexes.
+	var c struct {
+		ID string `json:"id"`
+	}
+	postJSON(t, st.ts.URL+"/v1/discoveries", req, &c)
+	docC := waitState(t, st.ts.URL, c.ID)
+	if docC.State != StateDone {
+		t.Fatalf("warm job state = %s", docC.State)
+	}
+	if !docC.Result.WarmGraph {
+		t.Error("warm job should reuse the memoised DRG")
+	}
+	if docC.Result.CacheHitsDelta <= 0 {
+		t.Errorf("warm job cache_hits_delta = %d, want > 0", docC.Result.CacheHitsDelta)
+	}
+
+	// Bit-identical to a cold single-process run of the same request.
+	coldLake := lake.New(st.ds.Tables)
+	cold, err := coldLake.Discover(context.Background(), lake.Request{Base: st.ds.Base.Name(), Label: st.ds.Label})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rankingKey(cold.Ranking)
+	for _, id := range []string{a.ID, b.ID, c.ID} {
+		j := st.svc.jobByID(id)
+		if got := rankingKey(j.result.Ranking); got != want {
+			t.Errorf("job %s ranking diverged from cold run:\nserved: %s\ncold:   %s", id, got, want)
+		}
+	}
+}
+
+// rankingKey flattens the deterministic parts of a ranking for
+// bit-identical comparison across processes and cache temperatures.
+func rankingKey(r *core.Ranking) string {
+	s := fmt.Sprintf("explored=%d pruned=%d;", r.PathsExplored, r.PathsPruned)
+	for _, p := range r.Paths {
+		s += fmt.Sprintf("%s score=%.17g quality=%.17g features=%v;", p, p.Score, p.Quality, p.Features)
+	}
+	return s
+}
+
+// TestQueueFullRejects holds the only scheduler slot so admission is
+// deterministic: one job queues, the next is rejected with 429 and a
+// Retry-After hint.
+func TestQueueFullRejects(t *testing.T) {
+	st := newStack(t, Config{Workers: 1, QueueDepth: 1})
+	st.svc.sem <- struct{}{} // occupy the slot
+	req := submitRequest{Lake: "lake-test", Base: st.ds.Base.Name(), Label: st.ds.Label}
+
+	var first struct {
+		ID string `json:"id"`
+	}
+	if r := postJSON(t, st.ts.URL+"/v1/discoveries", req, &first); r.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", r.StatusCode)
+	}
+	resp := postJSON(t, st.ts.URL+"/v1/discoveries", req, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-queue submit: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 should carry Retry-After")
+	}
+
+	<-st.svc.sem // release; the queued job may now run
+	doc := waitState(t, st.ts.URL, first.ID)
+	if doc.State != StateDone {
+		t.Errorf("queued job state = %s, want done", doc.State)
+	}
+}
+
+// TestCancelQueuedJob cancels a job that never got a slot and checks
+// the terminal-state conflict on a second DELETE.
+func TestCancelQueuedJob(t *testing.T) {
+	st := newStack(t, Config{Workers: 1, QueueDepth: 2})
+	st.svc.sem <- struct{}{}
+	defer func() { <-st.svc.sem }()
+	req := submitRequest{Lake: "lake-test", Base: st.ds.Base.Name(), Label: st.ds.Label}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	postJSON(t, st.ts.URL+"/v1/discoveries", req, &sub)
+
+	del, err := http.NewRequest(http.MethodDelete, st.ts.URL+"/v1/discoveries/"+sub.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE: status %d, want 202", resp.StatusCode)
+	}
+	doc := waitState(t, st.ts.URL, sub.ID)
+	if doc.State != StateCancelled {
+		t.Errorf("state = %s, want cancelled", doc.State)
+	}
+	resp2, err := http.DefaultClient.Do(del.Clone(context.Background()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict {
+		t.Errorf("second DELETE: status %d, want 409", resp2.StatusCode)
+	}
+}
+
+// TestDrain verifies graceful shutdown: in-flight jobs finish, new
+// submissions are refused with 503.
+func TestDrain(t *testing.T) {
+	st := newStack(t, Config{Workers: 1})
+	req := submitRequest{Lake: "lake-test", Base: st.ds.Base.Name(), Label: st.ds.Label}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	postJSON(t, st.ts.URL+"/v1/discoveries", req, &sub)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := st.svc.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	doc := waitState(t, st.ts.URL, sub.ID)
+	if doc.State != StateDone {
+		t.Errorf("in-flight job state after drain = %s, want done", doc.State)
+	}
+	if r := postJSON(t, st.ts.URL+"/v1/discoveries", req, nil); r.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining: status %d, want 503", r.StatusCode)
+	}
+	if r := postJSON(t, st.ts.URL+"/v1/lakes", lakeCreateRequest{Dir: st.dir}, nil); r.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("lake create while draining: status %d, want 503", r.StatusCode)
+	}
+}
+
+// TestManifestBeforeResult covers the 409 on a manifest request for a
+// job that has not produced a result yet.
+func TestManifestBeforeResult(t *testing.T) {
+	st := newStack(t, Config{Workers: 1, QueueDepth: 2})
+	st.svc.sem <- struct{}{}
+	defer func() { <-st.svc.sem }()
+	var sub struct {
+		ID string `json:"id"`
+	}
+	postJSON(t, st.ts.URL+"/v1/discoveries",
+		submitRequest{Lake: "lake-test", Base: st.ds.Base.Name(), Label: st.ds.Label}, &sub)
+	if r := getJSON(t, st.ts.URL+"/v1/discoveries/"+sub.ID+"/manifest", nil); r.StatusCode != http.StatusConflict {
+		t.Errorf("manifest on queued job: status %d, want 409", r.StatusCode)
+	}
+}
