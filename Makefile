@@ -19,11 +19,13 @@ race:
 # It also refreshes BENCH_parallel.json, the committed worker-scaling
 # baseline (speedup at 4/8 workers is bounded by the cores available),
 # and BENCH_serve.json, the cold-vs-warm serving baseline (the warm row
-# must stay >= 2x faster than cold).
+# must stay >= 2x faster than cold), and BENCH_traced.json, the
+# request-tracing overhead baseline (traced must stay <= 1.5x untraced).
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkMicro' -benchmem .
 	AUTOFEAT_BENCH_OUT=BENCH_parallel.json $(GO) test -run TestWriteParallelBench -v .
 	AUTOFEAT_SERVE_BENCH_OUT=BENCH_serve.json $(GO) test -run TestWriteServeBench -v .
+	AUTOFEAT_TRACED_BENCH_OUT=BENCH_traced.json $(GO) test -run TestWriteTracedBench -v .
 
 # bench-diff regenerates candidate baselines and diffs them against the
 # committed BENCH_parallel.json and BENCH_serve.json; the exit code fails
@@ -34,6 +36,8 @@ bench-diff:
 	$(GO) run ./cmd/benchdiff BENCH_parallel.json BENCH_candidate.json
 	AUTOFEAT_SERVE_BENCH_OUT=BENCH_serve_candidate.json $(GO) test -run TestWriteServeBench .
 	$(GO) run ./cmd/benchdiff BENCH_serve.json BENCH_serve_candidate.json
+	AUTOFEAT_TRACED_BENCH_OUT=BENCH_traced_candidate.json $(GO) test -run TestWriteTracedBench .
+	$(GO) run ./cmd/benchdiff BENCH_traced.json BENCH_traced_candidate.json
 
 # docs-check is the documentation gate: a godoc audit over the
 # public-facing packages (exported identifiers must carry doc comments

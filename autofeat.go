@@ -319,6 +319,29 @@ type PruneStats = core.PruneStats
 // NewTelemetry returns a live collector for Config.Telemetry.
 func NewTelemetry() *Telemetry { return telemetry.New() }
 
+// TraceStore is the bounded in-memory trace retention behind the
+// introspection server's /v1/traces endpoints: attach one to a Telemetry
+// collector with Telemetry.ObserveSpans and every finished span is
+// grouped by trace ID, evicting whole traces FIFO past the cap.
+type TraceStore = telemetry.TraceStore
+
+// FlightRecorder is the fixed-size ring buffer of recently finished
+// spans behind /debug/flight — a postmortem view that survives trace
+// store eviction.
+type FlightRecorder = telemetry.FlightRecorder
+
+// NewTraceStore returns a trace store retaining at most maxTraces traces
+// of maxSpansPerTrace spans each (0 picks the defaults, 256 and 4096).
+func NewTraceStore(maxTraces, maxSpansPerTrace int) *TraceStore {
+	return telemetry.NewTraceStore(maxTraces, maxSpansPerTrace)
+}
+
+// NewFlightRecorder returns a flight recorder holding the last capacity
+// spans (0 picks the default, 256).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	return telemetry.NewFlightRecorder(capacity)
+}
+
 // WriteTraceFile writes a snapshot's span trace as JSON ({"spans": [...]}).
 func WriteTraceFile(path string, s *TelemetrySnapshot) error {
 	return telemetry.WriteTraceFile(path, s)

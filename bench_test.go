@@ -8,6 +8,7 @@ package autofeat
 // cmd/experiments runs the same experiments at full Table II scale.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
@@ -16,6 +17,7 @@ import (
 
 	"autofeat/internal/bench"
 	"autofeat/internal/datagen"
+	"autofeat/internal/telemetry"
 )
 
 var (
@@ -322,6 +324,40 @@ func BenchmarkMicroDiscoveryObserved(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, err := disc.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroDiscoveryTraced is the overhead guard for the request
+// tracer: on top of BenchmarkMicroDiscoveryTelemetry's collector it
+// attaches a trace store and flight recorder as span observers and runs
+// under a remote trace context, so every span is identified, copied and
+// fanned out the way a served job's spans are. Compare against
+// BenchmarkMicroDiscoveryTelemetry for the tracing increment and against
+// BenchmarkMicroDiscovery for the total observability cost;
+// cmd/benchdiff gates both via BENCH_traced.json.
+func BenchmarkMicroDiscoveryTraced(b *testing.B) {
+	d, err := datagen.Generate(datagen.SmallSpecs()[1])
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := BuildDRG(d.Tables, d.KFKs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	remote, _ := telemetry.ParseTraceparent("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.Telemetry = NewTelemetry()
+		cfg.Telemetry.ObserveSpans(NewTraceStore(0, 0), NewFlightRecorder(0))
+		disc, err := NewDiscovery(g, d.Base.Name(), d.Label, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := telemetry.ContextWithRemote(context.Background(), remote)
+		if _, err := disc.RunContext(ctx); err != nil {
 			b.Fatal(err)
 		}
 	}

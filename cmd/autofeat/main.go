@@ -151,6 +151,9 @@ func runServe(args []string) error {
 		enablePprof  = fs.Bool("pprof", true, "mount /debug/pprof/ handlers")
 		logLevel     = fs.String("log-level", "info", "structured log level: debug|info|warn|error (empty = off)")
 		logFormat    = fs.String("log-format", "text", "structured log format: text|json")
+		traceStore   = fs.Int("trace-store", 256, "traces retained for GET /v1/traces (0 = default 256, -1 = disable tracing endpoints)")
+		flightSize   = fs.Int("flight", 256, "recent spans kept in the /debug/flight ring (0 = default 256, -1 = disable)")
+		maxSpans     = fs.Int("max-spans", 65536, "spans retained in the collector snapshot before dropping (0 = unbounded)")
 		preloadLakes multiFlag
 	)
 	fs.Var(&preloadLakes, "lake", "pre-register a lake as id=dir (repeatable)")
@@ -173,11 +176,24 @@ func runServe(args []string) error {
 			cfg.Logger = autofeat.NewLogger(os.Stderr, level, *logFormat)
 		}
 	}
-	srv := autofeat.NewIntrospectionServer(autofeat.IntrospectionConfig{
+	// A long-lived service must bound span retention: cap the collector's
+	// own snapshot buffer, and wire the trace store and flight recorder
+	// that back /v1/traces and /debug/flight.
+	cfg.Collector.Trace().SetMaxSpans(*maxSpans)
+	icfg := autofeat.IntrospectionConfig{
 		Addr:        *addr,
 		Collector:   cfg.Collector,
 		EnablePprof: *enablePprof,
-	})
+	}
+	if *traceStore >= 0 {
+		icfg.Traces = autofeat.NewTraceStore(*traceStore, 0)
+		cfg.Collector.ObserveSpans(icfg.Traces)
+	}
+	if *flightSize >= 0 {
+		icfg.Flight = autofeat.NewFlightRecorder(*flightSize)
+		cfg.Collector.ObserveSpans(icfg.Flight)
+	}
+	srv := autofeat.NewIntrospectionServer(icfg)
 	svc := serve.New(cfg)
 	svc.Mount(srv)
 	for _, spec := range preloadLakes {
@@ -197,7 +213,7 @@ func runServe(args []string) error {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("discovery service listening on http://%s/ (v1/lakes, v1/discoveries, runs, metrics, healthz)\n", *addr)
+	fmt.Printf("discovery service listening on http://%s/ (v1/lakes, v1/discoveries, v1/traces, runs, metrics, healthz)\n", *addr)
 
 	select {
 	case err := <-errCh:

@@ -114,12 +114,12 @@ func (d *Discovery) EvaluateRankingContext(ctx context.Context, ranking *Ranking
 	lg := d.cfg.log()
 	bestAcc := -1.0
 	for i, p := range candidates {
-		// The base candidate materialises without joins; run it under a
-		// background context so the floor guarantee holds even when ctx
-		// is already done.
+		// The base candidate materialises without joins; detach it from
+		// ctx's cancellation (keeping its trace) so the floor guarantee
+		// holds even when ctx is already done.
 		candCtx := ctx
 		if i == 0 {
-			candCtx = context.Background()
+			candCtx = context.WithoutCancel(ctx)
 		} else if err := ctx.Err(); err != nil {
 			markPartialResult(res, partialReason(err))
 			prog.MarkPartial(res.PartialReason)
@@ -127,7 +127,7 @@ func (d *Discovery) EvaluateRankingContext(ctx context.Context, ranking *Ranking
 			break
 		}
 		prog.SetPhase(obsrv.PhaseMaterialize)
-		matSpan := tr.Start(telemetry.SpanMaterialize)
+		candCtx, matSpan := tr.StartSpan(candCtx, telemetry.SpanMaterialize)
 		table, features, err := d.MaterializePathContext(candCtx, p, base)
 		matSpan.SetInt("hops", len(p.Edges))
 		matSpan.End()
@@ -141,7 +141,7 @@ func (d *Discovery) EvaluateRankingContext(ctx context.Context, ranking *Ranking
 			return nil, err
 		}
 		prog.SetPhase(obsrv.PhaseTrain)
-		trainSpan := tr.Start(telemetry.SpanTrainEval)
+		_, trainSpan := tr.StartSpan(ctx, telemetry.SpanTrainEval)
 		trainSpan.SetStr("model", factory.Name)
 		trainSpan.SetInt("features", len(features))
 		eval, err := ml.EvaluateFrameLogged(table, features, ranking.Label, factory.New(d.cfg.Seed), d.cfg.Seed, d.cfg.Logger)

@@ -202,10 +202,17 @@ func (d *Discovery) RunContext(ctx context.Context) (*Ranking, error) {
 	mx := d.cfg.Telemetry.Meter()
 	prog := d.cfg.Progress
 	lg := d.cfg.log()
-	runSpan := tr.Start(telemetry.SpanRun)
+	// The run span joins the caller's trace when ctx carries one (an
+	// inbound traceparent threaded through serve) and starts a fresh
+	// trace otherwise; every child span below parents through ctx, so
+	// concurrent runs sharing one Collector stay correctly attributed.
+	ctx, runSpan := tr.StartSpan(ctx, telemetry.SpanRun)
 	runSpan.SetStr("base", d.baseName)
 	runSpan.SetStr("label", d.label)
 	defer runSpan.End()
+	if sc, ok := telemetry.SpanContextFrom(ctx); ok {
+		lg = lg.With("trace_id", sc.Trace.String())
+	}
 
 	prog.Begin(d.baseName, d.label, d.cfg.MaxDepth, d.cfg.Timeout, d.cfg.MaxEvalJoins, d.cfg.MaxJoinedRows)
 	prog.SetPhase(obsrv.PhaseSample)
@@ -219,7 +226,7 @@ func (d *Discovery) RunContext(ctx context.Context) (*Ranking, error) {
 	base := d.g.Table(d.baseName).Prefixed(d.baseName)
 	// Sample the base table for selection only (Section VI): the sample
 	// bounds selection cost, never training data.
-	sampleSpan := tr.Start(telemetry.SpanSample)
+	_, sampleSpan := tr.StartSpan(ctx, telemetry.SpanSample)
 	sample := base
 	if d.cfg.SampleSize > 0 {
 		var err error
@@ -297,7 +304,7 @@ func (d *Discovery) RunContext(ctx context.Context) (*Ranking, error) {
 			markPartial(rank, prog, partialReason(err))
 			break
 		}
-		depthSpan := tr.Start(telemetry.SpanDepth)
+		dctx, depthSpan := tr.StartSpan(ctx, telemetry.SpanDepth)
 		depthSpan.SetInt("depth", depth+1)
 		depthSpan.SetInt("frontier", len(frontier))
 		prog.BeginDepth(depth+1, len(frontier))
@@ -315,7 +322,7 @@ func (d *Discovery) RunContext(ctx context.Context) (*Ranking, error) {
 				if st.visited[nb] {
 					continue
 				}
-				enumSpan := tr.Start(telemetry.SpanEnumerate)
+				_, enumSpan := tr.StartSpan(dctx, telemetry.SpanEnumerate)
 				edges, simPruned := d.candidateEdges(st.node, nb)
 				enumSpan.SetStr("from", st.node)
 				enumSpan.SetStr("to", nb)
@@ -407,7 +414,10 @@ func (d *Discovery) RunContext(ctx context.Context) (*Ranking, error) {
 			}
 			prog.JoinStart()
 			jb := jobs[i]
-			joinSpan := tr.Start(telemetry.SpanJoinEval)
+			// Each worker derives its own child context from the depth
+			// span, so concurrent join evaluations parent correctly under
+			// the shared tracer.
+			jctx, joinSpan := tr.StartSpan(dctx, telemetry.SpanJoinEval)
 			joinSpan.SetStr("edge", fmt.Sprintf("%s.%s -> %s.%s", jb.e.A, jb.e.ColA, jb.e.B, jb.e.ColB))
 			joinSpan.SetFloat("weight", jb.e.Weight)
 			var jrng *rand.Rand
@@ -416,7 +426,7 @@ func (d *Discovery) RunContext(ctx context.Context) (*Ranking, error) {
 				jseed = edgeSeed(d.cfg.Seed, depth, jb.e)
 				jrng = rand.New(rand.NewSource(jseed))
 			}
-			child, reason := d.safeExpand(ctx, jb.st, jb.e, y, pipeline, jrng, jseed, cache, joinSpan)
+			child, reason := d.safeExpand(jctx, jb.st, jb.e, y, pipeline, jrng, jseed, cache, joinSpan)
 			if reason != "" {
 				joinSpan.SetStr("pruned", reason)
 			}
@@ -472,6 +482,8 @@ func (d *Discovery) RunContext(ctx context.Context) (*Ranking, error) {
 		// Phase 3 — fold the outcomes in job order, so PruneStats, path
 		// order and the next frontier are bit-identical to the sequential
 		// traversal regardless of worker count.
+		_, foldSpan := tr.StartSpan(dctx, telemetry.SpanFold)
+		foldSpan.SetInt("evaluated", allowed)
 		var next []*state
 		for i := 0; i < allowed; i++ {
 			rank.PathsExplored++
@@ -507,6 +519,8 @@ func (d *Discovery) RunContext(ctx context.Context) (*Ranking, error) {
 			prog.AddPruned(telemetry.PruneBeamEvicted, evicted)
 			next = next[:d.cfg.BeamWidth]
 		}
+		foldSpan.SetInt("kept", len(next))
+		foldSpan.End()
 		depthSpan.End()
 		lg.Debug("depth complete",
 			"depth", depth+1, "frontier", len(frontier), "evaluated", allowed,
@@ -515,7 +529,7 @@ func (d *Discovery) RunContext(ctx context.Context) (*Ranking, error) {
 	}
 
 	prog.SetPhase(obsrv.PhaseRank)
-	rankSpan := tr.Start(telemetry.SpanRank)
+	_, rankSpan := tr.StartSpan(ctx, telemetry.SpanRank)
 	sort.SliceStable(rank.Paths, func(i, j int) bool {
 		if rank.Paths[i].Score != rank.Paths[j].Score {
 			return rank.Paths[i].Score > rank.Paths[j].Score

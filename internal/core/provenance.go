@@ -27,6 +27,11 @@ type Manifest struct {
 	// RunID labels the run when an introspection RunProgress was attached;
 	// empty otherwise.
 	RunID string `json:"run_id,omitempty"`
+	// TraceID is the 32-hex-digit trace identity of the request that
+	// produced this manifest (log<->trace<->manifest correlation); empty
+	// for untraced runs, keeping their manifests byte-identical to
+	// pre-tracing output.
+	TraceID string `json:"trace_id,omitempty"`
 	// Base and Label identify the prediction task: the base table node and
 	// the fully-qualified label column.
 	Base  string `json:"base"`

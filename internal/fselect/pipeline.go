@@ -71,7 +71,7 @@ func (p *Pipeline) RunContext(ctx context.Context, candidates, selected [][]floa
 	}
 
 	// Stage 1: relevance analysis, keep top-κ (Algorithm 1, line 16).
-	relSpan := p.Telemetry.Trace().Start(telemetry.SpanRelevance)
+	_, relSpan := p.Telemetry.Trace().StartSpan(ctx, telemetry.SpanRelevance)
 	relIdx := make([]int, len(candidates))
 	relScores := make([]float64, len(candidates))
 	if p.Relevance != nil {
@@ -100,7 +100,7 @@ func (p *Pipeline) RunContext(ctx context.Context, candidates, selected [][]floa
 	if ctx != nil && ctx.Err() != nil {
 		return Result{Cancelled: true}
 	}
-	redSpan := p.Telemetry.Trace().Start(telemetry.SpanRedundancy)
+	_, redSpan := p.Telemetry.Trace().StartSpan(ctx, telemetry.SpanRedundancy)
 	relCols := make([][]float64, len(relIdx))
 	for j, i := range relIdx {
 		relCols[j] = candidates[i]

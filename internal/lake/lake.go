@@ -35,6 +35,7 @@ import (
 	"autofeat/internal/graph"
 	"autofeat/internal/ml"
 	"autofeat/internal/relational"
+	"autofeat/internal/telemetry"
 )
 
 // MatcherKind names a DRG construction strategy for the data-lake
@@ -250,6 +251,18 @@ func (l *Lake) KeyCache() *relational.KeyIndexCache { return l.cache }
 // misses. A warm lake shows hits rising run over run.
 func (l *Lake) CacheStats() (hits, misses int64) { return l.cache.Stats() }
 
+// CacheSize reports how many join-key indexes are resident in the
+// shared cache — the per-lake cache-size gauge the service exports.
+func (l *Lake) CacheSize() int { return l.cache.Len() }
+
+// GraphMemoLen reports how many DRG variants the Lake has memoised
+// (one per distinct matcher/threshold/KFK setting requested so far).
+func (l *Lake) GraphMemoLen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.graphs)
+}
+
 // resolve merges the Lake defaults with per-call options.
 func (l *Lake) resolve(opts []Option) settings {
 	eff := l.def
@@ -409,6 +422,12 @@ func (l *Lake) Discover(ctx context.Context, req Request) (*Result, error) {
 		WarmGraph:  warm,
 	}
 	res.Manifest = d.Manifest(ranking)
+	if sc, ok := telemetry.SpanContextFrom(ctx); ok {
+		// Stamp the request's trace identity into the provenance record
+		// for log<->trace<->manifest correlation; untraced runs leave the
+		// field absent, keeping cold manifests bit-identical.
+		res.Manifest.TraceID = sc.Trace.String()
+	}
 	if req.Model != "" {
 		aug, err := d.EvaluateRankingContext(ctx, ranking, factory)
 		if err != nil {

@@ -1,0 +1,86 @@
+package obsrv
+
+// HTTP instrumentation middleware: every route mounted on the Server —
+// its own endpoints and everything internal/serve mounts through Handle
+// — gets W3C traceparent ingestion/emission, an HTTP-handling span, and
+// per-route RED metrics (request/error counters, latency histogram).
+
+import (
+	"net/http"
+	"strings"
+	"time"
+
+	"autofeat/internal/telemetry"
+)
+
+// statusWriter captures the response status for span attributes and
+// error counting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader records the status before delegating.
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// routeKey turns a Go 1.22 mux pattern into a metric-name suffix:
+// "GET /v1/discoveries/{id}" -> "get_v1_discoveries_id". Keeping the
+// route in the name (instead of a label) matches the registry's
+// label-free design; Prometheus still sees one series per route after
+// promName sanitisation.
+func routeKey(pattern string) string {
+	var b strings.Builder
+	lastUnderscore := true // also trims leading separators
+	for _, r := range strings.ToLower(pattern) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastUnderscore = false
+		case !lastUnderscore:
+			b.WriteByte('_')
+			lastUnderscore = true
+		}
+	}
+	return strings.TrimRight(b.String(), "_")
+}
+
+// instrument wraps h with tracing and per-route metrics. An HTTP span is
+// created only when the request carries a traceparent header or is a
+// mutating (non-GET) request, so metric scrapers polling /metrics or
+// /v1/traces do not fill the trace store with their own requests;
+// metrics are recorded for every request regardless.
+func (s *Server) instrument(pattern string, h http.Handler) http.Handler {
+	route := routeKey(pattern)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		mx := s.cfg.Collector.Meter()
+		ctx := r.Context()
+		remote, hasRemote := telemetry.ParseTraceparent(r.Header.Get("traceparent"))
+		if hasRemote {
+			ctx = telemetry.ContextWithRemote(ctx, remote)
+		}
+		var sp telemetry.Span
+		if hasRemote || r.Method != http.MethodGet {
+			ctx, sp = telemetry.StartSpan(ctx, s.cfg.Collector, telemetry.SpanHTTP)
+			sp.SetStr("method", r.Method)
+			sp.SetStr("route", route)
+			if sc := sp.Context(); sc.IsValid() {
+				// Emit the span's identity back so external callers can
+				// stitch AutoFeat into their own traces.
+				w.Header().Set("traceparent", sc.Traceparent())
+			}
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(sw, r.WithContext(ctx))
+		sp.SetInt("status", sw.status)
+		sp.End()
+		mx.Inc(telemetry.CtrHTTPRequestsPrefix + route)
+		if sw.status >= 400 {
+			mx.Inc(telemetry.CtrHTTPErrorsPrefix + route)
+		}
+		mx.Observe(telemetry.HistHTTPSecondsPrefix+route, time.Since(start).Seconds())
+	})
+}

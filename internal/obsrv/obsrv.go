@@ -14,6 +14,11 @@
 //     size, joins enumerated/evaluated/pruned by reason, budget
 //     consumption and worker-pool occupancy, fed by the RunProgress
 //     tracker threaded through internal/core.
+//   - /v1/traces and /v1/traces/{id} — the bounded in-memory trace
+//     store (when Config.Traces is set): per-trace summaries and the
+//     full span tree of one trace.
+//   - /debug/flight — the flight-recorder ring buffer of recent spans
+//     (when Config.Flight is set), for after-the-fact debugging.
 //   - /debug/pprof/... — the standard net/http/pprof handlers (optional),
 //     sharing the same mux and the same explicitly-configured
 //     http.Server (ReadHeaderTimeout set, unlike the bare
@@ -44,6 +49,13 @@ type Config struct {
 	Collector *telemetry.Collector
 	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/.
 	EnablePprof bool
+	// Traces, when non-nil, mounts GET /v1/traces and /v1/traces/{id}
+	// over the bounded trace store (attach it to the Collector's tracer
+	// with Collector.ObserveSpans so finished spans flow in).
+	Traces *telemetry.TraceStore
+	// Flight, when non-nil, mounts GET /debug/flight over the
+	// flight-recorder ring buffer of recent spans.
+	Flight *telemetry.FlightRecorder
 	// ReadHeaderTimeout bounds how long the server waits for request
 	// headers (slow-loris protection). 0 defaults to 5s.
 	ReadHeaderTimeout time.Duration
@@ -74,10 +86,17 @@ func NewServer(cfg Config) *Server {
 		start: time.Now(),
 		runs:  make(map[string]*RunProgress),
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /runs", s.handleRuns)
-	s.mux.HandleFunc("GET /runs/{id}", s.handleRun)
+	s.Handle("GET /healthz", http.HandlerFunc(s.handleHealthz))
+	s.Handle("GET /metrics", http.HandlerFunc(s.handleMetrics))
+	s.Handle("GET /runs", http.HandlerFunc(s.handleRuns))
+	s.Handle("GET /runs/{id}", http.HandlerFunc(s.handleRun))
+	if cfg.Traces != nil {
+		s.Handle("GET /v1/traces", http.HandlerFunc(s.handleTraces))
+		s.Handle("GET /v1/traces/{id}", http.HandlerFunc(s.handleTrace))
+	}
+	if cfg.Flight != nil {
+		s.Handle("GET /debug/flight", http.HandlerFunc(s.handleFlight))
+	}
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -120,8 +139,13 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Handle registers an additional handler on the server's mux, letting
 // other subsystems (the discovery service in internal/serve) share the
 // introspection listener. pattern follows Go 1.22 mux syntax, method
-// prefixes included.
-func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+// prefixes included. Every handler mounted this way is wrapped in the
+// instrumentation middleware: traceparent ingestion/emission plus
+// per-route request/error counters and a latency histogram (the pprof
+// handlers are the one exception, mounted bare in NewServer).
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, s.instrument(pattern, h))
+}
 
 // ListenAndServe serves cfg.Addr on the explicitly-configured
 // http.Server until Close; it has the blocking semantics of

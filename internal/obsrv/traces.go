@@ -1,0 +1,63 @@
+package obsrv
+
+// The trace-store and flight-recorder endpoints: GET /v1/traces lists
+// retained traces, GET /v1/traces/{id} renders one trace's span tree,
+// and GET /debug/flight dumps the ring buffer of recent spans for
+// postmortem debugging. All three are read-only views over the
+// telemetry.TraceStore / telemetry.FlightRecorder configured on the
+// server.
+
+import (
+	"net/http"
+
+	"autofeat/internal/telemetry"
+)
+
+// tracesDoc is the GET /v1/traces response body.
+type tracesDoc struct {
+	Traces []telemetry.TraceSummary `json:"traces"`
+}
+
+// traceDoc is the GET /v1/traces/{id} response body: the trace's spans
+// assembled into a forest (normally a single tree; spans whose parent
+// was dropped or lives in the caller's process root separately).
+type traceDoc struct {
+	TraceID string                `json:"trace_id"`
+	Spans   int                   `json:"spans"`
+	Roots   []*telemetry.SpanNode `json:"roots"`
+}
+
+// flightDoc is the GET /debug/flight response body.
+type flightDoc struct {
+	Capacity int `json:"capacity"`
+	// RecordedTotal counts every span ever recorded; RecordedTotal -
+	// len(Spans) have been overwritten by newer ones.
+	RecordedTotal int64                  `json:"recorded_total"`
+	Spans         []telemetry.SpanRecord `json:"spans"`
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	sums := s.cfg.Traces.Summaries()
+	if sums == nil {
+		sums = []telemetry.TraceSummary{}
+	}
+	writeJSON(w, tracesDoc{Traces: sums})
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	spans := s.cfg.Traces.Spans(id)
+	if spans == nil {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, traceDoc{TraceID: id, Spans: len(spans), Roots: telemetry.BuildSpanTree(spans)})
+}
+
+func (s *Server) handleFlight(w http.ResponseWriter, _ *http.Request) {
+	spans, total := s.cfg.Flight.Snapshot()
+	if spans == nil {
+		spans = []telemetry.SpanRecord{}
+	}
+	writeJSON(w, flightDoc{Capacity: s.cfg.Flight.Cap(), RecordedTotal: total, Spans: spans})
+}

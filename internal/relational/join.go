@@ -104,7 +104,7 @@ func LeftJoin(left, right *frame.Frame, leftKey, rightKey string, opt Options) (
 	if rc == nil {
 		return nil, fmt.Errorf("relational: right table %q has no column %q", right.Name(), rightKey)
 	}
-	sp := opt.Telemetry.Trace().Start(telemetry.SpanLeftJoin)
+	_, sp := opt.Telemetry.Trace().StartSpan(opt.Ctx, telemetry.SpanLeftJoin)
 	defer func() {
 		opt.Telemetry.Meter().Observe(telemetry.HistJoinSeconds, sp.End().Seconds())
 	}()
@@ -205,6 +205,17 @@ func (c *KeyIndexCache) Stats() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Len reports how many key indexes the cache currently holds — the
+// per-lake cache-size gauge the service exports.
+func (c *KeyIndexCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
 }
 
 // index returns the (possibly cached) key index for rc under opt. A nil

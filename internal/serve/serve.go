@@ -107,10 +107,12 @@ type lakeEntry struct {
 
 // job is one scheduled discovery run.
 type job struct {
-	id     string
-	lakeID string
-	req    lake.Request
-	cancel context.CancelFunc
+	id      string
+	lakeID  string
+	req     lake.Request
+	cancel  context.CancelFunc
+	traceID string
+	span    telemetry.Span
 
 	mu              sync.Mutex
 	state           string
@@ -166,6 +168,21 @@ func (s *Service) AddLake(id string, l *lake.Lake) {
 		s.lakeOrder = append(s.lakeOrder, id)
 	}
 	s.lakes[id] = &lakeEntry{id: id, lake: l, created: time.Now()}
+	s.updateLakeGauges(id, l)
+}
+
+// updateLakeGauges refreshes the per-lake /metrics gauges: resident
+// tables, DRG memo entries, and key-index cache hits/misses/size. Called
+// on registration and after every job so scrapes stay current without a
+// background poller.
+func (s *Service) updateLakeGauges(id string, l *lake.Lake) {
+	mx := s.cfg.Collector.Meter()
+	mx.SetGauge(telemetry.GaugeLakeTablesPrefix+id, float64(len(l.Tables())))
+	mx.SetGauge(telemetry.GaugeLakeGraphMemoPrefix+id, float64(l.GraphMemoLen()))
+	hits, misses := l.CacheStats()
+	mx.SetGauge(telemetry.GaugeLakeKeyCacheHitsPrefix+id, float64(hits))
+	mx.SetGauge(telemetry.GaugeLakeKeyCacheMissesPrefix+id, float64(misses))
+	mx.SetGauge(telemetry.GaugeLakeKeyCacheSizePrefix+id, float64(l.CacheSize()))
 }
 
 // Lake returns the registered lake session for id, or nil.
@@ -351,10 +368,15 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Queue-depth admission control: reject beyond the configured
-	// backlog instead of buffering unboundedly.
+	// backlog instead of buffering unboundedly. The machine-readable
+	// retry_after_seconds mirrors the Retry-After header.
 	if int(s.queued.Load()) >= s.cfg.QueueDepth {
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-		writeError(w, http.StatusTooManyRequests, "job queue is full")
+		retry := s.retryAfterSeconds()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error":               "job queue is full",
+			"retry_after_seconds": retry,
+		})
 		return
 	}
 
@@ -370,7 +392,11 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Config:    &cfg,
 	}
 
-	ctx, cancel := context.WithCancel(context.Background())
+	// The job outlives the HTTP request, so detach its context from the
+	// request's cancellation while keeping the trace identity the obsrv
+	// middleware (or an inbound traceparent) put there.
+	jctx, jobSpan := telemetry.StartSpan(context.WithoutCancel(r.Context()), s.cfg.Collector, telemetry.SpanJob)
+	ctx, cancel := context.WithCancel(jctx)
 	s.mu.Lock()
 	s.nextJob++
 	j := &job{
@@ -378,8 +404,22 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		lakeID:    req.Lake,
 		req:       lreq,
 		cancel:    cancel,
+		span:      jobSpan,
 		state:     StateQueued,
 		submitted: time.Now(),
+	}
+	if sc := jobSpan.Context(); sc.IsValid() {
+		j.traceID = sc.Trace.String()
+	}
+	jobSpan.SetStr("id", j.id)
+	jobSpan.SetStr("lake", req.Lake)
+	jobSpan.SetStr("base", req.Base)
+	if s.cfg.Logger != nil {
+		lg := s.cfg.Logger.With("run_id", j.id)
+		if j.traceID != "" {
+			lg = lg.With("trace_id", j.traceID)
+		}
+		cfg.Logger = lg
 	}
 	s.jobs[j.id] = j
 	s.jobOrder = append(s.jobOrder, j.id)
@@ -389,7 +429,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.wg.Add(1)
 	go s.runJob(ctx, j, entry.lake)
 
-	s.log.Info("discovery submitted", "id", j.id, "lake", req.Lake, "base", req.Base, "model", req.Model)
+	s.log.Info("discovery submitted", "id", j.id, "lake", req.Lake, "base", req.Base, "model", req.Model, "trace_id", j.traceID)
 	w.Header().Set("Location", "/v1/discoveries/"+j.id)
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "state": StateQueued})
 }
@@ -409,18 +449,26 @@ func (s *Service) retryAfterSeconds() int {
 func (s *Service) runJob(ctx context.Context, j *job, l *lake.Lake) {
 	defer s.wg.Done()
 	defer j.cancel()
+	mx := s.cfg.Collector.Meter()
+	_, waitSpan := telemetry.StartSpan(ctx, s.cfg.Collector, telemetry.SpanQueueWait)
 	select {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
 	case <-ctx.Done():
 		// Cancelled while still queued: never ran.
+		waitSpan.SetStr("outcome", "cancelled")
+		waitSpan.End()
 		s.queued.Add(-1)
 		j.mu.Lock()
 		j.state = StateCancelled
 		j.finished = time.Now()
 		j.mu.Unlock()
+		j.span.SetStr("state", StateCancelled)
+		j.span.End()
 		return
 	}
+	waitSpan.End()
+	mx.Observe(telemetry.HistQueueWaitSeconds, time.Since(j.submitted).Seconds())
 	s.queued.Add(-1)
 
 	prog := obsrv.NewRunProgress(j.id)
@@ -439,24 +487,31 @@ func (s *Service) runJob(ctx context.Context, j *job, l *lake.Lake) {
 	res, err := l.Discover(ctx, req)
 
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.finished = time.Now()
 	switch {
 	case err != nil:
 		j.state = StateFailed
 		j.err = err.Error()
-		s.log.Warn("discovery failed", "id", j.id, "error", err)
+		s.log.Warn("discovery failed", "id", j.id, "trace_id", j.traceID, "error", err)
 	case j.cancelRequested:
 		j.state = StateCancelled
 		j.result = res
-		s.log.Info("discovery cancelled", "id", j.id, "paths", len(res.Ranking.Paths))
+		s.log.Info("discovery cancelled", "id", j.id, "trace_id", j.traceID, "paths", len(res.Ranking.Paths))
 	default:
 		j.state = StateDone
 		j.result = res
-		s.log.Info("discovery finished", "id", j.id,
+		s.log.Info("discovery finished", "id", j.id, "trace_id", j.traceID,
 			"paths", len(res.Ranking.Paths), "partial", res.Ranking.Partial,
 			"warm_graph", res.WarmGraph, "duration", j.finished.Sub(j.started))
 	}
+	state := j.state
+	submitted := j.submitted
+	j.mu.Unlock()
+
+	mx.Observe(telemetry.HistTimeToResultSeconds, time.Since(submitted).Seconds())
+	j.span.SetStr("state", state)
+	j.span.End()
+	s.updateLakeGauges(j.lakeID, l)
 }
 
 // resultDoc is the result section of a job document.
@@ -490,6 +545,7 @@ type jobDoc struct {
 	Model          string     `json:"model,omitempty"`
 	State          string     `json:"state"`
 	Error          string     `json:"error,omitempty"`
+	TraceID        string     `json:"trace_id,omitempty"`
 	Run            string     `json:"run"`
 	SubmittedUnix  int64      `json:"submitted_unix_ms"`
 	StartedUnixMS  int64      `json:"started_unix_ms,omitempty"`
@@ -509,6 +565,7 @@ func (j *job) doc() jobDoc {
 		Model:         j.req.Model,
 		State:         j.state,
 		Error:         j.err,
+		TraceID:       j.traceID,
 		Run:           "/runs/" + j.id,
 		SubmittedUnix: j.submitted.UnixMilli(),
 	}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -275,12 +276,27 @@ func TestQueueFullRejects(t *testing.T) {
 	if r := postJSON(t, st.ts.URL+"/v1/discoveries", req, &first); r.StatusCode != http.StatusAccepted {
 		t.Fatalf("first submit: status %d", r.StatusCode)
 	}
-	resp := postJSON(t, st.ts.URL+"/v1/discoveries", req, nil)
+	var rej struct {
+		Error             string `json:"error"`
+		RetryAfterSeconds int    `json:"retry_after_seconds"`
+	}
+	resp := postJSON(t, st.ts.URL+"/v1/discoveries", req, &rej)
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("over-queue submit: status %d, want 429", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
+	retryHeader := resp.Header.Get("Retry-After")
+	if retryHeader == "" {
 		t.Error("429 should carry Retry-After")
+	}
+	// The body is machine-readable and consistent with the header.
+	if rej.Error != "job queue is full" {
+		t.Errorf("429 body error = %q", rej.Error)
+	}
+	if rej.RetryAfterSeconds < 1 {
+		t.Errorf("429 body retry_after_seconds = %d, want >= 1", rej.RetryAfterSeconds)
+	}
+	if want := strconv.Itoa(rej.RetryAfterSeconds); retryHeader != want {
+		t.Errorf("Retry-After header %q disagrees with body %q", retryHeader, want)
 	}
 
 	<-st.svc.sem // release; the queued job may now run

@@ -1,0 +1,229 @@
+package serve
+
+// End-to-end tracing under contention: several discoveries overlap on
+// one shared lake session while a scraper hammers the observability
+// endpoints, all under -race. Each finished job must yield a single
+// well-formed span tree in the trace store, rooted at the HTTP handling
+// span, carrying the trace ID the client sent in traceparent all the
+// way into the job document and the run manifest.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"autofeat/internal/core"
+	"autofeat/internal/datagen"
+	"autofeat/internal/lake"
+	"autofeat/internal/obsrv"
+	"autofeat/internal/telemetry"
+)
+
+// tracedStack is a testStack variant with the trace store and flight
+// recorder wired into the introspection server.
+type tracedStack struct {
+	svc    *Service
+	ts     *httptest.Server
+	ds     *datagen.Dataset
+	store  *telemetry.TraceStore
+	flight *telemetry.FlightRecorder
+}
+
+func newTracedStack(t *testing.T, cfg Config) *tracedStack {
+	t.Helper()
+	ds, err := datagen.Generate(datagen.SmallSpecs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, tb := range ds.Tables {
+		if err := tb.WriteCSVFile(filepath.Join(dir, tb.Name()+".csv")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cfg.Collector == nil {
+		cfg.Collector = telemetry.New()
+	}
+	store := telemetry.NewTraceStore(0, 0)
+	flight := telemetry.NewFlightRecorder(0)
+	cfg.Collector.ObserveSpans(store, flight)
+	srv := obsrv.NewServer(obsrv.Config{Collector: cfg.Collector, Traces: store, Flight: flight})
+	svc := New(cfg)
+	svc.Mount(srv)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	l, err := lake.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.AddLake("lake-test", l)
+	return &tracedStack{svc: svc, ts: ts, ds: ds, store: store, flight: flight}
+}
+
+// submitTraced posts a discovery with an explicit W3C traceparent and
+// returns the job id plus the trace id the client chose.
+func submitTraced(t *testing.T, st *tracedStack, n int) (id, traceID string) {
+	t.Helper()
+	traceID = fmt.Sprintf("%032x", 0xabc0+n)
+	tp := fmt.Sprintf("00-%s-%016x-01", traceID, 0xdef0+n)
+	body, err := json.Marshal(submitRequest{Lake: "lake-test", Base: st.ds.Base.Name(), Label: st.ds.Label})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, st.ts.URL+"/v1/discoveries", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", tp)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	// The middleware echoes its own span identity on the same trace.
+	if back := resp.Header.Get("traceparent"); !strings.Contains(back, traceID) {
+		t.Fatalf("response traceparent %q does not carry trace %s", back, traceID)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	return sub.ID, traceID
+}
+
+// spanTreeDoc mirrors obsrv's GET /v1/traces/{id} response.
+type spanTreeDoc struct {
+	TraceID string                `json:"trace_id"`
+	Spans   int                   `json:"spans"`
+	Roots   []*telemetry.SpanNode `json:"roots"`
+}
+
+// collectNames walks the span forest depth-first, checking parentage as
+// it goes and returning every span name seen.
+func collectNames(t *testing.T, nodes []*telemetry.SpanNode, parent string, names map[string]int) {
+	t.Helper()
+	for _, n := range nodes {
+		if parent != "" && n.ParentSpanID != parent {
+			t.Errorf("span %s (%s) has parent_span_id %s, want %s", n.SpanID, n.Name, n.ParentSpanID, parent)
+		}
+		names[n.Name]++
+		collectNames(t, n.Children, n.SpanID, names)
+	}
+}
+
+// TestTracedJobsUnderScrape runs overlapping traced discoveries on one
+// Lake while a scraper loops the observability endpoints. Run under
+// -race via `make check`.
+func TestTracedJobsUnderScrape(t *testing.T) {
+	const jobs = 3
+	st := newTracedStack(t, Config{Workers: 2, QueueDepth: jobs + 1})
+
+	ids := make([]string, jobs)
+	traces := make([]string, jobs)
+	for i := range ids {
+		ids[i], traces[i] = submitTraced(t, st, i)
+	}
+
+	// Scraper: hammer the read-only endpoints until every job is done.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		urls := []string{"/metrics", "/v1/traces", "/debug/flight", "/v1/traces/" + traces[0]}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get(st.ts.URL + urls[i%len(urls)])
+			if err != nil {
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	for i, id := range ids {
+		doc := waitState(t, st.ts.URL, id)
+		if doc.State != StateDone {
+			t.Fatalf("job %s state = %s (error %q)", id, doc.State, doc.Error)
+		}
+		if doc.TraceID != traces[i] {
+			t.Errorf("job %s trace_id = %q, want %q", id, doc.TraceID, traces[i])
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Every job's trace is retrievable as a single well-formed tree:
+	// one root (the HTTP span, whose parent lives in the caller), with
+	// the job, queue-wait and discovery spans correctly parented below.
+	for i, id := range ids {
+		var tree spanTreeDoc
+		resp := getJSON(t, st.ts.URL+"/v1/traces/"+traces[i], &tree)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/traces/%s: status %d", traces[i], resp.StatusCode)
+		}
+		if len(tree.Roots) != 1 {
+			t.Fatalf("trace %s has %d roots, want 1", traces[i], len(tree.Roots))
+		}
+		root := tree.Roots[0]
+		if root.Name != telemetry.SpanHTTP {
+			t.Errorf("trace %s root span = %s, want %s", traces[i], root.Name, telemetry.SpanHTTP)
+		}
+		names := make(map[string]int)
+		collectNames(t, tree.Roots, "", names)
+		for _, want := range []string{telemetry.SpanHTTP, telemetry.SpanJob, telemetry.SpanQueueWait, telemetry.SpanRun, telemetry.SpanRank} {
+			if names[want] == 0 {
+				t.Errorf("trace %s is missing a %s span (got %v)", traces[i], want, names)
+			}
+		}
+
+		// The inbound trace ID reaches the run manifest.
+		var m core.Manifest
+		getJSON(t, st.ts.URL+"/v1/discoveries/"+id+"/manifest", &m)
+		if m.TraceID != traces[i] {
+			t.Errorf("job %s manifest trace_id = %q, want %q", id, m.TraceID, traces[i])
+		}
+	}
+
+	// The service metrics cover the traced traffic.
+	resp, err := http.Get(st.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"serve_http_requests_post_v1_discoveries",
+		"serve_queue_wait_seconds",
+		"serve_time_to_result_seconds",
+		"lake_tables_lake_test",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics is missing %s", want)
+		}
+	}
+
+	// The flight recorder saw spans from the same traffic.
+	spans, total := st.flight.Snapshot()
+	if total == 0 || len(spans) == 0 {
+		t.Error("flight recorder recorded no spans")
+	}
+}

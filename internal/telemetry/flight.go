@@ -1,0 +1,73 @@
+package telemetry
+
+import "sync"
+
+// FlightRecorder is a fixed-size ring buffer of the most recent
+// finished spans — the postmortem capture dumped at /debug/flight. It
+// implements SpanObserver; attach it with Collector.ObserveSpans.
+// Unlike the TraceStore it keeps spans regardless of trace membership,
+// so the last moments before a crash are visible even for untraced
+// work.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	ring  []SpanRecord
+	next  int
+	total int64
+}
+
+// DefaultFlightCapacity is the ring size used when NewFlightRecorder is
+// given a non-positive capacity.
+const DefaultFlightCapacity = 256
+
+// NewFlightRecorder returns a recorder keeping the last capacity spans
+// (non-positive uses DefaultFlightCapacity).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &FlightRecorder{ring: make([]SpanRecord, 0, capacity)}
+}
+
+// ObserveSpan implements SpanObserver: append the span, overwriting the
+// oldest once the ring is full.
+func (f *FlightRecorder) ObserveSpan(rec SpanRecord) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.ring) < cap(f.ring) {
+		f.ring = append(f.ring, rec)
+	} else {
+		f.ring[f.next] = rec
+	}
+	f.next = (f.next + 1) % cap(f.ring)
+	f.total++
+}
+
+// Cap returns the ring capacity.
+func (f *FlightRecorder) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return cap(f.ring)
+}
+
+// Snapshot returns the retained spans oldest-first plus the total
+// number of spans ever recorded (total - len(spans) have been
+// overwritten).
+func (f *FlightRecorder) Snapshot() ([]SpanRecord, int64) {
+	if f == nil {
+		return nil, 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]SpanRecord, 0, len(f.ring))
+	if len(f.ring) < cap(f.ring) {
+		out = append(out, f.ring...)
+	} else {
+		out = append(out, f.ring[f.next:]...)
+		out = append(out, f.ring[:f.next]...)
+	}
+	return out, f.total
+}

@@ -7,6 +7,7 @@ package telemetry
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"reflect"
 	"testing"
@@ -146,8 +147,8 @@ func driveCollector() *Snapshot {
 		return time.Unix(0, 0).Add(time.Duration(step) * time.Millisecond)
 	}
 	c := NewWithClock(clock)
-	run := c.Trace().Start(SpanRun)
-	j := c.Trace().Start(SpanJoinEval)
+	ctx, run := StartSpan(context.Background(), c, SpanRun)
+	_, j := StartSpan(ctx, c, SpanJoinEval)
 	j.SetStr("path", "base->satA")
 	j.End()
 	run.End()

@@ -50,6 +50,19 @@ const (
 	SpanRelevance = "fselect.relevance"
 	// SpanRedundancy covers the redundancy half of fselect.Pipeline.Run.
 	SpanRedundancy = "fselect.redundancy"
+	// SpanFold covers the per-depth fold phase: merging evaluated joins
+	// back into the frontier in enumeration order.
+	SpanFold = "discovery.fold"
+	// SpanHTTP covers the HTTP handling of one traced service request
+	// (requests carrying a traceparent header, and every mutating
+	// request).
+	SpanHTTP = "serve.http"
+	// SpanJob covers one discovery job end to end: from submission
+	// through queueing, execution and terminal state.
+	SpanJob = "serve.job"
+	// SpanQueueWait covers the time a submitted job waits for a
+	// scheduler slot.
+	SpanQueueWait = "serve.queue_wait"
 )
 
 // Metric names emitted by the online pipeline.
@@ -81,6 +94,40 @@ const (
 	HistJoinSeconds       = "relational.left_join_seconds"
 	HistRelevanceSeconds  = "fselect.relevance_seconds"
 	HistRedundancySeconds = "fselect.redundancy_seconds"
+	// HistQueueWaitSeconds observes how long each admitted job waited
+	// for a scheduler slot; HistTimeToResultSeconds observes
+	// submission-to-terminal-state latency per job.
+	HistQueueWaitSeconds    = "serve.queue_wait_seconds"
+	HistTimeToResultSeconds = "serve.time_to_result_seconds"
+)
+
+// Per-endpoint service metrics ("serve.http_*.<route>") and per-lake
+// gauges ("lake.*.<lake>"). Like CtrPrunedPrefix these are name
+// prefixes: the route or lake ID is appended by internal/serve and
+// internal/obsrv, keeping the registry label-free.
+const (
+	// CtrHTTPRequestsPrefix counts requests per route
+	// ("serve.http_requests.<route>"); CtrHTTPErrorsPrefix counts the
+	// subset answered with a 4xx/5xx status.
+	CtrHTTPRequestsPrefix = "serve.http_requests."
+	CtrHTTPErrorsPrefix   = "serve.http_errors."
+	// HistHTTPSecondsPrefix observes request latency per route
+	// ("serve.http_seconds.<route>").
+	HistHTTPSecondsPrefix = "serve.http_seconds."
+	// GaugeLakeTablesPrefix records the resident table count per lake
+	// ("lake.tables.<lake>").
+	GaugeLakeTablesPrefix = "lake.tables."
+	// GaugeLakeGraphMemoPrefix records the DRG memo entry count per lake
+	// ("lake.drg_memo_entries.<lake>").
+	GaugeLakeGraphMemoPrefix = "lake.drg_memo_entries."
+	// GaugeLakeKeyCacheHitsPrefix, GaugeLakeKeyCacheMissesPrefix and
+	// GaugeLakeKeyCacheSizePrefix record the shared key-index cache's
+	// cumulative hits, misses and resident index count per lake
+	// ("lake.key_cache_hits.<lake>", "lake.key_cache_misses.<lake>",
+	// "lake.key_cache_size.<lake>").
+	GaugeLakeKeyCacheHitsPrefix   = "lake.key_cache_hits."
+	GaugeLakeKeyCacheMissesPrefix = "lake.key_cache_misses."
+	GaugeLakeKeyCacheSizePrefix   = "lake.key_cache_size."
 )
 
 // CtrPrunedPrefix prefixes the per-reason pruning counters
@@ -151,6 +198,16 @@ func (c *Collector) Meter() *Metrics {
 		return nil
 	}
 	return c.M
+}
+
+// ObserveSpans registers span observers (trace store, flight recorder)
+// on the collector's tracer; a nil collector or tracer ignores the
+// call.
+func (c *Collector) ObserveSpans(obs ...SpanObserver) {
+	t := c.Trace()
+	for _, o := range obs {
+		t.AddObserver(o)
+	}
 }
 
 // Snapshot captures the collector's current state. A nil collector

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"strings"
@@ -22,12 +23,12 @@ func fakeClock(step time.Duration) func() time.Time {
 
 func TestSpanNesting(t *testing.T) {
 	tr := NewTracerWithClock(fakeClock(time.Millisecond))
-	root := tr.Start("root")
-	child := tr.Start("child")
-	grand := tr.Start("grand")
+	ctx, root := tr.StartSpan(context.Background(), "root")
+	cctx, child := tr.StartSpan(ctx, "child")
+	_, grand := tr.StartSpan(cctx, "grand")
 	grand.End()
 	child.End()
-	sibling := tr.Start("sibling")
+	_, sibling := tr.StartSpan(ctx, "sibling")
 	sibling.End()
 	root.End()
 
@@ -39,7 +40,7 @@ func TestSpanNesting(t *testing.T) {
 	for _, s := range spans {
 		byName[s.Name] = s
 	}
-	if byName["root"].Parent != 0 {
+	if byName["root"].Parent != 0 || byName["root"].ParentSpanID != "" {
 		t.Fatalf("root must have no parent: %+v", byName["root"])
 	}
 	if byName["child"].Parent != byName["root"].ID {
@@ -48,29 +49,37 @@ func TestSpanNesting(t *testing.T) {
 	if byName["grand"].Parent != byName["child"].ID {
 		t.Fatalf("grand must nest under child: %+v", byName["grand"])
 	}
+	if byName["grand"].ParentSpanID != byName["child"].SpanID {
+		t.Fatalf("grand's parent_span_id must be child's span_id: %+v", byName["grand"])
+	}
 	if byName["sibling"].Parent != byName["root"].ID {
-		t.Fatalf("sibling must nest under root after child ended: %+v", byName["sibling"])
+		t.Fatalf("sibling started from root's ctx must nest under root: %+v", byName["sibling"])
 	}
 	for _, s := range spans {
 		if s.DurUS < 0 {
 			t.Fatalf("span %s left open", s.Name)
 		}
+		if s.TraceID != byName["root"].TraceID {
+			t.Fatalf("span %s left the trace: %+v", s.Name, s)
+		}
 	}
 }
 
 func TestSpanOutOfOrderEnd(t *testing.T) {
+	// Parentage is fixed at StartSpan from the context, so ending spans
+	// out of creation order cannot corrupt later attribution (the old
+	// open-stack tracer needed this property explicitly).
 	tr := NewTracerWithClock(fakeClock(time.Millisecond))
-	a := tr.Start("a")
-	b := tr.Start("b")
-	a.End() // out of order: a ends while b is still open
-	c := tr.Start("c")
+	ctx, a := tr.StartSpan(context.Background(), "a")
+	bctx, b := tr.StartSpan(ctx, "b")
+	a.End() // out of order: a ends while its child b is still open
+	_, c := tr.StartSpan(bctx, "c")
 	c.End()
 	b.End()
 	byName := map[string]SpanRecord{}
 	for _, s := range tr.Spans() {
 		byName[s.Name] = s
 	}
-	// c started while b was the innermost open span.
 	if byName["c"].Parent != byName["b"].ID {
 		t.Fatalf("c must nest under b: %+v", byName["c"])
 	}
@@ -190,8 +199,8 @@ func TestSnapshotPruningView(t *testing.T) {
 // diff here rather than breaking downstream consumers.
 func TestGoldenSnapshotJSON(t *testing.T) {
 	c := NewWithClock(fakeClock(time.Millisecond))
-	run := c.Trace().Start(SpanRun)
-	join := c.Trace().Start(SpanJoinEval)
+	ctx, run := StartSpan(context.Background(), c, SpanRun)
+	_, join := StartSpan(ctx, c, SpanJoinEval)
 	join.SetStr("edge", "base.id -> right.k")
 	join.SetInt("matched_rows", 7)
 	join.End()
@@ -210,6 +219,8 @@ func TestGoldenSnapshotJSON(t *testing.T) {
     {
       "id": 1,
       "name": "discovery.run",
+      "trace_id": "00000000000000000000000000000001",
+      "span_id": "0000000000000001",
       "start_us": 1000,
       "dur_us": 3000
     },
@@ -217,6 +228,9 @@ func TestGoldenSnapshotJSON(t *testing.T) {
       "id": 2,
       "parent": 1,
       "name": "discovery.evaluate_join",
+      "trace_id": "00000000000000000000000000000001",
+      "span_id": "0000000000000002",
+      "parent_span_id": "0000000000000001",
       "start_us": 2000,
       "dur_us": 1000,
       "attrs": [

@@ -96,12 +96,16 @@ func TestVocabularyDocumented(t *testing.T) {
 
 // dottedName matches the backticked dotted telemetry names the docs use
 // (`discovery.paths_explored`, `relational.left_join`, ...). Placeholder
-// forms like `discovery.pruned.<reason>` contain '<' and do not match.
-var dottedName = regexp.MustCompile("`((?:discovery|relational|fselect|ml)\\.[a-z0-9_.]+)`")
+// forms like `discovery.pruned.<reason>` or `serve.http_seconds.<route>`
+// contain '<' and do not match; the prefix constants they are composed
+// from are covered by TestVocabularyDocumented instead.
+var dottedName = regexp.MustCompile("`((?:discovery|relational|fselect|ml|serve|lake)\\.[a-z0-9_.]+)`")
 
 // TestDocsMatchVocabulary asserts the docs -> code direction: every dotted
 // telemetry name referenced in docs/TELEMETRY.md resolves to a declared
-// constant (directly, or as a pruned-prefix + reason composition).
+// constant — directly, or as a declared trailing-dot prefix constant
+// (discovery.pruned., serve.http_requests., lake.tables., ...) plus a
+// suffix; pruned compositions additionally require a declared reason.
 func TestDocsMatchVocabulary(t *testing.T) {
 	doc, err := os.ReadFile(docPath)
 	if err != nil {
@@ -110,21 +114,65 @@ func TestDocsMatchVocabulary(t *testing.T) {
 	consts := telemetryConsts(t)
 	values := map[string]bool{}
 	reasons := map[string]bool{}
+	var prefixes []string
 	for name, v := range consts {
 		values[v] = true
 		if strings.HasPrefix(name, "Prune") {
 			reasons[v] = true
 		}
+		if strings.HasSuffix(v, ".") {
+			prefixes = append(prefixes, v)
+		}
+	}
+	composed := func(name string) bool {
+		for _, p := range prefixes {
+			if !strings.HasPrefix(name, p) || len(name) == len(p) {
+				continue
+			}
+			if p == CtrPrunedPrefix {
+				return reasons[strings.TrimPrefix(name, p)]
+			}
+			return true
+		}
+		return false
 	}
 	for _, m := range dottedName.FindAllStringSubmatch(string(doc), -1) {
 		name := m[1]
-		if values[name] {
-			continue
-		}
-		if strings.HasPrefix(name, CtrPrunedPrefix) && reasons[strings.TrimPrefix(name, CtrPrunedPrefix)] {
+		if values[name] || composed(name) {
 			continue
 		}
 		t.Errorf("docs reference %q, which is not a telemetry constant (stale docs or missing constant?)", name)
+	}
+}
+
+// bucketLine is the literal histogram bucket-bounds declaration in
+// docs/TELEMETRY.md, e.g. "bounds: `1e-05, 2.5e-05, ..., 10` seconds".
+var bucketLine = regexp.MustCompile("bounds: `([^`]+)` seconds")
+
+// TestHistogramBucketsDocumented asserts the documented histogram bucket
+// bounds equal DefaultBuckets exactly, in both directions: the doc must
+// declare the literal list once, and every bound must round-trip.
+func TestHistogramBucketsDocumented(t *testing.T) {
+	doc, err := os.ReadFile(docPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := bucketLine.FindStringSubmatch(string(doc))
+	if m == nil {
+		t.Fatalf("%s does not declare the histogram bucket bounds (want a line with \"bounds: `...` seconds\")", docPath)
+	}
+	parts := strings.Split(m[1], ",")
+	if len(parts) != len(DefaultBuckets) {
+		t.Fatalf("docs list %d bucket bounds, code has %d", len(parts), len(DefaultBuckets))
+	}
+	for i, p := range parts {
+		got, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			t.Fatalf("documented bound %q: %v", p, err)
+		}
+		if got != DefaultBuckets[i] {
+			t.Errorf("documented bound %d = %g, code has %g", i, got, DefaultBuckets[i])
+		}
 	}
 }
 
