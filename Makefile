@@ -20,12 +20,15 @@ race:
 # baseline (speedup at 4/8 workers is bounded by the cores available),
 # and BENCH_serve.json, the cold-vs-warm serving baseline (the warm row
 # must stay >= 2x faster than cold), and BENCH_traced.json, the
-# request-tracing overhead baseline (traced must stay <= 1.5x untraced).
+# request-tracing overhead baseline (traced must stay <= 1.5x untraced),
+# and BENCH_index.json, the quadratic-vs-LSH-indexed DRG-construction
+# baseline (indexed must stay >= 5x faster at 256 tables).
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkMicro' -benchmem .
 	AUTOFEAT_BENCH_OUT=BENCH_parallel.json $(GO) test -run TestWriteParallelBench -v .
 	AUTOFEAT_SERVE_BENCH_OUT=BENCH_serve.json $(GO) test -run TestWriteServeBench -v .
 	AUTOFEAT_TRACED_BENCH_OUT=BENCH_traced.json $(GO) test -run TestWriteTracedBench -v .
+	AUTOFEAT_INDEX_BENCH_OUT=BENCH_index.json $(GO) test -run TestWriteIndexBench -v .
 
 # bench-diff regenerates candidate baselines and diffs them against the
 # committed BENCH_parallel.json and BENCH_serve.json; the exit code fails
@@ -38,6 +41,8 @@ bench-diff:
 	$(GO) run ./cmd/benchdiff BENCH_serve.json BENCH_serve_candidate.json
 	AUTOFEAT_TRACED_BENCH_OUT=BENCH_traced_candidate.json $(GO) test -run TestWriteTracedBench .
 	$(GO) run ./cmd/benchdiff BENCH_traced.json BENCH_traced_candidate.json
+	AUTOFEAT_INDEX_BENCH_OUT=BENCH_index_candidate.json $(GO) test -run TestWriteIndexBench .
+	$(GO) run ./cmd/benchdiff BENCH_index.json BENCH_index_candidate.json
 
 # docs-check is the documentation gate: a godoc audit over the
 # public-facing packages (exported identifiers must carry doc comments

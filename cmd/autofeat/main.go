@@ -284,6 +284,10 @@ func run(o runOpts) error {
 		return err
 	}
 	fmt.Printf("DRG (%s setting): %d tables, %d edges\n", setting, g.NumNodes(), g.NumEdges())
+	if ix := l.IndexStats(); ix.Built {
+		fmt.Printf("join index: %d columns in %d LSH buckets (%d bands x %d rows)\n",
+			ix.Columns, ix.Slot+ix.Anchor+ix.Name, ix.Bands, ix.Rows)
+	}
 	if o.dot {
 		fmt.Print(g.DOT())
 		return nil

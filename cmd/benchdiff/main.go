@@ -1,6 +1,6 @@
 // Command benchdiff compares two benchmark baselines produced by
-// `make bench` (BENCH_parallel.json, BENCH_serve.json) and fails when
-// wall-clock time regressed. It is the CI-friendly half of the
+// `make bench` (BENCH_parallel.json, BENCH_serve.json, BENCH_traced.json,
+// BENCH_index.json) and fails when wall-clock time regressed. It is the CI-friendly half of the
 // performance workflow: regenerate a candidate baseline, diff it against
 // the committed one, and let the exit code gate the change.
 //
@@ -10,7 +10,7 @@
 //
 // Rows are paired by (mode, workers): the worker-scaling baseline keys
 // rows by worker count alone (mode empty), the serve baseline by
-// cold/warm mode. Exit status is 0 when no paired row slowed down by
+// cold/warm mode, the index baseline by build mode and table count. Exit status is 0 when no paired row slowed down by
 // more than -threshold percent, 1 on regression, 2 on usage or read
 // errors.
 package main

@@ -1,0 +1,195 @@
+package autofeat
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"autofeat/internal/discovery"
+	"autofeat/internal/frame"
+	"autofeat/internal/lake"
+)
+
+// indexBenchTables builds a wide synthetic lake shaped like the
+// workload the LSH index exists for: n tables partitioned into key
+// groups. Tables in the same group share a key column name ("key_g<g>")
+// and overlapping key ranges, so they form DRG edges; tables in
+// different groups share neither name-bucket nor values, so the index
+// never pairs them while the quadratic build still scores every one of
+// the n*(n-1)/2 table pairs.
+func indexBenchTables(n int) []*frame.Frame {
+	// Fixed group size, so the group count — and with it the fraction of
+	// table pairs the index can skip — grows with the lake.
+	groups := n / 8
+	if groups < 1 {
+		groups = 1
+	}
+	const rows = 60
+	tabs := make([]*frame.Frame, n)
+	for i := range tabs {
+		g := i % groups
+		f := frame.New(fmt.Sprintf("t%03d", i))
+		keys := make([]int64, rows)
+		for r := range keys {
+			// Sliding 60-value window per table inside the group's
+			// 120-value key space: tables of one group overlap by 20-60
+			// values, other groups never.
+			keys[r] = int64(g*100_000 + ((i/groups)*20+r)%120)
+		}
+		feats := make([]float64, rows)
+		for r := range feats {
+			feats[r] = float64(i*rows + r)
+		}
+		if err := f.AddColumn(frame.NewIntColumn(fmt.Sprintf("key_g%d", g), keys, nil)); err != nil {
+			panic(err)
+		}
+		if err := f.AddColumn(frame.NewFloatColumn("feat", feats, nil)); err != nil {
+			panic(err)
+		}
+		tabs[i] = f
+	}
+	return tabs
+}
+
+// TestWriteIndexBench regenerates BENCH_index.json, the committed
+// quadratic-vs-indexed DRG-construction baseline. It is gated behind
+// AUTOFEAT_INDEX_BENCH_OUT so plain `go test` stays fast:
+//
+//	AUTOFEAT_INDEX_BENCH_OUT=BENCH_index.json go test -run TestWriteIndexBench .
+//
+// (or `make bench`). "quadratic" scores every table pair with the exact
+// matcher; "indexed" builds the LSH index and verifies only bucket
+// collisions — the DRGs are asserted edge-identical before timing. The
+// register rows compare the two ways of absorbing one new table at the
+// largest size: "register_cold" rebuilds the DRG from scratch,
+// "register_incr" patches the warm lake through Lake.RegisterTable.
+func TestWriteIndexBench(t *testing.T) {
+	out := os.Getenv("AUTOFEAT_INDEX_BENCH_OUT")
+	if out == "" {
+		t.Skip("set AUTOFEAT_INDEX_BENCH_OUT=<path> to write the index baseline")
+	}
+	const threshold = lake.DefaultThreshold
+	m := discovery.NewMatcher()
+
+	type entry struct {
+		Mode       string  `json:"mode"`
+		Workers    int     `json:"workers"` // table count, reused as the benchdiff pairing key
+		Iterations int     `json:"iterations"`
+		NsPerOp    int64   `json:"ns_per_op"`
+		SpeedupVs1 float64 `json:"speedup_vs_1"`
+	}
+	var results []entry
+	var speedup256 float64
+
+	sizes := []int{16, 64, 256}
+	for _, n := range sizes {
+		tabs := indexBenchTables(n)
+		// Edge identity first: the speedup is only meaningful if both
+		// paths produce the same graph.
+		quadG, err := discovery.DiscoverDRGQuadratic(tabs, threshold, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := discovery.NewLSHIndex(0, 0)
+		for _, f := range tabs {
+			idx.Add(f)
+		}
+		idxG, err := discovery.DiscoverDRGIndexed(tabs, threshold, m, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if quadG.NumEdges() == 0 || quadG.NumEdges() != idxG.NumEdges() {
+			t.Fatalf("n=%d: edge mismatch: quadratic %d, indexed %d", n, quadG.NumEdges(), idxG.NumEdges())
+		}
+
+		iters := 5
+		if n >= 256 {
+			iters = 3
+		}
+		quadNs := minNsPerOp(t, iters, func() error {
+			_, err := discovery.DiscoverDRGQuadratic(tabs, threshold, m)
+			return err
+		})
+		idxNs := minNsPerOp(t, iters, func() error {
+			ix := discovery.NewLSHIndex(0, 0)
+			for _, f := range tabs {
+				ix.Add(f)
+			}
+			_, err := discovery.DiscoverDRGIndexed(tabs, threshold, m, ix)
+			return err
+		})
+		sp := quadNs / idxNs
+		t.Logf("n=%d tables: quadratic %.0f ns/op, indexed %.0f ns/op (%.1fx)", n, quadNs, idxNs, sp)
+		results = append(results,
+			entry{Mode: "quadratic", Workers: n, Iterations: iters, NsPerOp: int64(quadNs), SpeedupVs1: 1},
+			entry{Mode: "indexed", Workers: n, Iterations: iters, NsPerOp: int64(idxNs), SpeedupVs1: sp},
+		)
+		if n == 256 {
+			speedup256 = sp
+		}
+	}
+	if speedup256 < 5 {
+		t.Errorf("indexed DRG build at 256 tables is %.1fx faster, want >= 5x", speedup256)
+	}
+
+	// Absorbing one new table at the largest size: full rebuild vs
+	// incremental patch of a warm resident lake.
+	const n = 256
+	tabs := indexBenchTables(n + 1)
+	coldIters, incrIters := 3, 8
+	coldNs := minNsPerOp(t, coldIters, func() error {
+		l := lake.New(tabs)
+		_, err := l.DRG()
+		return err
+	})
+	resident := lake.New(tabs[:n])
+	if _, err := resident.DRG(); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	incrNs := minNsPerOp(t, incrIters, func() error {
+		f := indexBenchTables(n + 1)[n].WithName(fmt.Sprintf("fresh%03d", i))
+		i++
+		if err := resident.RegisterTable(f); err != nil {
+			return err
+		}
+		_, err := resident.DRG()
+		return err
+	})
+	regSp := coldNs / incrNs
+	t.Logf("register: cold rebuild %.0f ns/op, incremental %.0f ns/op (%.1fx)", coldNs, incrNs, regSp)
+	results = append(results,
+		entry{Mode: "register_cold", Workers: n, Iterations: coldIters, NsPerOp: int64(coldNs), SpeedupVs1: 1},
+		entry{Mode: "register_incr", Workers: n, Iterations: incrIters, NsPerOp: int64(incrNs), SpeedupVs1: regSp},
+	)
+
+	doc := struct {
+		Benchmark      string  `json:"benchmark"`
+		Dataset        string  `json:"dataset"`
+		Rows           int     `json:"rows"`
+		Tables         int     `json:"joinable_tables"`
+		GOMAXPROCS     int     `json:"gomaxprocs"`
+		NumCPU         int     `json:"num_cpu"`
+		SpeedupIndexed float64 `json:"speedup_indexed_vs_quadratic_256"`
+		Results        []entry `json:"results"`
+	}{
+		Benchmark:      "BenchmarkIndexedDRG",
+		Dataset:        "grouped-key synthetic lake (8 tables per key group)",
+		Rows:           60,
+		Tables:         256,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
+		SpeedupIndexed: speedup256,
+		Results:        results,
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("baseline written to %s", out)
+}

@@ -1,0 +1,96 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"autofeat/internal/discovery"
+	"autofeat/internal/frame"
+)
+
+// candidateColumns returns every generated column discovery treats as a
+// join candidate, with its exact distinct-value set, keyed table.column.
+func candidateColumns(ds *Dataset) (names []string, cols []*frame.Column) {
+	for _, f := range ds.Tables {
+		for _, c := range f.Columns() {
+			if c.Kind() != frame.Int && c.Kind() != frame.String {
+				continue
+			}
+			if len(c.ValueSet()) < 3 {
+				continue
+			}
+			names = append(names, f.Name()+"."+c.Name())
+			cols = append(cols, c)
+		}
+	}
+	return names, cols
+}
+
+func exactOverlap(a, b map[string]struct{}) (inter, union int) {
+	for v := range a {
+		if _, ok := b[v]; ok {
+			inter++
+		}
+	}
+	return inter, len(a) + len(b) - inter
+}
+
+// TestSketchAccuracyOnDatagenColumns bounds the MinHash estimation
+// error against exact set computation on generated lake columns: with
+// k=128 slots the standard error of the Jaccard estimator is
+// sqrt(J(1-J)/k) <= 0.045, so an absolute ceiling of 0.25 (> 5 standard
+// errors) and a mean ceiling of 0.06 are loose enough to be seed-stable
+// yet tight enough to catch a broken hash or slot scheme. Containment
+// inherits the Jaccard error through the Lazo rescaling, amplified by
+// the cardinality ratio, so its ceilings are slightly wider.
+func TestSketchAccuracyOnDatagenColumns(t *testing.T) {
+	ds, err := Generate(SmallSpecs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, cols := candidateColumns(ds)
+	if len(cols) < 4 {
+		t.Fatalf("expected several candidate columns, got %d", len(cols))
+	}
+	sketches := make([]*discovery.MinHashSketch, len(cols))
+	for i, c := range cols {
+		sketches[i] = discovery.Sketch(c, discovery.DefaultSketchSize)
+	}
+
+	var sumJ, maxJ, sumC, maxC float64
+	n := 0
+	for i := range cols {
+		for j := i + 1; j < len(cols); j++ {
+			sa, sb := cols[i].ValueSet(), cols[j].ValueSet()
+			inter, union := exactOverlap(sa, sb)
+			ej := 0.0
+			if union > 0 {
+				ej = float64(inter) / float64(union)
+			}
+			dj := math.Abs(sketches[i].Jaccard(sketches[j]) - ej)
+			sumJ += dj
+			maxJ = math.Max(maxJ, dj)
+
+			ec := float64(inter) / float64(len(sa))
+			dc := math.Abs(sketches[i].Containment(sketches[j]) - ec)
+			sumC += dc
+			maxC = math.Max(maxC, dc)
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no column pairs compared")
+	}
+	if maxJ > 0.25 {
+		t.Fatalf("max Jaccard error %.3f exceeds 0.25 over %d pairs (%d cols: %v)", maxJ, n, len(cols), names[:4])
+	}
+	if mean := sumJ / float64(n); mean > 0.06 {
+		t.Fatalf("mean Jaccard error %.3f exceeds 0.06 over %d pairs", mean, n)
+	}
+	if maxC > 0.35 {
+		t.Fatalf("max containment error %.3f exceeds 0.35 over %d pairs", maxC, n)
+	}
+	if mean := sumC / float64(n); mean > 0.08 {
+		t.Fatalf("mean containment error %.3f exceeds 0.08 over %d pairs", mean, n)
+	}
+}

@@ -42,10 +42,32 @@ type Matcher struct {
 	MaxValues int
 }
 
+// DefaultMaxValues is the default cap on distinct values sampled per
+// column for containment estimation. The LSHIndex anchors the same
+// sample, so the two stay in lockstep by construction.
+const DefaultMaxValues = 2000
+
 // NewMatcher returns a matcher with COMA-like defaults: names and
-// instances weighted 40/60, at most 2000 values sampled per column.
+// instances weighted 40/60, at most DefaultMaxValues values sampled per
+// column.
 func NewMatcher() *Matcher {
-	return &Matcher{NameWeight: 0.4, InstanceWeight: 0.6, MaxValues: 2000}
+	return &Matcher{NameWeight: 0.4, InstanceWeight: 0.6, MaxValues: DefaultMaxValues}
+}
+
+// Weights reports the schema/instance evidence blend, satisfying the
+// Scorer contract the indexed discovery path derives its LSH banding
+// from.
+func (m *Matcher) Weights() (name, instance float64) {
+	return m.NameWeight, m.InstanceWeight
+}
+
+// Scorer is the pairwise column-scoring contract DRG discovery builds
+// on: a score in [0,1] per column pair, plus the evidence weights the
+// indexed path needs to derive a sound LSH banding (PlanBands). Both
+// Matcher and SketchMatcher implement it.
+type Scorer interface {
+	MatchColumns(a, b *frame.Column) float64
+	Weights() (name, instance float64)
 }
 
 // NameSimilarity scores two column names in [0,1] as the mean of
@@ -295,13 +317,142 @@ func DiscoverDRG(tables []*frame.Frame, threshold float64, m *Matcher) (*graph.G
 	if m == nil {
 		m = NewMatcher()
 	}
-	return discoverWith(tables, threshold, m.MatchColumns)
+	return discoverWith(tables, threshold, m)
 }
 
-// discoverWith builds a lake DRG from an arbitrary pairwise column scorer
-// (exact matcher, MinHash-sketched matcher, or a user-supplied one).
-// Join-candidate prefiltering happens once per table.
-func discoverWith(tables []*frame.Frame, threshold float64, score func(a, b *frame.Column) float64) (*graph.Graph, error) {
+// discoverWith builds a lake DRG from a Scorer. When the LSH banding
+// derivation covers the scorer at this threshold (CoversScorer), the
+// build goes through the index: O(columns) indexing plus verification
+// of the candidate pairs only. Otherwise — unusual weights where name
+// evidence alone can cross the threshold, a scorer the index has no
+// coverage proof for — it falls back to exhaustive quadratic scoring,
+// which is always correct.
+func discoverWith(tables []*frame.Frame, threshold float64, s Scorer) (*graph.Graph, error) {
+	idx := indexFor(s)
+	if idx == nil || !idx.CoversScorer(threshold, s) {
+		return discoverQuadratic(tables, threshold, s.MatchColumns)
+	}
+	for _, t := range tables {
+		idx.Add(t)
+	}
+	return DiscoverDRGIndexed(tables, threshold, s, idx)
+}
+
+// indexFor builds an empty LSHIndex sized so that CoversScorer can hold
+// for the given scorer: anchor cap at least the exact matcher's sample
+// cap, signature at least the sketched matcher's size (sharing its
+// memoised sketches when the sizes agree). Unknown scorers get nil —
+// there is no coverage proof to size an index for.
+func indexFor(s Scorer) *LSHIndex {
+	switch m := s.(type) {
+	case *Matcher:
+		if m.MaxValues <= 0 {
+			return NewLSHIndex(0, 0) // unlimited sample → unlimited anchors
+		}
+		cap := m.MaxValues
+		if cap < DefaultMaxValues {
+			cap = DefaultMaxValues
+		}
+		return NewLSHIndex(0, cap)
+	case *SketchMatcher:
+		k := m.SketchSize
+		if k < DefaultSketchSize {
+			k = DefaultSketchSize
+		}
+		idx := NewLSHIndex(k, -1)
+		if k == m.SketchSize {
+			idx.Sketcher = m.sketch
+		}
+		return idx
+	}
+	return nil
+}
+
+// DiscoverDRGIndexed builds the lake DRG from a prebuilt index holding
+// (at least) the given tables: candidate pairs come from the index and
+// only those are scored, so the result is edge-identical to the
+// quadratic build whenever the index covers the scorer (CoversScorer).
+// Candidates are verified in the quadratic loop's emission order, so
+// even edge insertion order matches. Indexed tables absent from the
+// tables slice are ignored.
+func DiscoverDRGIndexed(tables []*frame.Frame, threshold float64, s Scorer, idx *LSHIndex) (*graph.Graph, error) {
+	g := graph.New()
+	for _, t := range tables {
+		g.AddTable(t)
+	}
+	// Position every join-candidate column exactly as the quadratic
+	// loops would visit it: table order, then column order.
+	type pos struct{ t, c int }
+	where := make(map[*frame.Column]pos)
+	for i, t := range tables {
+		ci := 0
+		for _, c := range t.Columns() {
+			if joinCandidate(c) {
+				where[c] = pos{i, ci}
+				ci++
+			}
+		}
+	}
+	type cand struct {
+		pa, pb pos
+		ca, cb *frame.Column
+	}
+	pairs := idx.AllCandidates()
+	cands := make([]cand, 0, len(pairs))
+	for _, p := range pairs {
+		wa, oka := where[p.ColA]
+		wb, okb := where[p.ColB]
+		if !oka || !okb {
+			continue
+		}
+		if wb.t < wa.t {
+			wa, wb = wb, wa
+			p.ColA, p.ColB = p.ColB, p.ColA
+		}
+		cands = append(cands, cand{pa: wa, pb: wb, ca: p.ColA, cb: p.ColB})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.pa.t != b.pa.t {
+			return a.pa.t < b.pa.t
+		}
+		if a.pb.t != b.pb.t {
+			return a.pb.t < b.pb.t
+		}
+		if a.pa.c != b.pa.c {
+			return a.pa.c < b.pa.c
+		}
+		return a.pb.c < b.pb.c
+	})
+	for _, c := range cands {
+		score := s.MatchColumns(c.ca, c.cb)
+		if score < threshold {
+			continue
+		}
+		e := graph.Edge{
+			A: tables[c.pa.t].Name(), ColA: c.ca.Name(),
+			B: tables[c.pb.t].Name(), ColB: c.cb.Name(),
+			Weight: score,
+		}
+		if err := g.AddEdge(e); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// DiscoverDRGQuadratic builds the lake DRG by scoring every cross-table
+// candidate column pair — the exhaustive reference path the indexed
+// build is verified against (and the fallback when no coverage proof
+// applies). Exported for the edge-identity tests and the index
+// benchmark.
+func DiscoverDRGQuadratic(tables []*frame.Frame, threshold float64, s Scorer) (*graph.Graph, error) {
+	return discoverQuadratic(tables, threshold, s.MatchColumns)
+}
+
+// discoverQuadratic is the original all-pairs build. Join-candidate
+// prefiltering happens once per table.
+func discoverQuadratic(tables []*frame.Frame, threshold float64, score func(a, b *frame.Column) float64) (*graph.Graph, error) {
 	g := graph.New()
 	for _, t := range tables {
 		g.AddTable(t)

@@ -3,6 +3,7 @@ package discovery
 import (
 	"hash/fnv"
 	"math"
+	"sync"
 
 	"autofeat/internal/frame"
 	"autofeat/internal/graph"
@@ -82,20 +83,26 @@ func remix(z uint64) uint64 {
 }
 
 // Jaccard estimates |A ∩ B| / |A ∪ B| as the fraction of matching slots.
+// Sketches of different sizes compare over their common slot prefix:
+// slot j is the same permutation regardless of sketch size, so the
+// prefix is itself a valid (smaller, higher-variance) MinHash signature.
+// Silently returning 0 here would erase all instance evidence whenever a
+// lake-default sketch met a request-override SketchSize.
 func (s *MinHashSketch) Jaccard(o *MinHashSketch) float64 {
-	if len(s.mins) != len(o.mins) || len(s.mins) == 0 {
-		return 0
+	n := len(s.mins)
+	if len(o.mins) < n {
+		n = len(o.mins)
 	}
-	if s.Cardinality == 0 || o.Cardinality == 0 {
+	if n == 0 || s.Cardinality == 0 || o.Cardinality == 0 {
 		return 0
 	}
 	match := 0
-	for i := range s.mins {
+	for i := 0; i < n; i++ {
 		if s.mins[i] == o.mins[i] {
 			match++
 		}
 	}
-	return float64(match) / float64(len(s.mins))
+	return float64(match) / float64(n)
 }
 
 // Containment estimates |A ∩ B| / |A| (how much of s is inside o) from
@@ -122,6 +129,10 @@ type SketchMatcher struct {
 	InstanceWeight float64
 	SketchSize     int
 
+	// mu guards cache: sketched matching runs under the discovery worker
+	// pool and the indexed DRG path, so concurrent MatchColumns calls
+	// memoise sketches for the same lake simultaneously.
+	mu    sync.Mutex
 	cache map[*frame.Column]*MinHashSketch
 }
 
@@ -136,13 +147,50 @@ func NewSketchMatcher() *SketchMatcher {
 	}
 }
 
+// Weights reports the schema/instance evidence blend, satisfying the
+// Scorer contract the indexed discovery path derives its LSH banding
+// from.
+func (m *SketchMatcher) Weights() (name, instance float64) {
+	return m.NameWeight, m.InstanceWeight
+}
+
+// sketch returns the memoised signature for c, building it on first use.
+// Safe for concurrent use.
 func (m *SketchMatcher) sketch(c *frame.Column) *MinHashSketch {
-	if s, ok := m.cache[c]; ok {
+	m.mu.Lock()
+	s, ok := m.cache[c]
+	m.mu.Unlock()
+	if ok {
 		return s
 	}
-	s := Sketch(c, m.SketchSize)
+	s = Sketch(c, m.SketchSize)
+	m.mu.Lock()
 	m.cache[c] = s
+	m.mu.Unlock()
 	return s
+}
+
+// SketchOf returns the memoised signature for c (building it on first
+// use) — the hook a shared LSHIndex uses to reuse this matcher's sketch
+// cache instead of sketching every column twice.
+func (m *SketchMatcher) SketchOf(c *frame.Column) *MinHashSketch { return m.sketch(c) }
+
+// Evict drops the memoised sketches of the given columns. Lake mutation
+// paths (ReplaceTable, DropTable) call it so a stale sketch of a
+// replaced column can never score against live data.
+func (m *SketchMatcher) Evict(cols []*frame.Column) {
+	m.mu.Lock()
+	for _, c := range cols {
+		delete(m.cache, c)
+	}
+	m.mu.Unlock()
+}
+
+// CachedSketches reports how many column sketches are memoised.
+func (m *SketchMatcher) CachedSketches() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.cache)
 }
 
 // MatchColumns scores a column pair like Matcher.MatchColumns but with
@@ -165,5 +213,5 @@ func (m *SketchMatcher) MatchColumns(a, b *frame.Column) float64 {
 // useful when tables are too large for exact value-set intersection.
 func DiscoverDRGSketched(tables []*frame.Frame, threshold float64) (*graph.Graph, error) {
 	m := NewSketchMatcher()
-	return discoverWith(tables, threshold, m.MatchColumns)
+	return discoverWith(tables, threshold, m)
 }

@@ -71,11 +71,26 @@ func TestSketchContainment(t *testing.T) {
 	}
 }
 
+// Regression: Jaccard used to return 0 whenever sketch sizes differed
+// (a lake-default sketch vs a request-override SketchSize), silently
+// erasing all instance evidence. Mismatched sizes now compare over the
+// common slot prefix, which is itself a valid MinHash signature.
 func TestSketchSizeMismatch(t *testing.T) {
-	a := Sketch(seqCol("a", 0, 10), 32)
-	b := Sketch(seqCol("b", 0, 10), 64)
-	if a.Jaccard(b) != 0 {
-		t.Fatal("mismatched sketch sizes must score 0, not panic")
+	a := Sketch(seqCol("a", 0, 500), 32)
+	b := Sketch(seqCol("b", 0, 500), 64)
+	if j := a.Jaccard(b); j != 1 {
+		t.Fatalf("identical sets at different sketch sizes must estimate J=1 over the common prefix, got %v", j)
+	}
+	if a.Jaccard(b) != b.Jaccard(a) {
+		t.Fatal("prefix comparison must stay symmetric")
+	}
+	disjoint := Sketch(seqCol("c", 10000, 10500), 64)
+	if j := a.Jaccard(disjoint); j > 0.15 {
+		t.Fatalf("disjoint sets must stay near 0 across sizes, got %v", j)
+	}
+	empty := Sketch(frame.NewIntColumn("e", []int64{1}, []bool{false}), 64)
+	if a.Jaccard(empty) != 0 {
+		t.Fatal("empty set must still score 0")
 	}
 }
 

@@ -67,6 +67,8 @@ type Column struct {
 type colMemo struct {
 	valueSetOnce sync.Once
 	valueSet     map[string]struct{}
+	distinctOnce sync.Once
+	distinct     int
 }
 
 // NewFloatColumn builds a float column. valid may be nil (all valid).
@@ -345,15 +347,17 @@ func (c *Column) stringCodes() []int {
 	return out
 }
 
-// DistinctCount returns the number of distinct non-null values.
+// DistinctCount returns the number of distinct non-null values. The
+// count is computed once and memoised through the column's memo (the
+// same sync.Once discipline as ValueSet): the discovery matcher probes
+// it per column per table pair, so an unmemoised count would rescan the
+// column quadratically during DRG construction. Safe for concurrent use.
 func (c *Column) DistinctCount() int {
-	seen := make(map[string]struct{}, 16)
-	for i, n := 0, c.Len(); i < n; i++ {
-		if k, ok := c.Key(i); ok {
-			seen[k] = struct{}{}
-		}
+	if c.memo == nil {
+		return len(c.buildValueSet())
 	}
-	return len(seen)
+	c.memo.distinctOnce.Do(func() { c.memo.distinct = len(c.ValueSet()) })
+	return c.memo.distinct
 }
 
 // Mode returns the most frequent non-null value as a formatted cell string

@@ -127,6 +127,50 @@ func (g *Graph) AddEdge(e Edge) error {
 	return nil
 }
 
+// Clone returns a deep copy of the graph structure: adjacency slices
+// are copied, table frames are shared (frames are immutable snapshots).
+// The incremental lake-maintenance path patches a clone so memoised
+// DRGs handed to in-flight requests are never mutated underneath them.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		tables: make(map[string]*frame.Frame, len(g.tables)),
+		adj:    make(map[string][]Edge, len(g.adj)),
+		nEdges: g.nEdges,
+	}
+	for n, t := range g.tables {
+		c.tables[n] = t
+	}
+	for n, es := range g.adj {
+		c.adj[n] = append([]Edge(nil), es...)
+	}
+	return c
+}
+
+// RemoveTable deletes a node and every edge incident to it. Removing an
+// unknown name is a no-op.
+func (g *Graph) RemoveTable(name string) {
+	if _, ok := g.tables[name]; !ok {
+		return
+	}
+	for _, e := range g.adj[name] {
+		other := e.Other(name)
+		if other == name {
+			continue
+		}
+		kept := g.adj[other][:0]
+		for _, oe := range g.adj[other] {
+			if oe.A == name || oe.B == name {
+				continue
+			}
+			kept = append(kept, oe)
+		}
+		g.adj[other] = kept
+	}
+	g.nEdges -= len(g.adj[name])
+	delete(g.adj, name)
+	delete(g.tables, name)
+}
+
 // EdgesFrom returns all edges incident to node, oriented so that A == node,
 // in deterministic order (by neighbour, then column pair).
 func (g *Graph) EdgesFrom(node string) []Edge {

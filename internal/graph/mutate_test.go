@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func snapshot(g *Graph) map[string][]Edge {
+	out := map[string][]Edge{}
+	for _, n := range g.Nodes() {
+		out[n] = g.EdgesFrom(n)
+	}
+	return out
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := chainGraph(t)
+	before := snapshot(g)
+	c := g.Clone()
+	if !reflect.DeepEqual(snapshot(c), before) {
+		t.Fatal("clone must start edge-identical to the original")
+	}
+	if c.NumNodes() != g.NumNodes() || c.NumEdges() != g.NumEdges() {
+		t.Fatal("clone counts differ")
+	}
+	// Frames are shared (cheap), topology is not.
+	if c.Table("base") != g.Table("base") {
+		t.Fatal("clone must share frames, not copy them")
+	}
+	mustEdge(t, c, Edge{A: "base", B: "t2", ColA: "id", ColB: "key", Weight: 0.6})
+	c.RemoveTable("t1")
+	if !reflect.DeepEqual(snapshot(g), before) {
+		t.Fatal("mutating the clone leaked into the original")
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("original edge count changed: %d", g.NumEdges())
+	}
+}
+
+func TestRemoveTable(t *testing.T) {
+	g := chainGraph(t)
+	g.RemoveTable("t1") // t1 carries all three edges
+	if g.HasNode("t1") || g.Table("t1") != nil {
+		t.Fatal("removed node still present")
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 0 {
+		t.Fatalf("want 2 isolated nodes, got %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	// Both former endpoints must have clean adjacency.
+	if len(g.EdgesFrom("base")) != 0 || len(g.EdgesFrom("t2")) != 0 {
+		t.Fatal("stale incident edges survive on the other endpoint")
+	}
+	if len(g.Neighbors("base")) != 0 {
+		t.Fatal("stale neighbor list")
+	}
+	g.RemoveTable("nope") // unknown name is a no-op
+	if g.NumNodes() != 2 {
+		t.Fatal("no-op removal changed the graph")
+	}
+}
+
+func TestRemoveLeafKeepsOtherEdges(t *testing.T) {
+	g := chainGraph(t)
+	g.RemoveTable("t2")
+	if g.NumEdges() != 2 {
+		t.Fatalf("want the two base~t1 edges to survive, got %d", g.NumEdges())
+	}
+	es := g.EdgesBetween("base", "t1")
+	if len(es) != 2 {
+		t.Fatalf("parallel base~t1 edges lost: %v", es)
+	}
+	if len(g.EdgesFrom("t1")) != 2 {
+		t.Fatal("t1 adjacency corrupted")
+	}
+}

@@ -13,10 +13,16 @@
 //     requests against the same settings share one build;
 //   - one relational.KeyIndexCache is shared by every discovery run, so
 //     the key→row indexes a join builds for a right-side table are
-//     reused by every later request that joins against it.
+//     reused by every later request that joins against it;
+//   - a lazily built discovery.LSHIndex serves matcher-path DRG builds
+//     in near-linear time and is maintained incrementally by the
+//     mutation API (RegisterTable / ReplaceTable / DropTable), which
+//     patches memoised DRGs and invalidates exactly the caches the
+//     mutated table touched instead of flushing everything.
 //
 // All methods are safe for concurrent use; a Lake is designed to serve
-// many overlapping Discover calls.
+// many overlapping Discover calls, with mutations serialised against
+// in-flight DRG builds by a read-write lock.
 package lake
 
 import (
@@ -27,6 +33,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"autofeat/internal/core"
 	"autofeat/internal/discovery"
@@ -101,11 +108,17 @@ func WithKFKs(constraints []discovery.KFK) Option {
 	return func(s *settings) { s.kfks = constraints }
 }
 
-// graphEntry is one memoised DRG with single-flight construction.
+// graphEntry is one memoised DRG with single-flight construction. eff
+// records the settings it was built under so the mutation path can
+// re-verify candidate edges with the same scorer and threshold; done
+// flips once the build completed, distinguishing patchable entries from
+// ones that will simply build against the post-mutation tables.
 type graphEntry struct {
 	once sync.Once
+	eff  settings
 	g    *graph.Graph
 	err  error
+	done atomic.Bool
 }
 
 // Lake is a resident data-lake session: tables loaded once, DRGs
@@ -118,9 +131,33 @@ type Lake struct {
 	byName map[string]*frame.Frame
 	cache  *relational.KeyIndexCache
 
+	// em and sm are the lake-lifetime scorers: sharing one SketchMatcher
+	// across builds lets its sketch memo (and the LSH index that borrows
+	// it) amortise over every request, and gives the mutation path one
+	// place to evict stale sketches.
+	em *discovery.Matcher
+	sm *discovery.SketchMatcher
+
 	// attached, when non-nil, pins every DRG call to one externally
-	// built graph (the FromGraph compatibility path).
+	// built graph (the FromGraph compatibility path). Attached lakes
+	// reject mutation.
 	attached *graph.Graph
+
+	// runMu orders DRG resolution (read side) against table mutation
+	// (write side): every memoised entry is fully built or untouched
+	// whenever a mutation holds the write lock. tables/byName/idx are
+	// replaced, never mutated in place, so readers that already hold a
+	// snapshot stay consistent.
+	runMu sync.RWMutex
+
+	// idxMu guards the lazy first build of idx under the read lock;
+	// mutations access idx under the write lock (which excludes builds
+	// entirely). Lock order: runMu before idxMu.
+	idxMu sync.Mutex
+	idx   *discovery.LSHIndex
+
+	builds    atomic.Int64 // full DRG builds (not patches)
+	mutations atomic.Int64 // RegisterTable/ReplaceTable/DropTable calls
 
 	mu     sync.Mutex
 	graphs map[string]*graphEntry
@@ -143,6 +180,8 @@ func New(tables []*frame.Frame, opts ...Option) *Lake {
 		tables: tables,
 		byName: make(map[string]*frame.Frame, len(tables)),
 		cache:  relational.NewKeyIndexCache(),
+		em:     discovery.NewMatcher(),
+		sm:     discovery.NewSketchMatcher(),
 		graphs: make(map[string]*graphEntry),
 	}
 	for _, t := range tables {
@@ -237,11 +276,19 @@ func FromGraph(g *graph.Graph) *Lake {
 func (l *Lake) Dir() string { return l.dir }
 
 // Tables returns the resident tables in load order. The slice is shared;
-// treat it as read-only.
-func (l *Lake) Tables() []*frame.Frame { return l.tables }
+// treat it as read-only (mutations replace it, they never write into it).
+func (l *Lake) Tables() []*frame.Frame {
+	l.runMu.RLock()
+	defer l.runMu.RUnlock()
+	return l.tables
+}
 
 // Table returns the resident table with the given name, or nil.
-func (l *Lake) Table(name string) *frame.Frame { return l.byName[name] }
+func (l *Lake) Table(name string) *frame.Frame {
+	l.runMu.RLock()
+	defer l.runMu.RUnlock()
+	return l.byName[name]
+}
 
 // KeyCache returns the Lake's shared join-key index cache — the one
 // every discovery run against this Lake reuses.
@@ -282,37 +329,350 @@ func (l *Lake) DRG(opts ...Option) (*graph.Graph, error) {
 }
 
 // drg returns the memoised graph for eff, reporting whether it was
-// already warm (present before this call).
+// already warm (present before this call). The whole resolution —
+// entry lookup, single-flight build, result read — runs under the read
+// half of runMu, so a mutation holding the write lock is guaranteed
+// that every memoised entry is either fully built (patchable) or has no
+// builder in flight (it will build against the mutated tables).
 func (l *Lake) drg(eff settings) (g *graph.Graph, warm bool, err error) {
 	if l.attached != nil {
 		return l.attached, true, nil
 	}
+	l.runMu.RLock()
+	defer l.runMu.RUnlock()
 	key := eff.key()
 	l.mu.Lock()
 	e, ok := l.graphs[key]
 	if !ok {
-		e = &graphEntry{}
+		e = &graphEntry{eff: eff}
 		l.graphs[key] = e
 	}
 	l.mu.Unlock()
-	e.once.Do(func() { e.g, e.err = l.build(eff) })
+	e.once.Do(func() {
+		e.g, e.err = l.build(eff)
+		e.done.Store(true)
+	})
 	return e.g, ok, e.err
 }
 
-// build constructs one DRG from the resolved settings.
+// build constructs one DRG from the resolved settings. Matcher-path
+// builds go through the lake's LSH index whenever the banding
+// derivation covers the scorer at the requested threshold; otherwise
+// they fall back to the quadratic reference path. Callers hold the read
+// half of runMu.
 func (l *Lake) build(eff settings) (*graph.Graph, error) {
+	l.builds.Add(1)
 	if len(eff.kfks) > 0 {
 		return discovery.BuildBenchmarkDRG(l.tables, eff.kfks)
 	}
-	switch eff.matcher {
+	scorer, err := l.scorerFor(eff.matcher)
+	if err != nil {
+		return nil, err
+	}
+	idx := l.ensureIndex()
+	if idx.CoversScorer(eff.threshold, scorer) {
+		return discovery.DiscoverDRGIndexed(l.tables, eff.threshold, scorer, idx)
+	}
+	return discovery.DiscoverDRGQuadratic(l.tables, eff.threshold, scorer)
+}
+
+// scorerFor maps a matcher kind to the lake-lifetime scorer instance.
+func (l *Lake) scorerFor(kind MatcherKind) (discovery.Scorer, error) {
+	switch kind {
 	case MatcherSketched:
-		return discovery.DiscoverDRGSketched(l.tables, eff.threshold)
+		return l.sm, nil
 	case MatcherExact, "":
-		return discovery.DiscoverDRG(l.tables, eff.threshold, nil)
+		return l.em, nil
 	default:
 		return nil, errs.BadInput("autofeat: unknown matcher %q (supported: %s, %s)",
-			eff.matcher, MatcherExact, MatcherSketched)
+			kind, MatcherExact, MatcherSketched)
 	}
+}
+
+// ensureIndex lazily builds the lake's LSH index over the current
+// tables, sharing the sketched matcher's signature memo. Callers hold
+// at least the read half of runMu; idxMu serialises the first build so
+// concurrent DRG requests don't index the lake twice.
+func (l *Lake) ensureIndex() *discovery.LSHIndex {
+	l.idxMu.Lock()
+	defer l.idxMu.Unlock()
+	if l.idx == nil {
+		idx := discovery.NewLSHIndex(0, -1)
+		idx.Sketcher = l.sm.SketchOf
+		for _, t := range l.tables {
+			idx.Add(t)
+		}
+		l.idx = idx
+	}
+	return l.idx
+}
+
+// DRGBuilds reports how many full DRG constructions the lake has run.
+// Incremental mutation patches memoised graphs without rebuilding, so
+// this counter staying flat across a mutation is the observable proof
+// that memo entries were preserved (asserted by the cache-identity
+// test).
+func (l *Lake) DRGBuilds() int64 { return l.builds.Load() }
+
+// Mutations reports how many table mutations (register, replace, drop)
+// the lake has applied.
+func (l *Lake) Mutations() int64 { return l.mutations.Load() }
+
+// IndexStats describes the lake's LSH index for introspection. Built is
+// false until the first matcher-path DRG build (the index is lazy).
+type IndexStats struct {
+	Built bool
+	discovery.IndexStats
+}
+
+// IndexStats reports the current shape of the lake's LSH index.
+func (l *Lake) IndexStats() IndexStats {
+	l.runMu.RLock()
+	defer l.runMu.RUnlock()
+	l.idxMu.Lock()
+	defer l.idxMu.Unlock()
+	if l.idx == nil {
+		return IndexStats{}
+	}
+	return IndexStats{Built: true, IndexStats: l.idx.Stats()}
+}
+
+// RegisterTable adds a new table to the resident lake: the LSH index
+// gains only the new table's entries and every memoised DRG is patched
+// in place — the new node plus its verified candidate edges — without
+// rebuilding, so unrelated memo entries and every KeyIndexCache entry
+// survive untouched.
+func (l *Lake) RegisterTable(f *frame.Frame) error {
+	if err := l.checkMutable(f, true); err != nil {
+		return err
+	}
+	l.runMu.Lock()
+	defer l.runMu.Unlock()
+	if _, ok := l.byName[f.Name()]; ok {
+		return errs.BadInput("autofeat: table %q already registered (use ReplaceTable)", f.Name())
+	}
+	l.setTables(appendTable(l.tables, f))
+	if l.idx != nil {
+		l.idx.Add(f)
+	}
+	l.patchGraphs(func(e *graphEntry) (*graph.Graph, error) {
+		ng := e.g.Clone()
+		ng.AddTable(f)
+		if err := l.patchEdges(ng, f, e.eff); err != nil {
+			return nil, err
+		}
+		return ng, nil
+	})
+	l.mutations.Add(1)
+	return nil
+}
+
+// ReplaceTable swaps the resident table with the same name for f. The
+// old table's sketches, LSH entries and memoised join-key indexes are
+// evicted (stale data must never score or join again); every memoised
+// DRG is patched: the old node's edges go, the new node's verified
+// candidate edges come in.
+func (l *Lake) ReplaceTable(f *frame.Frame) error {
+	if err := l.checkMutable(f, true); err != nil {
+		return err
+	}
+	l.runMu.Lock()
+	defer l.runMu.Unlock()
+	old, ok := l.byName[f.Name()]
+	if !ok {
+		return errs.BadInput("autofeat: table %q not registered (use RegisterTable)", f.Name())
+	}
+	tables := make([]*frame.Frame, len(l.tables))
+	for i, t := range l.tables {
+		if t == old {
+			tables[i] = f
+		} else {
+			tables[i] = t
+		}
+	}
+	l.setTables(tables)
+	l.evict(old)
+	if l.idx != nil {
+		l.idx.Remove(old.Name())
+		l.idx.Add(f)
+	}
+	l.patchGraphs(func(e *graphEntry) (*graph.Graph, error) {
+		ng := e.g.Clone()
+		ng.RemoveTable(old.Name())
+		ng.AddTable(f)
+		if err := l.patchEdges(ng, f, e.eff); err != nil {
+			return nil, err
+		}
+		return ng, nil
+	})
+	l.mutations.Add(1)
+	return nil
+}
+
+// DropTable removes the named table from the resident lake, its entries
+// from the LSH index and the sketch memo, its join-key indexes from the
+// shared cache, and its node (with all incident edges) from every
+// memoised DRG.
+func (l *Lake) DropTable(name string) error {
+	if err := l.checkMutable(nil, false); err != nil {
+		return err
+	}
+	l.runMu.Lock()
+	defer l.runMu.Unlock()
+	old, ok := l.byName[name]
+	if !ok {
+		return errs.BadInput("autofeat: table %q not registered", name)
+	}
+	tables := make([]*frame.Frame, 0, len(l.tables)-1)
+	for _, t := range l.tables {
+		if t != old {
+			tables = append(tables, t)
+		}
+	}
+	l.setTables(tables)
+	delete(l.byName, name)
+	l.evict(old)
+	if l.idx != nil {
+		l.idx.Remove(name)
+	}
+	l.patchGraphs(func(e *graphEntry) (*graph.Graph, error) {
+		ng := e.g.Clone()
+		ng.RemoveTable(name)
+		return ng, nil
+	})
+	l.mutations.Add(1)
+	return nil
+}
+
+// checkMutable rejects mutations that can never be applied: attached
+// (FromGraph) lakes pin an externally built graph, and a table mutation
+// needs a named frame.
+func (l *Lake) checkMutable(f *frame.Frame, needFrame bool) error {
+	if l.attached != nil {
+		return errs.BadInput("autofeat: lake is attached to an external graph and cannot be mutated")
+	}
+	if needFrame && (f == nil || f.Name() == "") {
+		return errs.BadInput("autofeat: mutation requires a named table")
+	}
+	return nil
+}
+
+// setTables installs the new table slice and rebuilds byName around it.
+// Callers hold the write half of runMu.
+func (l *Lake) setTables(tables []*frame.Frame) {
+	l.tables = tables
+	byName := make(map[string]*frame.Frame, len(tables))
+	for _, t := range tables {
+		byName[t.Name()] = t
+	}
+	l.byName = byName
+}
+
+func appendTable(tables []*frame.Frame, f *frame.Frame) []*frame.Frame {
+	out := make([]*frame.Frame, len(tables)+1)
+	copy(out, tables)
+	out[len(tables)] = f
+	return out
+}
+
+// evict invalidates exactly the caches that referenced the outgoing
+// table: its memoised sketches and its join-key indexes. Nothing keyed
+// by any other column is touched.
+func (l *Lake) evict(old *frame.Frame) {
+	cols := old.Columns()
+	l.sm.Evict(cols)
+	l.cache.InvalidateColumns(cols)
+}
+
+// patchGraphs applies patch to every fully built memoised DRG. Entries
+// whose build never completed are left alone — with the write lock held
+// no builder is in flight, so they will build against the mutated
+// tables when next requested. Entries that previously failed are reset
+// so the next request retries against the new tables. The patched graph
+// replaces the entry's graph; the old graph object is never mutated, so
+// requests that already hold it keep a consistent snapshot.
+func (l *Lake) patchGraphs(patch func(*graphEntry) (*graph.Graph, error)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for key, e := range l.graphs {
+		if !e.done.Load() {
+			continue
+		}
+		if e.err != nil {
+			l.graphs[key] = &graphEntry{eff: e.eff}
+			continue
+		}
+		if len(e.eff.kfks) > 0 {
+			// KFK graphs carry no discovered edges; rebuilding from the
+			// declared constraints is as cheap as patching and handles
+			// constraints that reference the mutated table.
+			ne := &graphEntry{eff: e.eff}
+			ne.g, ne.err = discovery.BuildBenchmarkDRG(l.tables, e.eff.kfks)
+			ne.once.Do(func() {})
+			ne.done.Store(true)
+			l.graphs[key] = ne
+			continue
+		}
+		ng, err := patch(e)
+		ne := &graphEntry{eff: e.eff, g: ng, err: err}
+		ne.once.Do(func() {})
+		ne.done.Store(true)
+		l.graphs[key] = ne
+	}
+}
+
+// patchEdges adds every above-threshold edge between the newly
+// installed table f and the rest of the lake to g, scored by the
+// entry's own matcher and threshold. When the LSH index covers the
+// scorer the candidates come from the index (cost proportional to f's
+// bucket occupancy); otherwise f is scored against every other table's
+// candidate columns — still linear in the lake, never quadratic.
+// Callers hold the write half of runMu.
+func (l *Lake) patchEdges(g *graph.Graph, f *frame.Frame, eff settings) error {
+	scorer, err := l.scorerFor(eff.matcher)
+	if err != nil {
+		return err
+	}
+	addEdge := func(other string, co, cf *frame.Column) error {
+		score := scorer.MatchColumns(co, cf)
+		if score < eff.threshold {
+			return nil
+		}
+		return g.AddEdge(graph.Edge{
+			A: other, ColA: co.Name(),
+			B: f.Name(), ColB: cf.Name(),
+			Weight: score,
+		})
+	}
+	if l.idx != nil && l.idx.Has(f.Name()) && l.idx.CoversScorer(eff.threshold, scorer) {
+		for _, p := range l.idx.Candidates(f.Name()) {
+			// Orient the pair so the pre-existing table is the A side.
+			other, co, cf := p.TableA, p.ColA, p.ColB
+			if other == f.Name() {
+				other, co, cf = p.TableB, p.ColB, p.ColA
+			}
+			if other == f.Name() || !g.HasNode(other) {
+				continue
+			}
+			if err := addEdge(other, co, cf); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, t := range l.tables {
+		if t.Name() == f.Name() || !g.HasNode(t.Name()) {
+			continue
+		}
+		for _, co := range t.Columns() {
+			for _, cf := range f.Columns() {
+				if err := addEdge(t.Name(), co, cf); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // NewDiscovery prepares a core discovery run over the Lake's DRG (built

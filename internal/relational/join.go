@@ -207,6 +207,41 @@ func (c *KeyIndexCache) Stats() (hits, misses int64) {
 	return c.hits, c.misses
 }
 
+// InvalidateColumns evicts every memoised key index built over one of
+// the given columns. The lake mutation path calls it with exactly the
+// columns of a replaced or dropped table — entries for every other
+// column survive, which is what keeps incremental maintenance cheap
+// (and is asserted by the cache-identity test).
+func (c *KeyIndexCache) InvalidateColumns(cols []*frame.Column) {
+	if c == nil || len(cols) == 0 {
+		return
+	}
+	drop := make(map[*frame.Column]bool, len(cols))
+	for _, col := range cols {
+		drop[col] = true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range c.m {
+		if drop[k.col] {
+			delete(c.m, k)
+		}
+	}
+}
+
+// Peek returns the memoised deterministic (non-random, seed-collapsed)
+// key index for the column, or nil, without counting a hit or building
+// anything. It exists so tests can assert pointer identity of surviving
+// entries across lake mutations.
+func (c *KeyIndexCache) Peek(col *frame.Column, normalize bool) map[string]int {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[keyIndexKey{col: col, normalize: normalize}]
+}
+
 // Len reports how many key indexes the cache currently holds — the
 // per-lake cache-size gauge the service exports.
 func (c *KeyIndexCache) Len() int {

@@ -6,6 +6,8 @@
 //
 //   - POST   /v1/lakes             — register (open) a lake directory
 //   - GET    /v1/lakes             — list registered lakes
+//   - POST   /v1/lakes/{id}/tables — register or replace one table (CSV body)
+//   - DELETE /v1/lakes/{id}/tables/{table} — drop one table
 //   - POST   /v1/discoveries       — submit a discovery run (202 + id)
 //   - GET    /v1/discoveries       — list jobs with their states
 //   - GET    /v1/discoveries/{id}  — job status, and the result once done
@@ -30,11 +32,13 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"autofeat/internal/core"
+	"autofeat/internal/frame"
 	"autofeat/internal/lake"
 	"autofeat/internal/obsrv"
 	"autofeat/internal/telemetry"
@@ -151,6 +155,8 @@ func (s *Service) Mount(srv *obsrv.Server) {
 	s.srv = srv
 	srv.Handle("POST /v1/lakes", http.HandlerFunc(s.handleLakeCreate))
 	srv.Handle("GET /v1/lakes", http.HandlerFunc(s.handleLakeList))
+	srv.Handle("POST /v1/lakes/{id}/tables", http.HandlerFunc(s.handleTableUpsert))
+	srv.Handle("DELETE /v1/lakes/{id}/tables/{table}", http.HandlerFunc(s.handleTableDrop))
 	srv.Handle("POST /v1/discoveries", http.HandlerFunc(s.handleSubmit))
 	srv.Handle("GET /v1/discoveries", http.HandlerFunc(s.handleJobList))
 	srv.Handle("GET /v1/discoveries/{id}", http.HandlerFunc(s.handleJobGet))
@@ -172,9 +178,10 @@ func (s *Service) AddLake(id string, l *lake.Lake) {
 }
 
 // updateLakeGauges refreshes the per-lake /metrics gauges: resident
-// tables, DRG memo entries, and key-index cache hits/misses/size. Called
-// on registration and after every job so scrapes stay current without a
-// background poller.
+// tables, DRG memo entries, key-index cache hits/misses/size, and the
+// LSH index shape. Called on registration, after every job and after
+// every table mutation so scrapes stay current without a background
+// poller.
 func (s *Service) updateLakeGauges(id string, l *lake.Lake) {
 	mx := s.cfg.Collector.Meter()
 	mx.SetGauge(telemetry.GaugeLakeTablesPrefix+id, float64(len(l.Tables())))
@@ -183,6 +190,9 @@ func (s *Service) updateLakeGauges(id string, l *lake.Lake) {
 	mx.SetGauge(telemetry.GaugeLakeKeyCacheHitsPrefix+id, float64(hits))
 	mx.SetGauge(telemetry.GaugeLakeKeyCacheMissesPrefix+id, float64(misses))
 	mx.SetGauge(telemetry.GaugeLakeKeyCacheSizePrefix+id, float64(l.CacheSize()))
+	ix := l.IndexStats()
+	mx.SetGauge(telemetry.GaugeLakeIndexColumnsPrefix+id, float64(ix.Columns))
+	mx.SetGauge(telemetry.GaugeLakeIndexBucketsPrefix+id, float64(ix.Slot+ix.Anchor+ix.Name))
 }
 
 // Lake returns the registered lake session for id, or nil.
@@ -279,6 +289,107 @@ func (s *Service) handleLakeList(w http.ResponseWriter, _ *http.Request) {
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{"lakes": docs})
+}
+
+// tableUpsertRequest is the POST /v1/lakes/{id}/tables body.
+type tableUpsertRequest struct {
+	// Name is the table (node) name to register (required).
+	Name string `json:"name"`
+	// CSV is the table content, header row first (required).
+	CSV string `json:"csv"`
+	// Replace selects ReplaceTable semantics: the named table must
+	// already exist and is swapped for the uploaded one. Without it the
+	// name must be new (RegisterTable).
+	Replace bool `json:"replace,omitempty"`
+}
+
+// tableMutationDoc is the response to a successful table mutation.
+type tableMutationDoc struct {
+	Lake         string `json:"lake"`
+	Table        string `json:"table"`
+	Op           string `json:"op"`
+	Tables       int    `json:"tables"`
+	IndexBuilt   bool   `json:"index_built"`
+	IndexColumns int    `json:"index_columns,omitempty"`
+	GraphMemo    int    `json:"drg_memo_entries"`
+	Mutations    int64  `json:"mutations"`
+}
+
+// finishMutation records telemetry for one mutation attempt and, on
+// success, refreshes the lake gauges and writes the mutation document.
+func (s *Service) finishMutation(w http.ResponseWriter, id string, l *lake.Lake, op, table string, err error) {
+	mx := s.cfg.Collector.Meter()
+	if err != nil {
+		mx.Inc(telemetry.CtrLakeMutationErrorsPrefix + op)
+		s.log.Warn("lake mutation rejected", "lake", id, "op", op, "table", table, "error", err)
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	mx.Inc(telemetry.CtrLakeMutationsPrefix + op)
+	s.updateLakeGauges(id, l)
+	ix := l.IndexStats()
+	s.log.Info("lake mutated", "lake", id, "op", op, "table", table,
+		"tables", len(l.Tables()), "index_built", ix.Built)
+	writeJSON(w, http.StatusOK, tableMutationDoc{
+		Lake:         id,
+		Table:        table,
+		Op:           op,
+		Tables:       len(l.Tables()),
+		IndexBuilt:   ix.Built,
+		IndexColumns: ix.Columns,
+		GraphMemo:    l.GraphMemoLen(),
+		Mutations:    l.Mutations(),
+	})
+}
+
+func (s *Service) handleTableUpsert(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "service is draining")
+		return
+	}
+	id := r.PathValue("id")
+	l := s.Lake(id)
+	if l == nil {
+		writeError(w, http.StatusNotFound, "unknown lake "+id)
+		return
+	}
+	var req tableUpsertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.Name == "" || req.CSV == "" {
+		writeError(w, http.StatusBadRequest, "name and csv are required")
+		return
+	}
+	f, err := frame.ReadCSV(req.Name, strings.NewReader(req.CSV))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parse csv: "+err.Error())
+		return
+	}
+	op := "register"
+	if req.Replace {
+		op = "replace"
+		err = l.ReplaceTable(f)
+	} else {
+		err = l.RegisterTable(f)
+	}
+	s.finishMutation(w, id, l, op, req.Name, err)
+}
+
+func (s *Service) handleTableDrop(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "service is draining")
+		return
+	}
+	id := r.PathValue("id")
+	l := s.Lake(id)
+	if l == nil {
+		writeError(w, http.StatusNotFound, "unknown lake "+id)
+		return
+	}
+	table := r.PathValue("table")
+	s.finishMutation(w, id, l, "drop", table, l.DropTable(table))
 }
 
 // submitRequest is the POST /v1/discoveries body. Zero-valued optional

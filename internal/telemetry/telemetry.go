@@ -128,6 +128,21 @@ const (
 	GaugeLakeKeyCacheHitsPrefix   = "lake.key_cache_hits."
 	GaugeLakeKeyCacheMissesPrefix = "lake.key_cache_misses."
 	GaugeLakeKeyCacheSizePrefix   = "lake.key_cache_size."
+	// GaugeLakeIndexColumnsPrefix records how many join-candidate
+	// columns the lake's LSH index currently holds per lake
+	// ("lake.index_columns.<lake>"; 0 until the index is lazily built).
+	GaugeLakeIndexColumnsPrefix = "lake.index_columns."
+	// GaugeLakeIndexBucketsPrefix records the occupied LSH bucket count
+	// (slot bands + value anchors + name buckets) per lake
+	// ("lake.index_buckets.<lake>").
+	GaugeLakeIndexBucketsPrefix = "lake.index_buckets."
+	// CtrLakeMutationsPrefix counts applied table mutations per kind
+	// ("lake.index_mutations.register", "lake.index_mutations.replace",
+	// "lake.index_mutations.drop").
+	CtrLakeMutationsPrefix = "lake.index_mutations."
+	// CtrLakeMutationErrorsPrefix counts rejected table mutations per
+	// kind ("lake.index_mutation_errors.<kind>").
+	CtrLakeMutationErrorsPrefix = "lake.index_mutation_errors."
 )
 
 // CtrPrunedPrefix prefixes the per-reason pruning counters
