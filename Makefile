@@ -22,13 +22,17 @@ race:
 # must stay >= 2x faster than cold), and BENCH_traced.json, the
 # request-tracing overhead baseline (traced must stay <= 1.5x untraced),
 # and BENCH_index.json, the quadratic-vs-LSH-indexed DRG-construction
-# baseline (indexed must stay >= 5x faster at 256 tables).
+# baseline (indexed must stay >= 5x faster at 256 tables), and
+# BENCH_cluster.json, the coordinator/worker throughput baseline (the
+# 2-worker row must reach >= 1.5x jobs/sec on multi-core hosts; on one
+# core the ratio is core-bound near 1x).
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkMicro' -benchmem .
 	AUTOFEAT_BENCH_OUT=BENCH_parallel.json $(GO) test -run TestWriteParallelBench -v .
 	AUTOFEAT_SERVE_BENCH_OUT=BENCH_serve.json $(GO) test -run TestWriteServeBench -v .
 	AUTOFEAT_TRACED_BENCH_OUT=BENCH_traced.json $(GO) test -run TestWriteTracedBench -v .
 	AUTOFEAT_INDEX_BENCH_OUT=BENCH_index.json $(GO) test -run TestWriteIndexBench -v .
+	AUTOFEAT_CLUSTER_BENCH_OUT=BENCH_cluster.json $(GO) test -run TestWriteClusterBench -v .
 
 # bench-diff regenerates candidate baselines and diffs them against the
 # committed BENCH_parallel.json and BENCH_serve.json; the exit code fails
@@ -43,13 +47,18 @@ bench-diff:
 	$(GO) run ./cmd/benchdiff BENCH_traced.json BENCH_traced_candidate.json
 	AUTOFEAT_INDEX_BENCH_OUT=BENCH_index_candidate.json $(GO) test -run TestWriteIndexBench .
 	$(GO) run ./cmd/benchdiff BENCH_index.json BENCH_index_candidate.json
+	AUTOFEAT_CLUSTER_BENCH_OUT=BENCH_cluster_candidate.json $(GO) test -run TestWriteClusterBench .
+	$(GO) run ./cmd/benchdiff BENCH_cluster.json BENCH_cluster_candidate.json
 
 # docs-check is the documentation gate: a godoc audit over the
 # public-facing packages (exported identifiers must carry doc comments
-# that start with their name) plus a relative-link check over README,
-# DESIGN and docs/.
+# that start with their name), a relative-link check over README,
+# DESIGN and docs/, and the route-sync audit (every HTTP route
+# registered in internal/obsrv and internal/serve must have a matching
+# "### METHOD /path" heading in docs/API.md, and vice versa).
 docs-check:
 	$(GO) run ./cmd/doccheck -md README.md,DESIGN.md,docs \
+		-api docs/API.md -routes internal/obsrv,internal/serve \
 		internal/core internal/relational internal/fselect internal/telemetry \
 		internal/obsrv internal/lake internal/serve .
 

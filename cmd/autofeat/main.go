@@ -140,6 +140,12 @@ func runExplain(args []string) error {
 // with POST /v1/discoveries and observed via GET /v1/discoveries/{id},
 // /runs/{id} and /metrics, all on one listener. SIGTERM/SIGINT drains:
 // new submissions are rejected while in-flight jobs run to completion.
+//
+// With -role the same binary becomes one node of a cluster:
+// -role=coordinator routes /v1 requests to workers by rendezvous
+// hashing and keeps the replicated job store; -role=worker runs the
+// ordinary single-node service plus a cluster agent that heartbeats to
+// -coordinator and stores replicated job-store snapshots.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
@@ -154,11 +160,25 @@ func runServe(args []string) error {
 		traceStore   = fs.Int("trace-store", 256, "traces retained for GET /v1/traces (0 = default 256, -1 = disable tracing endpoints)")
 		flightSize   = fs.Int("flight", 256, "recent spans kept in the /debug/flight ring (0 = default 256, -1 = disable)")
 		maxSpans     = fs.Int("max-spans", 65536, "spans retained in the collector snapshot before dropping (0 = unbounded)")
+		role         = fs.String("role", "", "cluster role: coordinator|worker (empty = single-node)")
+		peers        = fs.String("peers", "", "coordinator: comma-separated worker base URLs to seed membership from")
+		nodeID       = fs.String("node-id", "", "worker: stable worker identity (default: the listen address)")
+		advertise    = fs.String("advertise", "", "worker: base URL other nodes dial to reach this worker (default http://<addr>)")
+		coordAddr    = fs.String("coordinator", "", "worker: coordinator base URL to heartbeat to")
+		storePath    = fs.String("store", "", "coordinator: job-store JSON file; worker: replica snapshot file (empty = in-memory)")
+		heartbeat    = fs.Duration("heartbeat", 2*time.Second, "worker: heartbeat interval")
+		hbTimeout    = fs.Duration("heartbeat-timeout", 10*time.Second, "coordinator: silence after which a worker is dead and its jobs reroute")
+		tenantQuota  = fs.Int("tenant-quota", 0, "coordinator: max in-flight jobs per tenant (X-Tenant header; 0 = unlimited)")
 		preloadLakes multiFlag
 	)
 	fs.Var(&preloadLakes, "lake", "pre-register a lake as id=dir (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *role {
+	case "", "worker", "coordinator":
+	default:
+		return fmt.Errorf("bad -role %q (want coordinator or worker)", *role)
 	}
 
 	cfg := serve.Config{
@@ -194,8 +214,76 @@ func runServe(args []string) error {
 		cfg.Collector.ObserveSpans(icfg.Flight)
 	}
 	srv := autofeat.NewIntrospectionServer(icfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *role == "coordinator" {
+		store, err := serve.NewJobStore(*storePath)
+		if err != nil {
+			return err
+		}
+		coord := serve.NewCoordinator(serve.ClusterConfig{
+			HeartbeatTimeout: *hbTimeout,
+			TenantQuota:      *tenantQuota,
+			Collector:        cfg.Collector,
+			Logger:           cfg.Logger,
+		}, store)
+		coord.Mount(srv)
+		// Pre-register lakes in the store only; workers open them lazily
+		// on first touch.
+		for _, spec := range preloadLakes {
+			id, dir, ok := strings.Cut(spec, "=")
+			if !ok {
+				return fmt.Errorf("bad -lake %q (want id=dir)", spec)
+			}
+			l := store.AddLake(serve.StoredLake{ID: id, Dir: dir})
+			fmt.Printf("lake %q recorded from %s\n", l.ID, dir)
+		}
+		if *peers != "" {
+			coord.SeedWorkers(strings.Split(*peers, ","))
+		}
+		go coord.Run(ctx)
+		errCh := make(chan error, 1)
+		go func() { errCh <- srv.ListenAndServe() }()
+		fmt.Printf("cluster coordinator listening on http://%s/ (v1/lakes, v1/discoveries, cluster/v1/workers, metrics, healthz)\n", *addr)
+		select {
+		case err := <-errCh:
+			if err != nil && !errors.Is(err, http.ErrServerClosed) {
+				return err
+			}
+			return nil
+		case <-ctx.Done():
+		}
+		fmt.Fprintln(os.Stderr, "autofeat serve: signal received, draining coordinator")
+		coord.Drain()
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		return srv.Shutdown(drainCtx)
+	}
+
 	svc := serve.New(cfg)
 	svc.Mount(srv)
+	if *role == "worker" {
+		id := *nodeID
+		if id == "" {
+			id = *addr
+		}
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + *addr
+		}
+		agent := serve.NewAgent(serve.AgentConfig{
+			ID:                id,
+			Addr:              adv,
+			Coordinator:       *coordAddr,
+			HeartbeatInterval: *heartbeat,
+			ReplicaPath:       *storePath,
+			Collector:         cfg.Collector,
+			Logger:            cfg.Logger,
+		}, svc)
+		agent.Mount(srv)
+		go agent.Run(ctx)
+	}
 	for _, spec := range preloadLakes {
 		id, dir, ok := strings.Cut(spec, "=")
 		if !ok {
@@ -209,8 +297,6 @@ func runServe(args []string) error {
 		fmt.Printf("lake %q registered from %s (%d tables)\n", id, dir, len(l.Tables()))
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Printf("discovery service listening on http://%s/ (v1/lakes, v1/discoveries, v1/traces, runs, metrics, healthz)\n", *addr)

@@ -14,9 +14,16 @@
 //     every relative link target (outside code fences) must exist on
 //     disk; http(s), mailto and pure-anchor links are skipped.
 //
+//   - Route-sync audit (-api + -routes): the HTTP routes registered in
+//     the named package directories (string-literal first arguments of
+//     Handle/HandleFunc calls) must each appear as a "### METHOD /path"
+//     heading in the API reference, and every such heading must
+//     correspond to a registered route — two-way, so the reference can
+//     never drift from the mux.
+//
 // Usage:
 //
-//	doccheck -md README.md,DESIGN.md,docs internal/core internal/telemetry .
+//	doccheck -md README.md,DESIGN.md,docs -api docs/API.md -routes internal/obsrv,internal/serve internal/core internal/telemetry .
 package main
 
 import (
@@ -29,12 +36,19 @@ import (
 	"path/filepath"
 	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 )
 
 func main() {
 	md := flag.String("md", "", "comma-separated markdown files or directories to link-check")
+	api := flag.String("api", "", "API reference markdown to route-check against -routes")
+	routes := flag.String("routes", "", "comma-separated package directories whose Handle/HandleFunc registrations must match -api")
 	flag.Parse()
+	if (*api == "") != (*routes == "") {
+		fmt.Fprintln(os.Stderr, "doccheck: -api and -routes must be given together")
+		os.Exit(2)
+	}
 
 	var findings []string
 	for _, dir := range flag.Args() {
@@ -54,6 +68,14 @@ func main() {
 			}
 			findings = append(findings, fs...)
 		}
+	}
+	if *api != "" {
+		fs, err := auditRoutes(*api, strings.Split(*routes, ","))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
 	}
 	sort.Strings(findings)
 	for _, f := range findings {
@@ -261,4 +283,103 @@ func auditMarkdownFile(path string) ([]string, error) {
 		}
 	}
 	return findings, nil
+}
+
+// route is one normalised HTTP route: an uppercase method plus the mux
+// path pattern. Method-less registrations (the pprof handlers mounted
+// with bare HandleFunc) normalise to GET.
+type route struct {
+	method, path string
+}
+
+func (r route) String() string { return r.method + " " + r.path }
+
+// parseRoute normalises one Handle/HandleFunc pattern literal.
+func parseRoute(pattern string) route {
+	if method, path, ok := strings.Cut(pattern, " "); ok {
+		return route{method: method, path: path}
+	}
+	return route{method: "GET", path: pattern}
+}
+
+// headingRe matches the API reference's route headings: "### METHOD /path".
+var headingRe = regexp.MustCompile(`^###\s+([A-Z]+)\s+(/\S*)\s*$`)
+
+// auditRoutes cross-checks the routes registered in the given package
+// directories against the "### METHOD /path" headings of the API
+// reference, in both directions.
+func auditRoutes(apiPath string, dirs []string) ([]string, error) {
+	registered := map[route]string{} // route -> first registration site
+	for _, dir := range dirs {
+		if err := collectRoutes(strings.TrimSpace(dir), registered); err != nil {
+			return nil, err
+		}
+	}
+	if len(registered) == 0 {
+		return nil, fmt.Errorf("route audit: no Handle/HandleFunc registrations found under %s", strings.Join(dirs, ", "))
+	}
+	data, err := os.ReadFile(apiPath)
+	if err != nil {
+		return nil, err
+	}
+	documented := map[route]int{} // route -> heading line
+	for i, line := range strings.Split(string(data), "\n") {
+		if m := headingRe.FindStringSubmatch(line); m != nil {
+			documented[route{method: m[1], path: m[2]}] = i + 1
+		}
+	}
+	var findings []string
+	for r, site := range registered {
+		if _, ok := documented[r]; !ok {
+			findings = append(findings, fmt.Sprintf("%s: route %q is registered but has no \"### %s\" heading in %s", site, r, r, apiPath))
+		}
+	}
+	for r, line := range documented {
+		if _, ok := registered[r]; !ok {
+			findings = append(findings, fmt.Sprintf("%s:%d: documented route %q is not registered in %s", apiPath, line, r, strings.Join(dirs, ", ")))
+		}
+	}
+	return findings, nil
+}
+
+// collectRoutes AST-scans one package directory (test files excluded)
+// for Handle/HandleFunc calls whose first argument is a string literal
+// and records the normalised routes.
+func collectRoutes(dir string, out map[route]string) error {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return fmt.Errorf("parse %s: %w", dir, err)
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || (sel.Sel.Name != "Handle" && sel.Sel.Name != "HandleFunc") {
+					return true
+				}
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				pattern, err := strconv.Unquote(lit.Value)
+				if err != nil || !strings.Contains(pattern, "/") {
+					return true
+				}
+				r := parseRoute(pattern)
+				if _, seen := out[r]; !seen {
+					p := fset.Position(lit.Pos())
+					out[r] = fmt.Sprintf("%s:%d", p.Filename, p.Line)
+				}
+				return true
+			})
+		}
+	}
+	return nil
 }

@@ -1,0 +1,200 @@
+package serve
+
+// Worker-side cluster agent. A worker is an ordinary single-node
+// Service plus this Agent, which (a) announces the worker to the
+// coordinator with periodic heartbeats, (b) serves the worker's
+// identity document for static-peer seeding, and (c) stores the
+// coordinator's replicated job-store snapshots so the cluster queue
+// survives losing any single node's disk.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"autofeat/internal/obsrv"
+	"autofeat/internal/telemetry"
+)
+
+// AgentConfig wires a worker's cluster agent.
+type AgentConfig struct {
+	// ID is the worker's stable identity (rendezvous hashing keys on
+	// it); Addr is the base URL other nodes dial to reach this worker.
+	ID   string
+	Addr string
+	// Coordinator is the coordinator's base URL. "" disables the
+	// heartbeat loop (useful when the coordinator seeds statically and
+	// tests drive heartbeats by hand).
+	Coordinator string
+	// HeartbeatInterval is the announce period. 0 defaults to 2s.
+	HeartbeatInterval time.Duration
+	// ReplicaPath stores received job-store snapshots; "" keeps the
+	// latest snapshot in memory only.
+	ReplicaPath string
+	// Collector receives cluster.* metrics; Logger the lifecycle
+	// records. Both may be nil.
+	Collector *telemetry.Collector
+	Logger    *slog.Logger
+	// Client performs the heartbeat HTTP; nil defaults to a 10s client.
+	Client *http.Client
+}
+
+// Agent is the cluster-facing side of one worker.
+type Agent struct {
+	cfg    AgentConfig
+	svc    *Service
+	log    *slog.Logger
+	client *http.Client
+
+	mu      sync.Mutex
+	replica []byte
+}
+
+// NewAgent builds the cluster agent for a worker service.
+func NewAgent(cfg AgentConfig, svc *Service) *Agent {
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 2 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Agent{cfg: cfg, svc: svc, log: telemetry.OrNop(cfg.Logger), client: cfg.Client}
+}
+
+// Mount registers the worker's cluster control-plane routes alongside
+// the service's own /v1 routes.
+func (a *Agent) Mount(srv *obsrv.Server) {
+	srv.Handle("GET /cluster/v1/info", http.HandlerFunc(a.handleInfo))
+	srv.Handle("POST /cluster/v1/jobstore", http.HandlerFunc(a.handleReplicaPut))
+	srv.Handle("GET /cluster/v1/jobstore", http.HandlerFunc(a.handleReplicaGet))
+}
+
+// status assembles the worker's current heartbeat document.
+func (a *Agent) status() heartbeatMsg {
+	queued, running, slots := a.svc.Stats()
+	return heartbeatMsg{
+		Proto:    ProtoVersion,
+		ID:       a.cfg.ID,
+		Addr:     a.cfg.Addr,
+		Lakes:    a.svc.LakeIDs(),
+		Queued:   queued,
+		Running:  running,
+		Slots:    slots,
+		Draining: a.svc.Draining(),
+	}
+}
+
+// Run sends heartbeats to the coordinator until ctx is cancelled. It
+// returns immediately when no coordinator is configured.
+func (a *Agent) Run(ctx context.Context) {
+	if a.cfg.Coordinator == "" {
+		return
+	}
+	t := time.NewTicker(a.cfg.HeartbeatInterval)
+	defer t.Stop()
+	a.Heartbeat(ctx)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			a.Heartbeat(ctx)
+		}
+	}
+}
+
+// Heartbeat sends one announce to the coordinator. Failures are logged
+// and returned but not fatal — the next tick retries.
+func (a *Agent) Heartbeat(ctx context.Context) error {
+	body, _ := json.Marshal(a.status())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, a.cfg.Coordinator+"/cluster/v1/heartbeat", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.client.Do(req)
+	if err != nil {
+		a.log.Warn("cluster heartbeat failed", "coordinator", a.cfg.Coordinator, "error", err)
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		err := fmt.Errorf("serve: heartbeat: coordinator status %d: %s", resp.StatusCode, b)
+		a.log.Warn("cluster heartbeat rejected", "error", err)
+		return err
+	}
+	a.cfg.Collector.Meter().Inc(telemetry.CtrClusterHeartbeatsSent)
+	return nil
+}
+
+// handleInfo serves the worker's identity document (GET
+// /cluster/v1/info) — the probe target for static-peer seeding.
+func (a *Agent) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, a.status())
+}
+
+// handleReplicaPut stores one replicated job-store snapshot after
+// validating its wire-protocol version.
+func (a *Agent) handleReplicaPut(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	var probe struct {
+		Proto string `json:"proto"`
+	}
+	if err := json.Unmarshal(body, &probe); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if err := CheckProto(probe.Proto); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	a.mu.Lock()
+	a.replica = body
+	a.mu.Unlock()
+	if a.cfg.ReplicaPath != "" {
+		if err := atomicWriteFile(a.cfg.ReplicaPath, body); err != nil {
+			a.log.Warn("cluster replica persist failed", "path", a.cfg.ReplicaPath, "error", err)
+			writeError(w, http.StatusInternalServerError, "persist replica: "+err.Error())
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"proto": ProtoVersion, "ok": true, "bytes": len(body)})
+}
+
+// handleReplicaGet serves the last replicated snapshot, or 404 if none
+// arrived yet.
+func (a *Agent) handleReplicaGet(w http.ResponseWriter, r *http.Request) {
+	a.mu.Lock()
+	snap := a.replica
+	a.mu.Unlock()
+	if snap == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(snap)
+}
+
+// Replica returns the latest stored snapshot (nil if none), for tests
+// and recovery tooling.
+func (a *Agent) Replica() []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.replica == nil {
+		return nil
+	}
+	out := make([]byte, len(a.replica))
+	copy(out, a.replica)
+	return out
+}

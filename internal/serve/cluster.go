@@ -1,0 +1,1013 @@
+package serve
+
+// Cluster coordinator: the scale-out half of the discovery service.
+// One coordinator process owns routing and admission; N worker
+// processes (plain Services with a cluster Agent mounted) own the
+// resident lake sessions and run the jobs. The pieces:
+//
+//   - membership: workers announce themselves with periodic heartbeats
+//     (POST /cluster/v1/heartbeat); a worker silent past the timeout is
+//     declared dead, one that reports again rejoins.
+//   - placement: lakes are assigned to workers by rendezvous hashing
+//     over (worker id, lake id) — every node computes the same owner
+//     from the same membership view, no coordination state needed.
+//   - routing: /v1/lakes and /v1/discoveries keep their single-node
+//     contract; the coordinator forwards each request to the owner of
+//     the lake it names, propagating the W3C traceparent so span trees
+//     cross the hop.
+//   - durability: every admitted job lands in the replicated JSON job
+//     store (jobstore.go) before dispatch; when a worker dies, its
+//     queued and unacknowledged-dispatched jobs are re-dispatched to
+//     the lake's next owner with bounded backoff. Deterministic
+//     rankings make the re-run safe: the result is bit-identical.
+//   - admission: per-tenant in-flight quotas (X-Tenant header) layered
+//     on top of each worker's own QueueDepth 429 admission control.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autofeat/internal/obsrv"
+	"autofeat/internal/telemetry"
+)
+
+// heartbeatMsg is the worker -> coordinator heartbeat body (POST
+// /cluster/v1/heartbeat) and, minus the transient load fields, the
+// worker's GET /cluster/v1/info document.
+type heartbeatMsg struct {
+	// Proto is the wire-protocol version (ProtoVersion).
+	Proto string `json:"proto"`
+	// ID is the worker's stable identity; Addr its advertised base URL
+	// (scheme://host:port) the coordinator dials back.
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+	// Lakes lists the lake ids the worker currently holds resident.
+	Lakes []string `json:"lakes"`
+	// Queued, Running and Slots describe the worker's scheduler load.
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	Slots   int `json:"slots"`
+	// Draining marks a worker that stopped admitting new jobs; it stays
+	// a member but is skipped for new placements.
+	Draining bool `json:"draining,omitempty"`
+}
+
+// workerState is the coordinator's view of one worker.
+type workerState struct {
+	heartbeatMsg
+	lastSeen time.Time
+	alive    bool
+}
+
+// workerDoc is one entry of the GET /cluster/v1/workers response.
+type workerDoc struct {
+	ID               string   `json:"id"`
+	Addr             string   `json:"addr"`
+	Alive            bool     `json:"alive"`
+	Draining         bool     `json:"draining,omitempty"`
+	Lakes            []string `json:"lakes"`
+	Queued           int      `json:"queued"`
+	Running          int      `json:"running"`
+	Slots            int      `json:"slots"`
+	LastSeenUnixMS   int64    `json:"last_seen_unix_ms"`
+	SecondsSinceSeen float64  `json:"seconds_since_seen"`
+}
+
+// clusterLakeDoc is one entry of the coordinator's GET /v1/lakes
+// response: the stored registration plus its current placement.
+type clusterLakeDoc struct {
+	ID        string  `json:"id"`
+	Dir       string  `json:"dir"`
+	Matcher   string  `json:"matcher,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+	Worker    string  `json:"worker,omitempty"`
+	Tables    int     `json:"tables,omitempty"`
+}
+
+// clusterJobDoc is the coordinator's job document (GET
+// /v1/discoveries/{id}): the cluster-level routing state wrapping the
+// worker's own jobDoc once one exists.
+type clusterJobDoc struct {
+	ID              string          `json:"id"`
+	Lake            string          `json:"lake"`
+	Tenant          string          `json:"tenant,omitempty"`
+	State           string          `json:"state"`
+	Worker          string          `json:"worker,omitempty"`
+	WorkerJob       string          `json:"worker_job,omitempty"`
+	Attempts        int             `json:"attempts"`
+	Rerouted        int             `json:"rerouted"`
+	Error           string          `json:"error,omitempty"`
+	SubmittedUnixMS int64           `json:"submitted_unix_ms"`
+	Job             json.RawMessage `json:"job,omitempty"`
+}
+
+// ClusterConfig sizes and wires a Coordinator.
+type ClusterConfig struct {
+	// HeartbeatTimeout is the silence after which a worker is declared
+	// dead and its queued jobs reroute. 0 defaults to 10s.
+	HeartbeatTimeout time.Duration
+	// SweepInterval is the background membership/dispatch sweep period.
+	// 0 defaults to HeartbeatTimeout / 4.
+	SweepInterval time.Duration
+	// RetryBackoff is the base delay before re-dispatching a job whose
+	// dispatch failed or was rejected; it doubles per attempt and is
+	// capped at 8x (bounded backoff). 0 defaults to 250ms.
+	RetryBackoff time.Duration
+	// TenantQuota bounds each tenant's in-flight (queued + dispatched)
+	// jobs; submissions beyond it get 429. 0 = unlimited.
+	TenantQuota int
+	// StorePath is the job-store JSON file; "" keeps the store in
+	// memory (queued jobs then survive worker deaths but not a
+	// coordinator restart).
+	StorePath string
+	// Collector receives the cluster.* metrics; Logger the lifecycle
+	// records. Both may be nil.
+	Collector *telemetry.Collector
+	Logger    *slog.Logger
+	// Client performs all coordinator -> worker HTTP; nil defaults to a
+	// 30s-timeout client.
+	Client *http.Client
+
+	// clock overrides time.Now in tests.
+	clock func() time.Time
+}
+
+// Coordinator is the cluster's routing node: membership table,
+// replicated job store, and the proxy handlers that keep the
+// single-node REST contract over many workers.
+type Coordinator struct {
+	cfg    ClusterConfig
+	log    *slog.Logger
+	client *http.Client
+	store  *JobStore
+	clock  func() time.Time
+
+	mu      sync.Mutex
+	workers map[string]*workerState
+	order   []string
+
+	draining   atomic.Bool
+	replicated atomic.Int64 // last store version pushed to workers
+}
+
+// NewCoordinator builds a Coordinator around the given job store.
+func NewCoordinator(cfg ClusterConfig, store *JobStore) *Coordinator {
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 10 * time.Second
+	}
+	if cfg.SweepInterval <= 0 {
+		cfg.SweepInterval = cfg.HeartbeatTimeout / 4
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 250 * time.Millisecond
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.clock == nil {
+		cfg.clock = time.Now
+	}
+	return &Coordinator{
+		cfg:     cfg,
+		log:     telemetry.OrNop(cfg.Logger),
+		client:  cfg.Client,
+		store:   store,
+		clock:   cfg.clock,
+		workers: map[string]*workerState{},
+	}
+}
+
+// Store returns the coordinator's job store.
+func (c *Coordinator) Store() *JobStore { return c.store }
+
+// Mount registers the coordinator's routes — the single-node /v1 API,
+// now routed, plus the cluster control plane — on the introspection
+// server's mux.
+func (c *Coordinator) Mount(srv *obsrv.Server) {
+	srv.Handle("POST /v1/lakes", http.HandlerFunc(c.handleLakeCreate))
+	srv.Handle("GET /v1/lakes", http.HandlerFunc(c.handleLakeList))
+	srv.Handle("POST /v1/lakes/{id}/tables", http.HandlerFunc(c.handleLakeProxy))
+	srv.Handle("DELETE /v1/lakes/{id}/tables/{table}", http.HandlerFunc(c.handleLakeProxy))
+	srv.Handle("POST /v1/discoveries", http.HandlerFunc(c.handleSubmit))
+	srv.Handle("GET /v1/discoveries", http.HandlerFunc(c.handleJobList))
+	srv.Handle("GET /v1/discoveries/{id}", http.HandlerFunc(c.handleJobGet))
+	srv.Handle("GET /v1/discoveries/{id}/manifest", http.HandlerFunc(c.handleJobManifest))
+	srv.Handle("DELETE /v1/discoveries/{id}", http.HandlerFunc(c.handleJobCancel))
+	srv.Handle("POST /cluster/v1/heartbeat", http.HandlerFunc(c.handleHeartbeat))
+	srv.Handle("GET /cluster/v1/workers", http.HandlerFunc(c.handleWorkers))
+	srv.Handle("GET /cluster/v1/jobs", http.HandlerFunc(c.handleStoreDump))
+}
+
+// Run drives the coordinator's background loop — membership sweeps,
+// queued-job dispatch, store replication — until ctx is cancelled.
+func (c *Coordinator) Run(ctx context.Context) {
+	t := time.NewTicker(c.cfg.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.Sweep()
+		}
+	}
+}
+
+// Drain stops admission: new submissions and lake registrations get
+// 503 while already-dispatched jobs keep running on their workers. Pair
+// it with draining each worker for a whole-cluster drain.
+func (c *Coordinator) Drain() { c.draining.Store(true) }
+
+// SeedWorkers registers static peers: each address is probed with GET
+// /cluster/v1/info and, when it answers, joins the membership table
+// immediately instead of waiting for its first heartbeat.
+func (c *Coordinator) SeedWorkers(addrs []string) {
+	for _, addr := range addrs {
+		info, err := c.fetchInfo(addr)
+		if err != nil {
+			c.log.Warn("cluster seed peer unreachable", "addr", addr, "error", err)
+			continue
+		}
+		c.observeHeartbeat(*info)
+	}
+}
+
+// fetchInfo retrieves a worker's identity document.
+func (c *Coordinator) fetchInfo(addr string) (*heartbeatMsg, error) {
+	resp, err := c.client.Get(addr + "/cluster/v1/info")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: %s/cluster/v1/info: status %d", addr, resp.StatusCode)
+	}
+	var info heartbeatMsg
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, err
+	}
+	if err := CheckProto(info.Proto); err != nil {
+		return nil, err
+	}
+	if info.Addr == "" {
+		info.Addr = addr
+	}
+	return &info, nil
+}
+
+// observeHeartbeat folds one heartbeat into the membership table and
+// refreshes the cluster gauges.
+func (c *Coordinator) observeHeartbeat(hb heartbeatMsg) {
+	now := c.clock()
+	c.mu.Lock()
+	w, ok := c.workers[hb.ID]
+	if !ok {
+		w = &workerState{}
+		c.workers[hb.ID] = w
+		c.order = append(c.order, hb.ID)
+		c.log.Info("cluster worker joined", "worker", hb.ID, "addr", hb.Addr)
+	} else if !w.alive {
+		c.log.Info("cluster worker rejoined", "worker", hb.ID, "addr", hb.Addr)
+	}
+	w.heartbeatMsg = hb
+	w.lastSeen = now
+	w.alive = true
+	c.mu.Unlock()
+	c.cfg.Collector.Meter().Inc(telemetry.CtrClusterHeartbeats)
+	c.updateGauges()
+}
+
+// aliveWorkers snapshots the workers eligible for new placements (alive
+// and not draining), plus the full alive set.
+func (c *Coordinator) aliveWorkers() (placeable []workerState, alive int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range c.order {
+		w := c.workers[id]
+		if !w.alive {
+			continue
+		}
+		alive++
+		if !w.Draining {
+			placeable = append(placeable, *w)
+		}
+	}
+	return placeable, alive
+}
+
+// workerByID returns a copy of the worker's state.
+func (c *Coordinator) workerByID(id string) (workerState, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w, ok := c.workers[id]; ok {
+		return *w, true
+	}
+	return workerState{}, false
+}
+
+// ownerFor picks the lake's current owner by rendezvous (highest
+// random weight) hashing over the placeable workers: each worker's
+// score is FNV-1a over (worker id, 0, lake id) and the highest score
+// wins, with the lexically smallest id breaking exact ties. Every node
+// with the same membership view computes the same owner, and removing
+// a worker only moves the lakes that worker owned.
+func (c *Coordinator) ownerFor(lakeID string) (workerState, bool) {
+	workers, _ := c.aliveWorkers()
+	var best workerState
+	var bestScore uint64
+	found := false
+	for _, w := range workers {
+		h := fnv.New64a()
+		_, _ = io.WriteString(h, w.ID)
+		_, _ = h.Write([]byte{0})
+		_, _ = io.WriteString(h, lakeID)
+		score := h.Sum64()
+		if !found || score > bestScore || (score == bestScore && w.ID < best.ID) {
+			best, bestScore, found = w, score, true
+		}
+	}
+	return best, found
+}
+
+// updateGauges refreshes the cluster-level metrics: live workers, store
+// size, and per-worker lake placement counts.
+func (c *Coordinator) updateGauges() {
+	mx := c.cfg.Collector.Meter()
+	_, alive := c.aliveWorkers()
+	mx.SetGauge(telemetry.GaugeClusterWorkersUp, float64(alive))
+	mx.SetGauge(telemetry.GaugeClusterStoreJobs, float64(c.store.Len()))
+	counts := map[string]int{}
+	for _, l := range c.store.Lakes() {
+		if owner, ok := c.ownerFor(l.ID); ok {
+			counts[owner.ID]++
+		}
+	}
+	c.mu.Lock()
+	ids := append([]string(nil), c.order...)
+	c.mu.Unlock()
+	for _, id := range ids {
+		mx.SetGauge(telemetry.GaugeClusterLakesPrefix+id, float64(counts[id]))
+	}
+}
+
+// forward sends method+path with the given body to a worker,
+// propagating the trace context (explicit traceparent wins, else the
+// request context's current span). The caller owns the response.
+func (c *Coordinator) forward(ctx context.Context, w workerState, method, path, traceparent string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = jsonReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, w.Addr+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceparent == "" {
+		if sc, ok := telemetry.SpanContextFrom(ctx); ok {
+			traceparent = sc.Traceparent()
+		}
+	}
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
+	return c.client.Do(req)
+}
+
+// jsonReader wraps raw bytes for re-sending.
+func jsonReader(b []byte) io.Reader { return &byteReader{b: b} }
+
+// byteReader is a minimal one-shot reader over a byte slice.
+type byteReader struct{ b []byte }
+
+// Read implements io.Reader.
+func (r *byteReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}
+
+// relay copies a worker response (status, Retry-After, body) through to
+// the client — routed errors like a worker's 429 keep their
+// machine-readable body and headers intact.
+func relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	if loc := resp.Header.Get("Location"); loc != "" {
+		w.Header().Set("Location", loc)
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// handleLakeCreate registers a lake cluster-wide: record it in the
+// store, open it on its rendezvous owner, answer with the placement.
+func (c *Coordinator) handleLakeCreate(w http.ResponseWriter, r *http.Request) {
+	if c.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "cluster is draining")
+		return
+	}
+	var req lakeCreateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.Dir == "" {
+		writeError(w, http.StatusBadRequest, "dir is required")
+		return
+	}
+	stored := c.store.AddLake(StoredLake{ID: req.ID, Dir: req.Dir, Matcher: req.Matcher, Threshold: req.Threshold})
+	owner, ok := c.ownerFor(stored.ID)
+	if !ok {
+		// Recorded but not yet placed; the first worker to join picks it
+		// up when a job arrives.
+		writeJSON(w, http.StatusCreated, clusterLakeDoc{ID: stored.ID, Dir: stored.Dir, Matcher: stored.Matcher, Threshold: stored.Threshold})
+		return
+	}
+	tables, err := c.openLakeOn(r.Context(), owner, *stored)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	c.updateGauges()
+	c.log.Info("cluster lake registered", "lake", stored.ID, "dir", stored.Dir, "worker", owner.ID)
+	writeJSON(w, http.StatusCreated, clusterLakeDoc{
+		ID: stored.ID, Dir: stored.Dir, Matcher: stored.Matcher,
+		Threshold: stored.Threshold, Worker: owner.ID, Tables: tables,
+	})
+}
+
+// openLakeOn opens a stored lake on the given worker under its cluster
+// id, returning the worker-reported table count.
+func (c *Coordinator) openLakeOn(ctx context.Context, w workerState, l StoredLake) (int, error) {
+	body, _ := json.Marshal(lakeCreateRequest{ID: l.ID, Dir: l.Dir, Matcher: l.Matcher, Threshold: l.Threshold})
+	resp, err := c.forward(ctx, w, http.MethodPost, "/v1/lakes", "", body)
+	if err != nil {
+		c.cfg.Collector.Meter().Inc(telemetry.CtrClusterProxyErrors)
+		return 0, fmt.Errorf("serve: open lake %s on %s: %w", l.ID, w.ID, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return 0, fmt.Errorf("serve: open lake %s on %s: status %d: %s", l.ID, w.ID, resp.StatusCode, b)
+	}
+	var doc lakeDoc
+	_ = json.NewDecoder(resp.Body).Decode(&doc)
+	c.noteWorkerLake(w.ID, l.ID)
+	return doc.Tables, nil
+}
+
+// noteWorkerLake records that a worker now holds a lake, without
+// waiting for its next heartbeat to say so.
+func (c *Coordinator) noteWorkerLake(workerID, lakeID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[workerID]
+	if !ok {
+		return
+	}
+	for _, id := range w.Lakes {
+		if id == lakeID {
+			return
+		}
+	}
+	w.Lakes = append(w.Lakes, lakeID)
+}
+
+// handleLakeList serves the cluster lake registry with current
+// placements.
+func (c *Coordinator) handleLakeList(w http.ResponseWriter, _ *http.Request) {
+	lakes := c.store.Lakes()
+	docs := make([]clusterLakeDoc, 0, len(lakes))
+	for _, l := range lakes {
+		d := clusterLakeDoc{ID: l.ID, Dir: l.Dir, Matcher: l.Matcher, Threshold: l.Threshold}
+		if owner, ok := c.ownerFor(l.ID); ok {
+			d.Worker = owner.ID
+		}
+		docs = append(docs, d)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"lakes": docs})
+}
+
+// handleLakeProxy forwards a table mutation to the lake's owner and
+// relays the response verbatim.
+func (c *Coordinator) handleLakeProxy(w http.ResponseWriter, r *http.Request) {
+	if c.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "cluster is draining")
+		return
+	}
+	lakeID := r.PathValue("id")
+	if c.store.LakeByID(lakeID) == nil {
+		writeError(w, http.StatusNotFound, "unknown lake "+lakeID)
+		return
+	}
+	owner, ok := c.ownerFor(lakeID)
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "no workers available")
+		return
+	}
+	if err := c.ensureLakeOn(r.Context(), owner, lakeID); err != nil {
+		writeError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	c.cfg.Collector.Meter().Inc(telemetry.CtrClusterProxied)
+	resp, err := c.forward(r.Context(), owner, r.Method, r.URL.Path, "", body)
+	if err != nil {
+		c.cfg.Collector.Meter().Inc(telemetry.CtrClusterProxyErrors)
+		writeError(w, http.StatusBadGateway, "worker "+owner.ID+": "+err.Error())
+		return
+	}
+	relay(w, resp)
+}
+
+// ensureLakeOn opens the lake on the worker if the membership view says
+// it is missing there — the lazy half of rendezvous placement, used on
+// first touch and after ownership moved to a rejoined or new worker.
+func (c *Coordinator) ensureLakeOn(ctx context.Context, w workerState, lakeID string) error {
+	for _, id := range w.Lakes {
+		if id == lakeID {
+			return nil
+		}
+	}
+	stored := c.store.LakeByID(lakeID)
+	if stored == nil {
+		return fmt.Errorf("serve: unknown lake %q", lakeID)
+	}
+	_, err := c.openLakeOn(ctx, w, *stored)
+	return err
+}
+
+// tenantOf extracts the request's quota bucket.
+func tenantOf(r *http.Request) string { return r.Header.Get("X-Tenant") }
+
+// handleSubmit admits one discovery job cluster-wide: quota check,
+// durable store record, then an immediate dispatch attempt. A job whose
+// owner is busy or unreachable stays queued in the store and is retried
+// by the sweep with bounded backoff — the submission still succeeds.
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if c.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "cluster is draining")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	var req submitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.Lake == "" || req.Base == "" || req.Label == "" {
+		writeError(w, http.StatusBadRequest, "lake, base and label are required")
+		return
+	}
+	if c.store.LakeByID(req.Lake) == nil {
+		writeError(w, http.StatusNotFound, "unknown lake "+req.Lake)
+		return
+	}
+	tenant := tenantOf(r)
+	if q := c.cfg.TenantQuota; q > 0 && c.store.InFlight(tenant) >= q {
+		c.cfg.Collector.Meter().Inc(telemetry.CtrClusterQuotaRejected)
+		retry := int(c.cfg.RetryBackoff/time.Second) + 1
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error":               "tenant quota exceeded",
+			"retry_after_seconds": retry,
+		})
+		return
+	}
+	var traceparent string
+	if sc, ok := telemetry.SpanContextFrom(r.Context()); ok {
+		traceparent = sc.Traceparent()
+	} else {
+		traceparent = r.Header.Get("traceparent")
+	}
+	job := c.store.AddJob(tenant, req.Lake, body, traceparent, c.clock())
+	c.log.Info("cluster job admitted", "id", job.ID, "lake", job.Lake, "tenant", tenant)
+	c.dispatch(r.Context(), job.ID)
+	job, _ = c.store.Job(job.ID)
+	c.updateGauges()
+	w.Header().Set("Location", "/v1/discoveries/"+job.ID)
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": job.ID, "state": job.State})
+}
+
+// backoffFor computes the bounded retry delay after n attempts: base *
+// 2^(n-1), capped at 8x base.
+func (c *Coordinator) backoffFor(attempts int) time.Duration {
+	d := c.cfg.RetryBackoff
+	for i := 1; i < attempts && d < 8*c.cfg.RetryBackoff; i++ {
+		d *= 2
+	}
+	if d > 8*c.cfg.RetryBackoff {
+		d = 8 * c.cfg.RetryBackoff
+	}
+	return d
+}
+
+// dispatch tries to hand one queued job to its lake's current owner.
+// Outcomes: accepted (job becomes dispatched), rejected 4xx other than
+// 429 (job fails — it would fail identically anywhere), worker busy or
+// unreachable (job stays queued with a bounded-backoff gate for the
+// next sweep).
+func (c *Coordinator) dispatch(ctx context.Context, jobID string) {
+	job, ok := c.store.Job(jobID)
+	if !ok || job.State != ClusterQueued {
+		return
+	}
+	mx := c.cfg.Collector.Meter()
+	owner, found := c.ownerFor(job.Lake)
+	if !found {
+		c.store.Update(jobID, func(j *StoredJob) {
+			j.Attempts++
+			j.NotBeforeUnixMS = c.clock().Add(c.backoffFor(j.Attempts)).UnixMilli()
+		})
+		return
+	}
+	if err := c.ensureLakeOn(ctx, owner, job.Lake); err != nil {
+		c.retryLater(jobID, owner.ID, err.Error())
+		return
+	}
+	if job.Attempts > 0 {
+		mx.Inc(telemetry.CtrClusterDispatchRetries)
+	}
+	mx.Inc(telemetry.CtrClusterDispatches)
+	start := c.clock()
+	resp, err := c.forward(ctx, owner, http.MethodPost, "/v1/discoveries", job.Traceparent, job.Body)
+	mx.Observe(telemetry.HistClusterDispatchSeconds, c.clock().Sub(start).Seconds())
+	if err != nil {
+		mx.Inc(telemetry.CtrClusterProxyErrors)
+		c.retryLater(jobID, owner.ID, err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusAccepted:
+		var acc struct {
+			ID string `json:"id"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&acc)
+		c.store.Update(jobID, func(j *StoredJob) {
+			j.State = ClusterDispatched
+			j.Worker = owner.ID
+			j.WorkerJob = acc.ID
+			j.Attempts++
+			j.NotBeforeUnixMS = 0
+		})
+		c.log.Info("cluster job dispatched", "id", jobID, "worker", owner.ID, "worker_job", acc.ID)
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		// Worker admission control said no; keep the job durable and let
+		// the sweep retry after the backoff.
+		c.retryLater(jobID, owner.ID, fmt.Sprintf("worker %s busy (status %d)", owner.ID, resp.StatusCode))
+	default:
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		c.store.Update(jobID, func(j *StoredJob) {
+			j.State = StateFailed
+			j.Worker = owner.ID
+			j.Attempts++
+			j.Error = fmt.Sprintf("worker %s rejected job (status %d): %s", owner.ID, resp.StatusCode, b)
+		})
+		c.log.Warn("cluster job rejected by worker", "id", jobID, "worker", owner.ID, "status", resp.StatusCode)
+	}
+}
+
+// retryLater re-queues a job with the bounded-backoff gate.
+func (c *Coordinator) retryLater(jobID, worker, reason string) {
+	now := c.clock()
+	c.store.Update(jobID, func(j *StoredJob) {
+		j.Attempts++
+		j.NotBeforeUnixMS = now.Add(c.backoffFor(j.Attempts)).UnixMilli()
+	})
+	c.log.Info("cluster dispatch deferred", "id", jobID, "worker", worker, "reason", reason)
+}
+
+// Sweep runs one pass of the coordinator's background maintenance:
+// expire silent workers (rerouting their unfinished jobs), dispatch
+// queued jobs whose backoff gate has passed, replicate the store when
+// it changed, refresh gauges. It is called periodically by Run and
+// directly by tests.
+func (c *Coordinator) Sweep() {
+	now := c.clock()
+	mx := c.cfg.Collector.Meter()
+
+	// 1. Membership: declare silent workers dead.
+	var died []string
+	c.mu.Lock()
+	for _, id := range c.order {
+		w := c.workers[id]
+		if w.alive && now.Sub(w.lastSeen) > c.cfg.HeartbeatTimeout {
+			w.alive = false
+			died = append(died, id)
+		}
+	}
+	c.mu.Unlock()
+
+	// 2. Reroute: a dead worker's queued and unacknowledged jobs go back
+	// to the cluster queue; the next dispatch below routes them to the
+	// lake's new owner. Jobs whose terminal result was already observed
+	// (Result recorded in the store) are never re-run.
+	for _, id := range died {
+		c.log.Warn("cluster worker dead", "worker", id, "timeout", c.cfg.HeartbeatTimeout)
+		for _, j := range c.store.Jobs() {
+			if j.Worker == id && (j.State == ClusterDispatched || j.State == ClusterQueued) {
+				mx.Inc(telemetry.CtrClusterReroutedJobs)
+				c.store.Update(j.ID, func(sj *StoredJob) {
+					sj.State = ClusterQueued
+					sj.Worker, sj.WorkerJob = "", ""
+					sj.Rerouted++
+					sj.NotBeforeUnixMS = 0
+				})
+				c.log.Info("cluster job rerouted", "id", j.ID, "dead_worker", id)
+			}
+		}
+	}
+
+	// 3. Dispatch every ripe queued job.
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.HeartbeatTimeout)
+	defer cancel()
+	for _, j := range c.store.Jobs() {
+		if j.State == ClusterQueued && j.NotBeforeUnixMS <= now.UnixMilli() {
+			c.dispatch(ctx, j.ID)
+		}
+	}
+
+	// 4. Refresh dispatched jobs' states from their workers, so results
+	// are durable in the store even if no client ever polls.
+	for _, j := range c.store.Jobs() {
+		if j.State == ClusterDispatched {
+			c.refreshJob(ctx, j)
+		}
+	}
+
+	// 5. Replicate the store to alive workers when it changed.
+	c.replicate(ctx)
+	c.updateGauges()
+}
+
+// refreshJob polls a dispatched job's worker and persists the worker
+// document once the job reached a terminal state. Unreachable workers
+// are ignored here — the membership sweep owns declaring them dead.
+func (c *Coordinator) refreshJob(ctx context.Context, j StoredJob) {
+	w, ok := c.workerByID(j.Worker)
+	if !ok || !w.alive {
+		return
+	}
+	resp, err := c.forward(ctx, w, http.MethodGet, "/v1/discoveries/"+j.WorkerJob, "", nil)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return
+	}
+	var doc struct {
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return
+	}
+	if doc.State == StateDone || doc.State == StateFailed || doc.State == StateCancelled {
+		c.store.Update(j.ID, func(sj *StoredJob) {
+			sj.State = doc.State
+			sj.Error = doc.Error
+			sj.Result = body
+		})
+		c.log.Info("cluster job finished", "id", j.ID, "state", doc.State, "worker", j.Worker)
+	}
+}
+
+// replicate pushes the current store snapshot to every alive worker if
+// the store changed since the last push.
+func (c *Coordinator) replicate(ctx context.Context) {
+	v := c.store.Version()
+	if v == c.replicated.Load() {
+		return
+	}
+	snap := c.store.Snapshot()
+	workers, _ := c.aliveWorkers()
+	for _, w := range workers {
+		resp, err := c.forward(ctx, w, http.MethodPost, "/cluster/v1/jobstore", "", snap)
+		if err != nil {
+			c.log.Warn("cluster store replication failed", "worker", w.ID, "error", err)
+			continue
+		}
+		resp.Body.Close()
+	}
+	c.replicated.Store(v)
+}
+
+// clusterJob renders one stored job as the coordinator's job document.
+func clusterJob(j StoredJob) clusterJobDoc {
+	return clusterJobDoc{
+		ID: j.ID, Lake: j.Lake, Tenant: j.Tenant, State: j.State,
+		Worker: j.Worker, WorkerJob: j.WorkerJob,
+		Attempts: j.Attempts, Rerouted: j.Rerouted, Error: j.Error,
+		SubmittedUnixMS: j.SubmittedUnixMS, Job: j.Result,
+	}
+}
+
+// handleJobList serves every cluster job from the store.
+func (c *Coordinator) handleJobList(w http.ResponseWriter, _ *http.Request) {
+	jobs := c.store.Jobs()
+	docs := make([]clusterJobDoc, 0, len(jobs))
+	for _, j := range jobs {
+		docs = append(docs, clusterJob(j))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"discoveries": docs})
+}
+
+// handleJobGet serves one cluster job, live-refreshing a dispatched
+// job from its worker first so clients see current state.
+func (c *Coordinator) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.store.Job(r.PathValue("id"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	if j.State == ClusterDispatched {
+		c.cfg.Collector.Meter().Inc(telemetry.CtrClusterProxied)
+		c.refreshLiveDoc(r.Context(), &j)
+	}
+	writeJSON(w, http.StatusOK, clusterJob(j))
+}
+
+// refreshLiveDoc fetches a dispatched job's current worker document
+// into j.Job (persisting terminal states) without failing the request
+// when the worker is unreachable.
+func (c *Coordinator) refreshLiveDoc(ctx context.Context, j *StoredJob) {
+	wk, ok := c.workerByID(j.Worker)
+	if !ok || !wk.alive {
+		return
+	}
+	resp, err := c.forward(ctx, wk, http.MethodGet, "/v1/discoveries/"+j.WorkerJob, "", nil)
+	if err != nil {
+		c.cfg.Collector.Meter().Inc(telemetry.CtrClusterProxyErrors)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return
+	}
+	var doc struct {
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return
+	}
+	j.Result = body
+	if doc.State == StateDone || doc.State == StateFailed || doc.State == StateCancelled {
+		j.State = doc.State
+		j.Error = doc.Error
+		c.store.Update(j.ID, func(sj *StoredJob) {
+			sj.State = doc.State
+			sj.Error = doc.Error
+			sj.Result = body
+		})
+	}
+}
+
+// handleJobManifest proxies the manifest request to the worker holding
+// the job.
+func (c *Coordinator) handleJobManifest(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.store.Job(r.PathValue("id"))
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	if j.WorkerJob == "" {
+		writeError(w, http.StatusConflict, "job has not been dispatched yet")
+		return
+	}
+	wk, ok := c.workerByID(j.Worker)
+	if !ok || !wk.alive {
+		writeError(w, http.StatusBadGateway, "worker "+j.Worker+" is not reachable")
+		return
+	}
+	c.cfg.Collector.Meter().Inc(telemetry.CtrClusterProxied)
+	resp, err := c.forward(r.Context(), wk, http.MethodGet, "/v1/discoveries/"+j.WorkerJob+"/manifest", "", nil)
+	if err != nil {
+		c.cfg.Collector.Meter().Inc(telemetry.CtrClusterProxyErrors)
+		writeError(w, http.StatusBadGateway, "worker "+j.Worker+": "+err.Error())
+		return
+	}
+	relay(w, resp)
+}
+
+// handleJobCancel cancels a cluster job: a still-queued job is
+// terminally cancelled in the store; a dispatched one forwards the
+// cancel to its worker.
+func (c *Coordinator) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := c.store.Job(id)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	switch j.State {
+	case ClusterQueued:
+		c.store.Update(id, func(sj *StoredJob) { sj.State = StateCancelled })
+		j, _ = c.store.Job(id)
+		writeJSON(w, http.StatusAccepted, clusterJob(j))
+	case ClusterDispatched:
+		wk, okw := c.workerByID(j.Worker)
+		if !okw || !wk.alive {
+			// Worker gone: the reroute sweep owns this job now; cancel it
+			// at the cluster level so it never re-dispatches.
+			c.store.Update(id, func(sj *StoredJob) { sj.State = StateCancelled })
+			j, _ = c.store.Job(id)
+			writeJSON(w, http.StatusAccepted, clusterJob(j))
+			return
+		}
+		c.cfg.Collector.Meter().Inc(telemetry.CtrClusterProxied)
+		resp, err := c.forward(r.Context(), wk, http.MethodDelete, "/v1/discoveries/"+j.WorkerJob, "", nil)
+		if err != nil {
+			c.cfg.Collector.Meter().Inc(telemetry.CtrClusterProxyErrors)
+			writeError(w, http.StatusBadGateway, "worker "+j.Worker+": "+err.Error())
+			return
+		}
+		relay(w, resp)
+	default:
+		writeJSON(w, http.StatusConflict, clusterJob(j))
+	}
+}
+
+// handleHeartbeat ingests one worker heartbeat.
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var hb heartbeatMsg
+	if err := json.NewDecoder(r.Body).Decode(&hb); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if err := CheckProto(hb.Proto); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if hb.ID == "" || hb.Addr == "" {
+		writeError(w, http.StatusBadRequest, "id and addr are required")
+		return
+	}
+	c.observeHeartbeat(hb)
+	writeJSON(w, http.StatusOK, map[string]any{"proto": ProtoVersion, "ok": true})
+}
+
+// handleWorkers serves the coordinator's membership view.
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, _ *http.Request) {
+	now := c.clock()
+	c.mu.Lock()
+	docs := make([]workerDoc, 0, len(c.order))
+	ids := append([]string(nil), c.order...)
+	sort.Strings(ids)
+	for _, id := range ids {
+		ws := c.workers[id]
+		docs = append(docs, workerDoc{
+			ID: ws.ID, Addr: ws.Addr, Alive: ws.alive, Draining: ws.Draining,
+			Lakes: append([]string(nil), ws.Lakes...),
+			Queued: ws.Queued, Running: ws.Running, Slots: ws.Slots,
+			LastSeenUnixMS:   ws.lastSeen.UnixMilli(),
+			SecondsSinceSeen: now.Sub(ws.lastSeen).Seconds(),
+		})
+	}
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"proto": ProtoVersion, "workers": docs})
+}
+
+// handleStoreDump serves the raw job-store snapshot — the debugging
+// and coordinator-recovery view of the replicated queue.
+func (c *Coordinator) handleStoreDump(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(c.store.Snapshot())
+}

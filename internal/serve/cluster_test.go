@@ -1,0 +1,543 @@
+package serve
+
+// Cluster tests: a real coordinator and real workers wired over
+// httptest listeners, with an injectable clock and hand-driven
+// heartbeats/sweeps so membership transitions are deterministic under
+// -race. The end-to-end test kills a worker with queued jobs and
+// asserts the survivor finishes them with rankings bit-identical to a
+// single-node run.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"autofeat/internal/datagen"
+	"autofeat/internal/lake"
+	"autofeat/internal/obsrv"
+	"autofeat/internal/telemetry"
+)
+
+// fakeClock is a hand-advanced time source shared by the coordinator
+// and the test.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// clusterWorker is one worker node: service, agent, and its listener.
+type clusterWorker struct {
+	svc   *Service
+	agent *Agent
+	ts    *httptest.Server
+}
+
+// clusterStack is a full cluster on localhost: one coordinator and N
+// workers, plus the shared dataset directory every lake opens from.
+type clusterStack struct {
+	coord   *Coordinator
+	coordTS *httptest.Server
+	workers []*clusterWorker
+	clock   *fakeClock
+	ds      *datagen.Dataset
+	dir     string
+}
+
+// newClusterStack wires a coordinator and n workers. Worker heartbeats
+// are sent by the test (via heartbeatAll), never by a background loop,
+// so liveness transitions only happen when the test advances the clock.
+func newClusterStack(t *testing.T, n int, ccfg ClusterConfig, wcfg Config) *clusterStack {
+	t.Helper()
+	ds, err := datagen.Generate(datagen.SmallSpecs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, tb := range ds.Tables {
+		if err := tb.WriteCSVFile(filepath.Join(dir, tb.Name()+".csv")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := &clusterStack{clock: newFakeClock(), ds: ds, dir: dir}
+
+	for i := 0; i < n; i++ {
+		cfg := wcfg
+		if cfg.Collector == nil {
+			cfg.Collector = telemetry.New()
+		}
+		srv := obsrv.NewServer(obsrv.Config{Collector: cfg.Collector})
+		svc := New(cfg)
+		svc.Mount(srv)
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		agent := NewAgent(AgentConfig{
+			ID:        fmt.Sprintf("worker-%c", 'a'+i),
+			Addr:      ts.URL,
+			Collector: cfg.Collector,
+		}, svc)
+		agent.Mount(srv)
+		cs.workers = append(cs.workers, &clusterWorker{svc: svc, agent: agent, ts: ts})
+	}
+
+	if ccfg.Collector == nil {
+		ccfg.Collector = telemetry.New()
+	}
+	ccfg.clock = cs.clock.now
+	store, err := NewJobStore(ccfg.StorePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.coord = NewCoordinator(ccfg, store)
+	csrv := obsrv.NewServer(obsrv.Config{Collector: ccfg.Collector})
+	cs.coord.Mount(csrv)
+	cs.coordTS = httptest.NewServer(csrv.Handler())
+	t.Cleanup(cs.coordTS.Close)
+
+	var addrs []string
+	for _, w := range cs.workers {
+		addrs = append(addrs, w.ts.URL)
+	}
+	cs.coord.SeedWorkers(addrs)
+	return cs
+}
+
+// heartbeatAll posts one heartbeat per worker straight into the
+// coordinator (skipping still-killed listeners).
+func (cs *clusterStack) heartbeatAll(t *testing.T, alive map[string]bool) {
+	t.Helper()
+	for _, w := range cs.workers {
+		if alive != nil && !alive[w.agent.cfg.ID] {
+			continue
+		}
+		cs.coord.observeHeartbeat(w.agent.status())
+	}
+}
+
+// workerByID finds the in-process worker with the given cluster id.
+func (cs *clusterStack) workerByID(id string) *clusterWorker {
+	for _, w := range cs.workers {
+		if w.agent.cfg.ID == id {
+			return w
+		}
+	}
+	return nil
+}
+
+// waitClusterJob sweeps and polls until the cluster job is terminal.
+// alive names the workers still heartbeating (nil = all): the poll loop
+// advances the fake clock, so workers not re-announced here lapse dead.
+func waitClusterJob(t *testing.T, cs *clusterStack, id string, alive map[string]bool) StoredJob {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		cs.heartbeatAll(t, alive)
+		cs.coord.Sweep()
+		j, ok := cs.coord.Store().Job(id)
+		if !ok {
+			t.Fatalf("cluster job %s vanished from the store", id)
+		}
+		switch j.State {
+		case StateDone, StateFailed, StateCancelled:
+			return j
+		}
+		cs.clock.advance(50 * time.Millisecond) // ripen dispatch backoffs
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("cluster job %s did not finish in time", id)
+	return StoredJob{}
+}
+
+// submitCluster posts one discovery through the coordinator.
+func submitCluster(t *testing.T, cs *clusterStack, tenant string, req submitRequest) (id, state string, status int) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	hr, err := http.NewRequest(http.MethodPost, cs.coordTS.URL+"/v1/discoveries", jsonReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		hr.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var acc struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&acc)
+	return acc.ID, acc.State, resp.StatusCode
+}
+
+// singleNodeRanking runs the same request directly against a fresh lake
+// session — the single-node baseline for bit-identity assertions.
+func singleNodeRanking(t *testing.T, cs *clusterStack, req submitRequest) string {
+	t.Helper()
+	l, err := lake.Open(cs.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := req.config(0)
+	res, err := l.Discover(context.Background(), lake.Request{
+		Base:   req.Base,
+		Label:  req.Label,
+		Config: &cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rankingKey(res.Ranking)
+}
+
+// TestClusterEndToEnd is the tentpole e2e: 1 coordinator + 2 workers,
+// two lakes, overlapping jobs; the worker holding queued jobs is killed
+// and its jobs must complete on the survivor with rankings identical to
+// a single-node run.
+func TestClusterEndToEnd(t *testing.T) {
+	cs := newClusterStack(t, 2,
+		ClusterConfig{HeartbeatTimeout: 5 * time.Second, TenantQuota: 0},
+		Config{Workers: 1, QueueDepth: 8})
+
+	// Register two lakes over the coordinator API; both open from the
+	// shared dataset directory.
+	for _, id := range []string{"lake-001", "lake-002"} {
+		var doc clusterLakeDoc
+		resp := postJSON(t, cs.coordTS.URL+"/v1/lakes", lakeCreateRequest{ID: id, Dir: cs.dir}, &doc)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("POST /v1/lakes %s: status %d", id, resp.StatusCode)
+		}
+		if doc.Worker == "" {
+			t.Fatalf("lake %s was not placed on any worker", id)
+		}
+		if doc.Tables != len(cs.ds.Tables) {
+			t.Fatalf("lake %s opened with %d tables, want %d", id, doc.Tables, len(cs.ds.Tables))
+		}
+	}
+
+	// The victim is whichever worker rendezvous hashing gave lake-001.
+	owner, ok := cs.coord.ownerFor("lake-001")
+	if !ok {
+		t.Fatal("no owner for lake-001")
+	}
+	victim := cs.workerByID(owner.ID)
+	var survivor *clusterWorker
+	for _, w := range cs.workers {
+		if w != victim {
+			survivor = w
+		}
+	}
+
+	// Occupy the victim's only slot so dispatched jobs queue worker-side
+	// instead of running — the "killed mid-queue" setup.
+	victim.svc.sem <- struct{}{}
+
+	req := submitRequest{Lake: "lake-001", Base: cs.ds.Base.Name(), Label: cs.ds.Label}
+	reqOther := submitRequest{Lake: "lake-002", Base: cs.ds.Base.Name(), Label: cs.ds.Label}
+	idA, stateA, status := submitCluster(t, cs, "", req)
+	if status != http.StatusAccepted || stateA != ClusterDispatched {
+		t.Fatalf("job A: status %d state %q, want 202 dispatched", status, stateA)
+	}
+	idB, _, status := submitCluster(t, cs, "", req)
+	if status != http.StatusAccepted {
+		t.Fatalf("job B: status %d", status)
+	}
+	idC, _, status := submitCluster(t, cs, "", reqOther)
+	if status != http.StatusAccepted {
+		t.Fatalf("job C: status %d", status)
+	}
+
+	jA, _ := cs.coord.Store().Job(idA)
+	if jA.Worker != victim.agent.cfg.ID {
+		t.Fatalf("job A dispatched to %q, want victim %q", jA.Worker, victim.agent.cfg.ID)
+	}
+
+	// Kill the victim: close its listener and let its heartbeats lapse
+	// while the survivor keeps announcing itself.
+	victim.ts.Close()
+	onlySurvivor := map[string]bool{survivor.agent.cfg.ID: true}
+	cs.clock.advance(6 * time.Second)
+	cs.heartbeatAll(t, onlySurvivor)
+	cs.coord.Sweep()
+
+	jA, _ = cs.coord.Store().Job(idA)
+	if jA.Rerouted == 0 {
+		t.Fatalf("job A was not rerouted after worker death: %+v", jA)
+	}
+
+	want := singleNodeRanking(t, cs, req)
+	for _, id := range []string{idA, idB, idC} {
+		j := waitClusterJob(t, cs, id, onlySurvivor)
+		if j.State != StateDone {
+			t.Fatalf("cluster job %s finished %q (error %q), want done", id, j.State, j.Error)
+		}
+		if j.Worker != survivor.agent.cfg.ID {
+			t.Errorf("job %s finished on %q, want survivor %q", id, j.Worker, survivor.agent.cfg.ID)
+		}
+		// Bit-identity: the surviving worker's in-process ranking must
+		// match the single-node baseline exactly.
+		if id == idC {
+			continue // different lake, same data — checked for doneness only
+		}
+		wj := survivor.svc.jobByID(j.WorkerJob)
+		if wj == nil {
+			t.Fatalf("worker job %s missing on survivor", j.WorkerJob)
+		}
+		if got := rankingKey(wj.result.Ranking); got != want {
+			t.Errorf("job %s ranking diverged from single-node run:\ncluster: %s\nsingle:  %s", id, got, want)
+		}
+	}
+
+	// The coordinator replicated the job store to the survivor.
+	snap := survivor.agent.Replica()
+	if snap == nil {
+		t.Fatal("survivor holds no job-store replica")
+	}
+	var doc struct {
+		Proto string `json:"proto"`
+		Jobs  []json.RawMessage
+	}
+	if err := json.Unmarshal(snap, &doc); err != nil {
+		t.Fatalf("replica is not valid JSON: %v", err)
+	}
+	if doc.Proto != ProtoVersion {
+		t.Fatalf("replica proto %q, want %q", doc.Proto, ProtoVersion)
+	}
+
+	// Cluster metrics recorded the death and reroute.
+	snapshot := cs.coord.cfg.Collector.Snapshot()
+	if got := snapshot.Counters[telemetry.CtrClusterReroutedJobs]; got < 2 {
+		t.Errorf("cluster.rerouted_jobs = %d, want >= 2", got)
+	}
+}
+
+// TestClusterHeartbeatTimeout covers membership liveness: a silent
+// worker is declared dead after the timeout and rejoins on its next
+// heartbeat.
+func TestClusterHeartbeatTimeout(t *testing.T) {
+	cs := newClusterStack(t, 2, ClusterConfig{HeartbeatTimeout: 5 * time.Second}, Config{Workers: 1})
+
+	var view struct {
+		Workers []workerDoc `json:"workers"`
+	}
+	getJSON(t, cs.coordTS.URL+"/cluster/v1/workers", &view)
+	if len(view.Workers) != 2 || !view.Workers[0].Alive || !view.Workers[1].Alive {
+		t.Fatalf("want 2 alive workers, got %+v", view.Workers)
+	}
+
+	// Only worker-a keeps heartbeating; worker-b lapses.
+	cs.clock.advance(6 * time.Second)
+	cs.heartbeatAll(t, map[string]bool{"worker-a": true})
+	cs.coord.Sweep()
+
+	getJSON(t, cs.coordTS.URL+"/cluster/v1/workers", &view)
+	for _, w := range view.Workers {
+		wantAlive := w.ID == "worker-a"
+		if w.Alive != wantAlive {
+			t.Errorf("worker %s alive=%v, want %v", w.ID, w.Alive, wantAlive)
+		}
+	}
+
+	// A fresh heartbeat resurrects worker-b.
+	cs.heartbeatAll(t, nil)
+	getJSON(t, cs.coordTS.URL+"/cluster/v1/workers", &view)
+	for _, w := range view.Workers {
+		if !w.Alive {
+			t.Errorf("worker %s still dead after rejoin heartbeat", w.ID)
+		}
+	}
+
+	// A heartbeat speaking the wrong protocol version is rejected.
+	resp := postJSON(t, cs.coordTS.URL+"/cluster/v1/heartbeat",
+		heartbeatMsg{Proto: "autofeat/cluster/v0", ID: "worker-x", Addr: "http://x"}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("wrong-proto heartbeat: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestClusterTenantQuota covers coordinator-level admission: a tenant
+// at its in-flight quota gets 429 with the machine-readable
+// retry_after_seconds body while other tenants are unaffected.
+func TestClusterTenantQuota(t *testing.T) {
+	cs := newClusterStack(t, 1,
+		ClusterConfig{HeartbeatTimeout: 5 * time.Second, TenantQuota: 1},
+		Config{Workers: 1, QueueDepth: 8})
+	postJSON(t, cs.coordTS.URL+"/v1/lakes", lakeCreateRequest{ID: "lake-001", Dir: cs.dir}, nil)
+	w := cs.workers[0]
+	w.svc.sem <- struct{}{} // park the worker so jobs stay in flight
+
+	req := submitRequest{Lake: "lake-001", Base: cs.ds.Base.Name(), Label: cs.ds.Label}
+	if _, _, status := submitCluster(t, cs, "acme", req); status != http.StatusAccepted {
+		t.Fatalf("first acme job: status %d", status)
+	}
+
+	body, _ := json.Marshal(req)
+	hr, _ := http.NewRequest(http.MethodPost, cs.coordTS.URL+"/v1/discoveries", jsonReader(body))
+	hr.Header.Set("X-Tenant", "acme")
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After header")
+	}
+	var rej struct {
+		Error             string `json:"error"`
+		RetryAfterSeconds int    `json:"retry_after_seconds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rej); err != nil {
+		t.Fatal(err)
+	}
+	if rej.Error == "" || rej.RetryAfterSeconds <= 0 {
+		t.Errorf("429 body %+v: want error text and positive retry_after_seconds", rej)
+	}
+
+	// Another tenant is not blocked by acme's quota.
+	if _, _, status := submitCluster(t, cs, "globex", req); status != http.StatusAccepted {
+		t.Errorf("other-tenant job: status %d, want 202", status)
+	}
+
+	<-w.svc.sem // release; both jobs run to completion
+	id3, _, status := submitCluster(t, cs, "acme", req)
+	_ = status
+	for _, j := range cs.coord.Store().Jobs() {
+		waitClusterJob(t, cs, j.ID, nil)
+	}
+	_ = id3
+}
+
+// TestClusterWorkerBusyRequeues covers the routed-429 path: when the
+// owning worker's queue is full the coordinator keeps the job durable
+// in ClusterQueued (the client still gets 202) and a later sweep
+// dispatches it after the worker drains.
+func TestClusterWorkerBusyRequeues(t *testing.T) {
+	cs := newClusterStack(t, 1,
+		ClusterConfig{HeartbeatTimeout: 5 * time.Second, RetryBackoff: 10 * time.Millisecond},
+		Config{Workers: 1, QueueDepth: 1})
+	postJSON(t, cs.coordTS.URL+"/v1/lakes", lakeCreateRequest{ID: "lake-001", Dir: cs.dir}, nil)
+	w := cs.workers[0]
+	w.svc.sem <- struct{}{} // hold the slot: worker queue fills at 1
+
+	req := submitRequest{Lake: "lake-001", Base: cs.ds.Base.Name(), Label: cs.ds.Label}
+	idA, stateA, status := submitCluster(t, cs, "", req)
+	if status != http.StatusAccepted || stateA != ClusterDispatched {
+		t.Fatalf("job A: status %d state %q", status, stateA)
+	}
+	idB, stateB, status := submitCluster(t, cs, "", req)
+	if status != http.StatusAccepted {
+		t.Fatalf("job B: status %d, want 202 even when the worker is full", status)
+	}
+	if stateB != ClusterQueued {
+		t.Fatalf("job B state %q, want queued (worker rejected with 429)", stateB)
+	}
+
+	<-w.svc.sem // drain the worker
+	cs.clock.advance(time.Second)
+	for _, id := range []string{idA, idB} {
+		if j := waitClusterJob(t, cs, id, nil); j.State != StateDone {
+			t.Fatalf("job %s finished %q (error %q)", id, j.State, j.Error)
+		}
+	}
+	jB, _ := cs.coord.Store().Job(idB)
+	if jB.Attempts < 2 {
+		t.Errorf("job B attempts = %d, want >= 2 (initial 429 then retry)", jB.Attempts)
+	}
+}
+
+// TestJobStoreRecovery covers coordinator-restart semantics: reloading
+// a snapshot re-queues dispatched jobs (safe to re-run: deterministic
+// rankings) and preserves terminal ones.
+func TestJobStoreRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.json")
+	s1, err := NewJobStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.AddLake(StoredLake{ID: "lake-001", Dir: "/data"})
+	now := time.Unix(1_700_000_000, 0)
+	a := s1.AddJob("t1", "lake-001", json.RawMessage(`{"base":"b"}`), "", now)
+	b := s1.AddJob("t1", "lake-001", json.RawMessage(`{"base":"b"}`), "", now)
+	s1.Update(a.ID, func(j *StoredJob) { j.State = ClusterDispatched; j.Worker = "w1"; j.WorkerJob = "job-001" })
+	s1.Update(b.ID, func(j *StoredJob) { j.State = StateDone; j.Worker = "w1" })
+
+	s2, err := NewJobStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := s2.Job(a.ID)
+	if ja.State != ClusterQueued || ja.Worker != "" {
+		t.Errorf("dispatched job after recovery: %+v, want re-queued with no worker", ja)
+	}
+	jb, _ := s2.Job(b.ID)
+	if jb.State != StateDone {
+		t.Errorf("done job after recovery: state %q, want done", jb.State)
+	}
+	if s2.LakeByID("lake-001") == nil {
+		t.Error("lake registration lost across recovery")
+	}
+
+	// Wrong-proto snapshots are rejected outright.
+	if err := s2.LoadSnapshot([]byte(`{"proto":"autofeat/cluster/v2"}`)); err == nil {
+		t.Error("LoadSnapshot accepted a wrong-proto snapshot")
+	}
+}
+
+// TestRendezvousPlacement pins the placement invariants: ownership is
+// deterministic, and removing one worker only moves that worker's
+// lakes.
+func TestRendezvousPlacement(t *testing.T) {
+	cs := newClusterStack(t, 3, ClusterConfig{HeartbeatTimeout: 5 * time.Second}, Config{Workers: 1})
+	lakes := []string{"lake-001", "lake-002", "lake-003", "lake-004", "lake-005", "lake-006"}
+	before := map[string]string{}
+	for _, id := range lakes {
+		o1, ok1 := cs.coord.ownerFor(id)
+		o2, ok2 := cs.coord.ownerFor(id)
+		if !ok1 || !ok2 || o1.ID != o2.ID {
+			t.Fatalf("ownerFor(%s) not deterministic: %v/%v %q/%q", id, ok1, ok2, o1.ID, o2.ID)
+		}
+		before[id] = o1.ID
+	}
+
+	// Kill worker-b; only its lakes may move, and none may stay on it.
+	cs.clock.advance(6 * time.Second)
+	cs.heartbeatAll(t, map[string]bool{"worker-a": true, "worker-c": true})
+	cs.coord.Sweep()
+	for _, id := range lakes {
+		after, ok := cs.coord.ownerFor(id)
+		if !ok {
+			t.Fatalf("ownerFor(%s) found no owner after death", id)
+		}
+		if after.ID == "worker-b" {
+			t.Errorf("lake %s still placed on dead worker-b", id)
+		}
+		if before[id] != "worker-b" && after.ID != before[id] {
+			t.Errorf("lake %s moved %s -> %s although its owner survived", id, before[id], after.ID)
+		}
+	}
+}

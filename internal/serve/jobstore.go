@@ -1,0 +1,368 @@
+package serve
+
+// The replicated JSON job store behind the cluster coordinator: every
+// accepted discovery job (and every registered lake) is recorded here
+// before it is dispatched to a worker, so a queued job survives the
+// death of the worker it was routed to — the coordinator re-dispatches
+// it to the lake's next owner. The store is a plain JSON document:
+// persisted atomically to disk after every mutation (when a path is
+// configured) and pushed to workers as an opaque snapshot, so a
+// restarted coordinator can recover its queue from its own file or from
+// any worker's replica.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// ProtoVersion is the cluster wire-protocol version stamped into every
+// inter-node message (heartbeats, job-store snapshots, worker info).
+// Nodes reject messages from a different major version; within one
+// major version, compatibility rule is additive-only: new optional JSON
+// fields may appear and must be ignored when unknown.
+const ProtoVersion = "autofeat/cluster/v1"
+
+// Cluster-level job states. A job is "queued" until a worker accepts
+// it, "dispatched" while a worker holds it, and terminal afterwards;
+// terminal states mirror the worker-level ones so clients see one
+// vocabulary on both planes.
+const (
+	// ClusterQueued is a job recorded in the store but not accepted by
+	// any worker yet (never dispatched, worker busy, or awaiting reroute
+	// after a worker death).
+	ClusterQueued = "queued"
+	// ClusterDispatched is a job accepted by a worker and not yet
+	// observed in a terminal state.
+	ClusterDispatched = "dispatched"
+)
+
+// StoredLake is the cluster-level record of one registered lake: enough
+// to re-open it on whichever worker rendezvous hashing places it on.
+type StoredLake struct {
+	// ID is the cluster-wide lake id ("lake-001"); workers register the
+	// lake under the same id so submit bodies route unchanged.
+	ID string `json:"id"`
+	// Dir is the CSV directory the lake is opened from. Workers must be
+	// able to resolve it (shared filesystem or per-node copy).
+	Dir string `json:"dir"`
+	// Matcher and Threshold are the lake's DRG defaults, forwarded to
+	// every worker that opens it.
+	Matcher   string  `json:"matcher,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+}
+
+// StoredJob is the cluster-level record of one discovery job: the
+// verbatim submit body (so a re-dispatched job runs bit-identically),
+// its routing state, and the worker's terminal job document once one
+// was observed.
+type StoredJob struct {
+	// ID is the cluster-wide job id ("cjob-000001").
+	ID string `json:"id"`
+	// Tenant is the quota bucket the job was admitted under (the
+	// X-Tenant request header; empty = default tenant).
+	Tenant string `json:"tenant,omitempty"`
+	// Lake is the cluster lake id the job runs against.
+	Lake string `json:"lake"`
+	// Body is the original POST /v1/discoveries body, forwarded to
+	// workers verbatim so defaults resolve identically everywhere.
+	Body json.RawMessage `json:"body"`
+	// Traceparent is the W3C trace context captured at submission and
+	// propagated on every dispatch, so the worker's span tree joins the
+	// submitting request's trace.
+	Traceparent string `json:"traceparent,omitempty"`
+	// State is the cluster-level job state: ClusterQueued,
+	// ClusterDispatched, or a terminal worker state (done, failed,
+	// cancelled).
+	State string `json:"state"`
+	// Worker and WorkerJob record the current assignment: the worker id
+	// holding the job and the job's worker-local id there.
+	Worker    string `json:"worker,omitempty"`
+	WorkerJob string `json:"worker_job,omitempty"`
+	// Attempts counts dispatch attempts; Rerouted counts how many times
+	// the job moved to a new owner after a worker death.
+	Attempts int `json:"attempts,omitempty"`
+	Rerouted int `json:"rerouted,omitempty"`
+	// NotBeforeUnixMS gates the next dispatch attempt (bounded backoff
+	// after a failed or rejected dispatch); 0 = dispatch immediately.
+	NotBeforeUnixMS int64 `json:"not_before_unix_ms,omitempty"`
+	// SubmittedUnixMS is the coordinator-side admission time.
+	SubmittedUnixMS int64 `json:"submitted_unix_ms"`
+	// Result is the worker's terminal job document (the jobDoc schema),
+	// cached so completed jobs outlive their worker.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error is the cluster-level failure reason for jobs that could not
+	// be dispatched or were rejected by every owner.
+	Error string `json:"error,omitempty"`
+}
+
+// storeDoc is the on-disk / on-the-wire layout of the job store.
+type storeDoc struct {
+	Proto    string        `json:"proto"`
+	NextJob  int           `json:"next_job"`
+	NextLake int           `json:"next_lake"`
+	Lakes    []*StoredLake `json:"lakes"`
+	Jobs     []*StoredJob  `json:"jobs"`
+}
+
+// JobStore is the coordinator's replicated job/lake registry. All
+// methods are safe for concurrent use; every mutation bumps an internal
+// version counter (the replication trigger) and, when the store was
+// opened with a path, atomically rewrites the JSON file.
+type JobStore struct {
+	mu       sync.Mutex
+	path     string
+	nextJob  int
+	nextLake int
+	lakes    map[string]*StoredLake
+	lakeIDs  []string
+	jobs     map[string]*StoredJob
+	jobIDs   []string
+	version  int64
+}
+
+// NewJobStore opens the job store at path, loading an existing snapshot
+// if the file is present (the coordinator-restart recovery path). An
+// empty path keeps the store in memory only.
+func NewJobStore(path string) (*JobStore, error) {
+	s := &JobStore{
+		path:  path,
+		lakes: map[string]*StoredLake{},
+		jobs:  map[string]*StoredJob{},
+	}
+	if path == "" {
+		return s, nil
+	}
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: read job store %s: %w", path, err)
+	}
+	if err := s.load(b); err != nil {
+		return nil, fmt.Errorf("serve: job store %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// load replaces the store's contents with the given snapshot bytes.
+func (s *JobStore) load(b []byte) error {
+	var doc storeDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return err
+	}
+	if err := CheckProto(doc.Proto); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextJob, s.nextLake = doc.NextJob, doc.NextLake
+	s.lakes, s.lakeIDs = map[string]*StoredLake{}, nil
+	for _, l := range doc.Lakes {
+		s.lakes[l.ID] = l
+		s.lakeIDs = append(s.lakeIDs, l.ID)
+	}
+	s.jobs, s.jobIDs = map[string]*StoredJob{}, nil
+	for _, j := range doc.Jobs {
+		// A snapshot written mid-dispatch may record a job as dispatched
+		// to a worker that no longer remembers it; recovery re-queues
+		// every non-terminal job and lets the sweep re-dispatch (safe:
+		// rankings are deterministic, so a re-run is bit-identical).
+		if j.State == ClusterDispatched {
+			j.State = ClusterQueued
+			j.Worker, j.WorkerJob = "", ""
+		}
+		s.jobs[j.ID] = j
+		s.jobIDs = append(s.jobIDs, j.ID)
+	}
+	s.version++
+	return nil
+}
+
+// LoadSnapshot installs a replicated snapshot (a storeDoc produced by
+// Snapshot on another node) — the worker-side replica receive path and
+// the recover-from-worker path of a restarted coordinator.
+func (s *JobStore) LoadSnapshot(b []byte) error { return s.load(b) }
+
+// CheckProto validates a message's wire-protocol version against
+// ProtoVersion: the family and major version must match exactly;
+// anything else is a hard error (compatibility within a major version
+// is additive-only, so no negotiation is needed).
+func CheckProto(proto string) error {
+	if proto != ProtoVersion {
+		return fmt.Errorf("serve: wire protocol %q is not %q", proto, ProtoVersion)
+	}
+	return nil
+}
+
+// doc renders the store under the lock.
+func (s *JobStore) doc() storeDoc {
+	doc := storeDoc{Proto: ProtoVersion, NextJob: s.nextJob, NextLake: s.nextLake}
+	for _, id := range s.lakeIDs {
+		doc.Lakes = append(doc.Lakes, s.lakes[id])
+	}
+	for _, id := range s.jobIDs {
+		doc.Jobs = append(doc.Jobs, s.jobs[id])
+	}
+	return doc
+}
+
+// Snapshot serialises the whole store as one JSON document — the
+// replication payload and the GET /cluster/v1/jobs body.
+func (s *JobStore) Snapshot() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, _ := json.MarshalIndent(s.doc(), "", "  ")
+	return b
+}
+
+// Version reports the store's mutation counter; the coordinator
+// replicates whenever it observes a change.
+func (s *JobStore) Version() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// persist atomically rewrites the store file. Callers hold the lock.
+func (s *JobStore) persist() {
+	s.version++
+	if s.path == "" {
+		return
+	}
+	b, err := json.MarshalIndent(s.doc(), "", "  ")
+	if err != nil {
+		return
+	}
+	_ = atomicWriteFile(s.path, append(b, '\n'))
+}
+
+// atomicWriteFile writes b to path via a same-directory temp file and
+// rename, so readers never observe a partial file.
+func atomicWriteFile(path string, b []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// AddLake records a lake registration and returns its id (assigning the
+// next "lake-NNN" when l.ID is empty).
+func (s *JobStore) AddLake(l StoredLake) *StoredLake {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l.ID == "" {
+		s.nextLake++
+		l.ID = fmt.Sprintf("lake-%03d", s.nextLake)
+	}
+	if _, ok := s.lakes[l.ID]; !ok {
+		s.lakeIDs = append(s.lakeIDs, l.ID)
+	}
+	s.lakes[l.ID] = &l
+	s.persist()
+	return &l
+}
+
+// LakeByID returns the stored lake record for id, or nil.
+func (s *JobStore) LakeByID(id string) *StoredLake {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l, ok := s.lakes[id]; ok {
+		cp := *l
+		return &cp
+	}
+	return nil
+}
+
+// Lakes returns the stored lake records in registration order.
+func (s *JobStore) Lakes() []StoredLake {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]StoredLake, 0, len(s.lakeIDs))
+	for _, id := range s.lakeIDs {
+		out = append(out, *s.lakes[id])
+	}
+	return out
+}
+
+// AddJob records a newly admitted job in ClusterQueued state and
+// returns its copy with the assigned "cjob-NNNNNN" id.
+func (s *JobStore) AddJob(tenant, lakeID string, body json.RawMessage, traceparent string, now time.Time) StoredJob {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextJob++
+	j := &StoredJob{
+		ID:              fmt.Sprintf("cjob-%06d", s.nextJob),
+		Tenant:          tenant,
+		Lake:            lakeID,
+		Body:            body,
+		Traceparent:     traceparent,
+		State:           ClusterQueued,
+		SubmittedUnixMS: now.UnixMilli(),
+	}
+	s.jobs[j.ID] = j
+	s.jobIDs = append(s.jobIDs, j.ID)
+	s.persist()
+	return *j
+}
+
+// Job returns a copy of the stored job with the given id; ok reports
+// whether it exists.
+func (s *JobStore) Job(id string) (StoredJob, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		return *j, true
+	}
+	return StoredJob{}, false
+}
+
+// Jobs returns copies of every stored job in admission order.
+func (s *JobStore) Jobs() []StoredJob {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]StoredJob, 0, len(s.jobIDs))
+	for _, id := range s.jobIDs {
+		out = append(out, *s.jobs[id])
+	}
+	return out
+}
+
+// Update applies fn to the stored job with the given id under the lock
+// and persists the result; it reports whether the job exists.
+func (s *JobStore) Update(id string, fn func(*StoredJob)) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return false
+	}
+	fn(j)
+	s.persist()
+	return true
+}
+
+// InFlight counts the tenant's jobs in a non-terminal state (queued or
+// dispatched) — the per-tenant quota denominator.
+func (s *JobStore) InFlight(tenant string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		if j.Tenant == tenant && (j.State == ClusterQueued || j.State == ClusterDispatched) {
+			n++
+		}
+	}
+	return n
+}
+
+// Len reports how many jobs the store holds across all states.
+func (s *JobStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobIDs)
+}

@@ -195,6 +195,26 @@ func (s *Service) updateLakeGauges(id string, l *lake.Lake) {
 	mx.SetGauge(telemetry.GaugeLakeIndexBucketsPrefix+id, float64(ix.Slot+ix.Anchor+ix.Name))
 }
 
+// LakeIDs returns the registered lake ids in registration order — the
+// worker-side agent reports them in every heartbeat.
+func (s *Service) LakeIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.lakeOrder))
+	copy(out, s.lakeOrder)
+	return out
+}
+
+// Stats reports the scheduler's current occupancy: jobs waiting for a
+// slot, jobs holding one, and the slot count. Heartbeats carry it so the
+// coordinator can expose per-worker load.
+func (s *Service) Stats() (queued, running, slots int) {
+	return int(s.queued.Load()), len(s.sem), cap(s.sem)
+}
+
+// Draining reports whether the service has stopped admitting work.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
 // Lake returns the registered lake session for id, or nil.
 func (s *Service) Lake(id string) *lake.Lake {
 	s.mu.Lock()
@@ -230,6 +250,11 @@ func (s *Service) Drain(ctx context.Context) error {
 type lakeCreateRequest struct {
 	// Dir is the CSV directory to open (required).
 	Dir string `json:"dir"`
+	// ID optionally fixes the lake's id instead of letting the service
+	// assign the next "lake-NNN". The cluster coordinator uses it so a
+	// lake keeps one id wherever rendezvous hashing places it; an
+	// existing lake under the same id is replaced (re-opened).
+	ID string `json:"id,omitempty"`
 	// Matcher is the default DRG matcher for this lake: "exact"
 	// (default) or "sketched".
 	Matcher string `json:"matcher,omitempty"`
@@ -270,12 +295,14 @@ func (s *Service) handleLakeCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.mu.Lock()
-	s.nextLake++
-	id := fmt.Sprintf("lake-%03d", s.nextLake)
-	s.lakes[id] = &lakeEntry{id: id, lake: l, created: time.Now()}
-	s.lakeOrder = append(s.lakeOrder, id)
-	s.mu.Unlock()
+	id := req.ID
+	if id == "" {
+		s.mu.Lock()
+		s.nextLake++
+		id = fmt.Sprintf("lake-%03d", s.nextLake)
+		s.mu.Unlock()
+	}
+	s.AddLake(id, l)
 	s.log.Info("lake registered", "id", id, "dir", req.Dir, "tables", len(l.Tables()))
 	writeJSON(w, http.StatusCreated, lakeDoc{ID: id, Dir: l.Dir(), Tables: len(l.Tables())})
 }

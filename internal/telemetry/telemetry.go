@@ -145,6 +145,49 @@ const (
 	CtrLakeMutationErrorsPrefix = "lake.index_mutation_errors."
 )
 
+// Cluster vocabulary: the coordinator/worker deployment mode of the
+// discovery service (internal/serve cluster files). Counters and gauges
+// are owned by the coordinator except cluster.heartbeats_sent, which the
+// worker-side agent increments.
+const (
+	// GaugeClusterWorkersUp records how many workers are currently alive
+	// (heartbeat within the timeout window) in the coordinator's
+	// membership table.
+	GaugeClusterWorkersUp = "cluster.workers_up"
+	// GaugeClusterStoreJobs records how many jobs the replicated job
+	// store currently holds across all states.
+	GaugeClusterStoreJobs = "cluster.store_jobs"
+	// GaugeClusterLakesPrefix records how many lakes are placed on each
+	// worker ("cluster.lakes_per_worker.<worker>").
+	GaugeClusterLakesPrefix = "cluster.lakes_per_worker."
+	// CtrClusterHeartbeats counts heartbeats the coordinator accepted.
+	CtrClusterHeartbeats = "cluster.heartbeats"
+	// CtrClusterHeartbeatsSent counts heartbeats the worker-side agent
+	// delivered to its coordinator.
+	CtrClusterHeartbeatsSent = "cluster.heartbeats_sent"
+	// CtrClusterDispatches counts discovery jobs the coordinator handed
+	// to a worker (first attempts and retries alike).
+	CtrClusterDispatches = "cluster.dispatches"
+	// CtrClusterDispatchRetries counts dispatch attempts beyond a job's
+	// first (worker busy, worker unreachable, or rerouted after a death).
+	CtrClusterDispatchRetries = "cluster.dispatch_retries"
+	// CtrClusterReroutedJobs counts jobs moved to a new owner because the
+	// worker holding them was declared dead.
+	CtrClusterReroutedJobs = "cluster.rerouted_jobs"
+	// CtrClusterProxied counts client requests the coordinator forwarded
+	// to a worker (lake mutations, job status, manifests, cancels).
+	CtrClusterProxied = "cluster.proxied_requests"
+	// CtrClusterProxyErrors counts forwarded requests that failed at the
+	// transport level (worker unreachable), answered with 502.
+	CtrClusterProxyErrors = "cluster.proxy_errors"
+	// CtrClusterQuotaRejected counts submissions rejected with 429
+	// because the tenant exceeded its in-flight job quota.
+	CtrClusterQuotaRejected = "cluster.quota_rejected"
+	// HistClusterDispatchSeconds observes the latency of one dispatch
+	// round-trip to a worker (POST /v1/discoveries on the worker).
+	HistClusterDispatchSeconds = "cluster.dispatch_seconds"
+)
+
 // CtrPrunedPrefix prefixes the per-reason pruning counters
 // ("discovery.pruned.<reason>"); Snapshot.Pruning collects them into one
 // breakdown object.

@@ -99,7 +99,7 @@ func TestVocabularyDocumented(t *testing.T) {
 // forms like `discovery.pruned.<reason>` or `serve.http_seconds.<route>`
 // contain '<' and do not match; the prefix constants they are composed
 // from are covered by TestVocabularyDocumented instead.
-var dottedName = regexp.MustCompile("`((?:discovery|relational|fselect|ml|serve|lake)\\.[a-z0-9_.]+)`")
+var dottedName = regexp.MustCompile("`((?:discovery|relational|fselect|ml|serve|lake|cluster)\\.[a-z0-9_.]+)`")
 
 // TestDocsMatchVocabulary asserts the docs -> code direction: every dotted
 // telemetry name referenced in docs/TELEMETRY.md resolves to a declared
