@@ -25,7 +25,10 @@ race:
 # baseline (indexed must stay >= 5x faster at 256 tables), and
 # BENCH_cluster.json, the coordinator/worker throughput baseline (the
 # 2-worker row must reach >= 1.5x jobs/sec on multi-core hosts; on one
-# core the ratio is core-bound near 1x).
+# core the ratio is core-bound near 1x), and BENCH_federation.json, the
+# federated-scrape overhead baseline (one coordinator /v1/cluster/metrics
+# scrape, idle vs under a running workload; the loaded row must stay
+# under 1s per scrape).
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkMicro' -benchmem .
 	AUTOFEAT_BENCH_OUT=BENCH_parallel.json $(GO) test -run TestWriteParallelBench -v .
@@ -33,6 +36,7 @@ bench:
 	AUTOFEAT_TRACED_BENCH_OUT=BENCH_traced.json $(GO) test -run TestWriteTracedBench -v .
 	AUTOFEAT_INDEX_BENCH_OUT=BENCH_index.json $(GO) test -run TestWriteIndexBench -v .
 	AUTOFEAT_CLUSTER_BENCH_OUT=BENCH_cluster.json $(GO) test -run TestWriteClusterBench -v .
+	AUTOFEAT_FEDERATION_BENCH_OUT=BENCH_federation.json $(GO) test -run TestWriteFederationBench -v .
 
 # bench-diff regenerates candidate baselines and diffs them against the
 # committed BENCH_parallel.json and BENCH_serve.json; the exit code fails
@@ -49,6 +53,8 @@ bench-diff:
 	$(GO) run ./cmd/benchdiff BENCH_index.json BENCH_index_candidate.json
 	AUTOFEAT_CLUSTER_BENCH_OUT=BENCH_cluster_candidate.json $(GO) test -run TestWriteClusterBench .
 	$(GO) run ./cmd/benchdiff BENCH_cluster.json BENCH_cluster_candidate.json
+	AUTOFEAT_FEDERATION_BENCH_OUT=BENCH_federation_candidate.json $(GO) test -run TestWriteFederationBench .
+	$(GO) run ./cmd/benchdiff BENCH_federation.json BENCH_federation_candidate.json
 
 # docs-check is the documentation gate: a godoc audit over the
 # public-facing packages (exported identifiers must carry doc comments

@@ -1,0 +1,250 @@
+package main
+
+// `autofeat cluster` — the operator CLI over the coordinator's
+// federated observability surfaces. `status` renders GET
+// /v1/cluster/status (membership, placement, queue and store load, the
+// merged counter rollup); `trace <id>` renders the cross-node span
+// tree assembled by GET /v1/traces/{id}. Both talk to the coordinator
+// only: the coordinator pulls workers, the operator never has to.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// runCluster implements the `autofeat cluster <status|trace>` subcommand.
+func runCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	coord := fs.String("coordinator", "http://localhost:8080", "coordinator base URL")
+	timeout := fs.Duration("timeout", 10*time.Second, "HTTP request timeout")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: autofeat cluster <verb> [-coordinator URL]")
+		fmt.Fprintln(os.Stderr, "  status       one-call cluster view: workers, lakes, queue, store, merged counters")
+		fmt.Fprintln(os.Stderr, "  trace <id>   assemble one cross-node trace into a span tree")
+		fs.PrintDefaults()
+	}
+	// Accept flags on either side of the verb (and of the trace ID):
+	// flag.Parse stops at the first positional, so re-parse each tail.
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) >= 2 {
+		if err := fs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		rest = append(rest[:1], fs.Args()...)
+	}
+	if len(rest) >= 3 {
+		if err := fs.Parse(rest[2:]); err != nil {
+			return err
+		}
+		rest = append(rest[:2], fs.Args()...)
+	}
+	if len(rest) == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	client := &http.Client{Timeout: *timeout}
+	base := strings.TrimRight(*coord, "/")
+	switch rest[0] {
+	case "status":
+		return clusterStatus(client, base)
+	case "trace":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: autofeat cluster trace <trace-id>")
+		}
+		return clusterTrace(client, base, rest[1])
+	default:
+		fs.Usage()
+		os.Exit(2)
+		return nil
+	}
+}
+
+// clusterGet fetches one coordinator endpoint and decodes its JSON
+// body, surfacing the server's {"error": ...} message on non-200s.
+func clusterGet(client *http.Client, base, path string, out any) error {
+	resp, err := client.Get(base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("GET %s: %s: %s", path, resp.Status, e.Error)
+		}
+		return fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	return json.Unmarshal(body, out)
+}
+
+// cliStatusDoc mirrors the coordinator's /v1/cluster/status body (the
+// subset the text rendering uses).
+type cliStatusDoc struct {
+	Proto     string `json:"proto"`
+	Node      string `json:"node"`
+	WorkersUp int    `json:"workers_up"`
+	Workers   []struct {
+		ID               string   `json:"id"`
+		Addr             string   `json:"addr"`
+		Alive            bool     `json:"alive"`
+		Draining         bool     `json:"draining"`
+		Lakes            []string `json:"lakes"`
+		Queued           int      `json:"queued"`
+		Running          int      `json:"running"`
+		Slots            int      `json:"slots"`
+		SecondsSinceSeen float64  `json:"seconds_since_seen"`
+	} `json:"workers"`
+	Lakes []struct {
+		ID     string `json:"id"`
+		Dir    string `json:"dir"`
+		Worker string `json:"worker"`
+	} `json:"lakes"`
+	Store struct {
+		Jobs      int            `json:"jobs"`
+		ByState   map[string]int `json:"by_state"`
+		Version   int64          `json:"version"`
+		Retention int            `json:"retention"`
+		Evicted   int64          `json:"evicted"`
+	} `json:"store"`
+	Queue struct {
+		Queued        int `json:"queued"`
+		Dispatched    int `json:"dispatched"`
+		WorkerQueued  int `json:"worker_queued"`
+		WorkerRunning int `json:"worker_running"`
+		WorkerSlots   int `json:"worker_slots"`
+	} `json:"queue"`
+	Events   int64            `json:"events_recorded"`
+	Counters map[string]int64 `json:"counters"`
+}
+
+// clusterStatus renders the one-call cluster view as operator text.
+func clusterStatus(client *http.Client, base string) error {
+	var doc cliStatusDoc
+	if err := clusterGet(client, base, "/v1/cluster/status", &doc); err != nil {
+		return err
+	}
+	fmt.Printf("cluster %s via %s (%s)\n", doc.Node, base, doc.Proto)
+	fmt.Printf("workers up: %d/%d   events recorded: %d\n\n", doc.WorkersUp, len(doc.Workers), doc.Events)
+	if len(doc.Workers) > 0 {
+		fmt.Println("workers:")
+		for _, w := range doc.Workers {
+			state := "up"
+			switch {
+			case !w.Alive:
+				state = "DOWN"
+			case w.Draining:
+				state = "draining"
+			}
+			fmt.Printf("  %-12s %-8s %s  queued %d running %d slots %d  lakes [%s]  seen %.1fs ago\n",
+				w.ID, state, w.Addr, w.Queued, w.Running, w.Slots, strings.Join(w.Lakes, " "), w.SecondsSinceSeen)
+		}
+		fmt.Println()
+	}
+	if len(doc.Lakes) > 0 {
+		fmt.Println("lakes:")
+		for _, l := range doc.Lakes {
+			owner := l.Worker
+			if owner == "" {
+				owner = "(unplaced)"
+			}
+			fmt.Printf("  %-12s -> %-12s %s\n", l.ID, owner, l.Dir)
+		}
+		fmt.Println()
+	}
+	states := make([]string, 0, len(doc.Store.ByState))
+	for s, n := range doc.Store.ByState {
+		states = append(states, fmt.Sprintf("%s %d", s, n))
+	}
+	sort.Strings(states)
+	fmt.Printf("store: %d jobs (%s), version %d", doc.Store.Jobs, strings.Join(states, ", "), doc.Store.Version)
+	if doc.Store.Retention > 0 {
+		fmt.Printf(", retention %d, evicted %d", doc.Store.Retention, doc.Store.Evicted)
+	}
+	fmt.Println()
+	fmt.Printf("queue: %d queued, %d dispatched; workers hold %d queued, %d running of %d slots\n",
+		doc.Queue.Queued, doc.Queue.Dispatched, doc.Queue.WorkerQueued, doc.Queue.WorkerRunning, doc.Queue.WorkerSlots)
+	names := make([]string, 0, len(doc.Counters))
+	for name := range doc.Counters {
+		if strings.HasPrefix(name, "cluster.") {
+			names = append(names, name)
+		}
+	}
+	if len(names) > 0 {
+		sort.Strings(names)
+		fmt.Println("\ncluster counters (all nodes merged):")
+		for _, name := range names {
+			fmt.Printf("  %-36s %d\n", name, doc.Counters[name])
+		}
+	}
+	return nil
+}
+
+// cliSpanNode mirrors telemetry.SpanNode for rendering.
+type cliSpanNode struct {
+	Name    string `json:"name"`
+	SpanID  string `json:"span_id"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+	Attrs   []struct {
+		Key   string `json:"k"`
+		Value any    `json:"v"`
+	} `json:"attrs"`
+	Children []*cliSpanNode `json:"children"`
+}
+
+// clusterTrace renders one federated trace as an indented span tree.
+func clusterTrace(client *http.Client, base, id string) error {
+	var doc struct {
+		TraceID string         `json:"trace_id"`
+		Spans   int            `json:"spans"`
+		Nodes   []string       `json:"nodes"`
+		Roots   []*cliSpanNode `json:"roots"`
+	}
+	if err := clusterGet(client, base, "/v1/traces/"+id, &doc); err != nil {
+		return err
+	}
+	fmt.Printf("trace %s: %d spans across %s\n", doc.TraceID, doc.Spans, strings.Join(doc.Nodes, ", "))
+	for _, root := range doc.Roots {
+		printSpanNode(root, 0)
+	}
+	return nil
+}
+
+// printSpanNode renders one span and its subtree, two spaces per level.
+func printSpanNode(n *cliSpanNode, depth int) {
+	if n == nil {
+		return
+	}
+	dur := "open"
+	if n.DurUS >= 0 {
+		dur = (time.Duration(n.DurUS) * time.Microsecond).String()
+	}
+	var attrs []string
+	for _, a := range n.Attrs {
+		attrs = append(attrs, fmt.Sprintf("%s=%v", a.Key, a.Value))
+	}
+	line := fmt.Sprintf("%s%s  %s", strings.Repeat("  ", depth+1), n.Name, dur)
+	if len(attrs) > 0 {
+		line += "  {" + strings.Join(attrs, " ") + "}"
+	}
+	fmt.Println(line)
+	for _, c := range n.Children {
+		printSpanNode(c, depth+1)
+	}
+}

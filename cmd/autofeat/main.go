@@ -13,6 +13,8 @@
 //	autofeat -dir lake/credit -base credit -label target -serve localhost:6060 -manifest-out run_manifest.json
 //	autofeat explain path-001 -manifest run_manifest.json
 //	autofeat serve -addr localhost:8080 -jobs 4        # long-lived discovery service
+//	autofeat cluster status -coordinator http://localhost:8080
+//	autofeat cluster trace 4bf92f3577b34da6a3ce929d0e0e4736 -coordinator http://localhost:8080
 package main
 
 import (
@@ -44,6 +46,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		if err := runServe(os.Args[2:]); err != nil {
 			fmt.Fprintf(os.Stderr, "autofeat serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "cluster" {
+		if err := runCluster(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "autofeat cluster: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -169,6 +178,7 @@ func runServe(args []string) error {
 		heartbeat    = fs.Duration("heartbeat", 2*time.Second, "worker: heartbeat interval")
 		hbTimeout    = fs.Duration("heartbeat-timeout", 10*time.Second, "coordinator: silence after which a worker is dead and its jobs reroute")
 		tenantQuota  = fs.Int("tenant-quota", 0, "coordinator: max in-flight jobs per tenant (X-Tenant header; 0 = unlimited)")
+		storeRetain  = fs.Int("store-retain", 0, "coordinator: max terminal job documents retained in the store before FIFO eviction (0 = unlimited)")
 		preloadLakes multiFlag
 	)
 	fs.Var(&preloadLakes, "lake", "pre-register a lake as id=dir (repeatable)")
@@ -205,9 +215,16 @@ func runServe(args []string) error {
 		Collector:   cfg.Collector,
 		EnablePprof: *enablePprof,
 	}
+	// The coordinator mounts its own federated /v1/traces routes, so its
+	// trace store hangs off the cluster config instead of the obsrv server
+	// (mounting both would double-register the patterns).
+	var traces *autofeat.TraceStore
 	if *traceStore >= 0 {
-		icfg.Traces = autofeat.NewTraceStore(*traceStore, 0)
-		cfg.Collector.ObserveSpans(icfg.Traces)
+		traces = autofeat.NewTraceStore(*traceStore, 0)
+		cfg.Collector.ObserveSpans(traces)
+		if *role != "coordinator" {
+			icfg.Traces = traces
+		}
 	}
 	if *flightSize >= 0 {
 		icfg.Flight = autofeat.NewFlightRecorder(*flightSize)
@@ -225,8 +242,10 @@ func runServe(args []string) error {
 		coord := serve.NewCoordinator(serve.ClusterConfig{
 			HeartbeatTimeout: *hbTimeout,
 			TenantQuota:      *tenantQuota,
+			StoreRetention:   *storeRetain,
 			Collector:        cfg.Collector,
 			Logger:           cfg.Logger,
+			Traces:           traces,
 		}, store)
 		coord.Mount(srv)
 		// Pre-register lakes in the store only; workers open them lazily
@@ -245,7 +264,7 @@ func runServe(args []string) error {
 		go coord.Run(ctx)
 		errCh := make(chan error, 1)
 		go func() { errCh <- srv.ListenAndServe() }()
-		fmt.Printf("cluster coordinator listening on http://%s/ (v1/lakes, v1/discoveries, cluster/v1/workers, metrics, healthz)\n", *addr)
+		fmt.Printf("cluster coordinator listening on http://%s/ (v1/lakes, v1/discoveries, v1/traces, v1/cluster/{status,metrics,events}, cluster/v1/workers, metrics, healthz)\n", *addr)
 		select {
 		case err := <-errCh:
 			if err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -280,6 +299,7 @@ func runServe(args []string) error {
 			ReplicaPath:       *storePath,
 			Collector:         cfg.Collector,
 			Logger:            cfg.Logger,
+			Traces:            icfg.Traces,
 		}, svc)
 		agent.Mount(srv)
 		go agent.Run(ctx)

@@ -1,0 +1,241 @@
+package autofeat
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"autofeat/internal/datagen"
+	"autofeat/internal/obsrv"
+	"autofeat/internal/serve"
+	"autofeat/internal/telemetry"
+)
+
+// TestWriteFederationBench regenerates BENCH_federation.json, the
+// committed federated-scrape overhead baseline: wall-clock ns per
+// coordinator GET /v1/cluster/metrics scrape over a 2-worker cluster,
+// measured idle and again while a discovery workload runs. The scrape
+// path renders pre-pulled snapshots without touching the workers, so
+// the loaded row must stay cheap — the in-test guard is loose (1s per
+// scrape); `make bench-diff` is the real >5% regression gate. Gated
+// behind AUTOFEAT_FEDERATION_BENCH_OUT so plain `go test` stays fast:
+//
+//	AUTOFEAT_FEDERATION_BENCH_OUT=BENCH_federation.json go test -run TestWriteFederationBench .
+//
+// (or `make bench`).
+func TestWriteFederationBench(t *testing.T) {
+	out := os.Getenv("AUTOFEAT_FEDERATION_BENCH_OUT")
+	if out == "" {
+		t.Skip("set AUTOFEAT_FEDERATION_BENCH_OUT=<path> to write the federation scrape baseline")
+	}
+	spec := datagen.SmallSpecs()[0]
+	ds, err := datagen.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, tb := range ds.Tables {
+		if err := tb.WriteCSVFile(filepath.Join(dir, tb.Name()+".csv")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const workers = 2
+	const scrapes = 300
+	lakes := []string{"lake-001", "lake-002"}
+
+	store, err := serve.NewJobStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := serve.NewCoordinator(serve.ClusterConfig{
+		HeartbeatTimeout: time.Minute,
+		Collector:        telemetry.New(),
+	}, store)
+	csrv := obsrv.NewServer(obsrv.Config{Collector: telemetry.New()})
+	coord.Mount(csrv)
+	coordTS := httptest.NewServer(csrv.Handler())
+	defer coordTS.Close()
+
+	for i := 0; i < workers; i++ {
+		col := telemetry.New()
+		wsrv := obsrv.NewServer(obsrv.Config{Collector: col})
+		svc := serve.New(serve.Config{Workers: 1, QueueDepth: 64, Collector: col})
+		svc.Mount(wsrv)
+		ts := httptest.NewServer(wsrv.Handler())
+		defer ts.Close()
+		agent := serve.NewAgent(serve.AgentConfig{
+			ID:          fmt.Sprintf("bench-worker-%d", i),
+			Addr:        ts.URL,
+			Coordinator: coordTS.URL,
+			Collector:   col,
+		}, svc)
+		agent.Mount(wsrv)
+		if err := agent.Heartbeat(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range lakes {
+		body, _ := json.Marshal(map[string]any{"id": id, "dir": dir})
+		resp, err := http.Post(coordTS.URL+"/v1/lakes", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("register %s: status %d", id, resp.StatusCode)
+		}
+	}
+
+	submit := func(lakeID string) {
+		body, _ := json.Marshal(map[string]any{
+			"lake": lakeID, "base": ds.Base.Name(), "label": ds.Label,
+		})
+		resp, err := http.Post(coordTS.URL+"/v1/discoveries", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit on %s: status %d", lakeID, resp.StatusCode)
+		}
+	}
+	drain := func() {
+		deadline := time.Now().Add(120 * time.Second)
+		for time.Now().Before(deadline) {
+			coord.Sweep()
+			done := true
+			for _, j := range coord.Store().Jobs() {
+				switch j.State {
+				case serve.StateDone:
+				case serve.StateFailed, serve.StateCancelled:
+					t.Fatalf("cluster job %s finished %q: %s", j.ID, j.State, j.Error)
+				default:
+					done = false
+				}
+			}
+			if done {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatal("bench workload did not drain in time")
+	}
+	scrapeNs := func(n int) float64 {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			resp, err := http.Get(coordTS.URL + "/v1/cluster/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("scrape: status %d", resp.StatusCode)
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(n)
+	}
+
+	// Warmup: one job per lake pays each worker's DRG build and, via the
+	// sweep, pulls every worker's snapshot into the coordinator.
+	for _, id := range lakes {
+		submit(id)
+	}
+	drain()
+
+	// Sanity: one scrape must cover every node before timing starts.
+	resp, err := http.Get(coordTS.URL + "/v1/cluster/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for i := 0; i < workers; i++ {
+		if want := fmt.Sprintf("node=\"bench-worker-%d\"", i); !strings.Contains(string(body), want) {
+			t.Fatalf("federated scrape missing %s before timing", want)
+		}
+	}
+
+	nsIdle := scrapeNs(scrapes)
+
+	// Loaded: a background goroutine keeps both workers busy (submitting
+	// and draining batches) while the scrape loop runs.
+	stop := make(chan struct{})
+	loadDone := make(chan struct{})
+	go func() {
+		defer close(loadDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, id := range lakes {
+				submit(id)
+			}
+			drain()
+		}
+	}()
+	nsLoad := scrapeNs(scrapes)
+	close(stop)
+	<-loadDone
+	drain()
+
+	overhead := nsLoad / nsIdle
+	t.Logf("idle:   %.0f ns/scrape (%.0f scrapes/sec)", nsIdle, 1e9/nsIdle)
+	t.Logf("loaded: %.0f ns/scrape (%.0f scrapes/sec, %.2fx idle)", nsLoad, 1e9/nsLoad, overhead)
+	if nsLoad > 1e9 {
+		t.Errorf("loaded scrape takes %.0f ns, want under 1s — federation must stay off the job path", nsLoad)
+	}
+
+	type entry struct {
+		Mode       string  `json:"mode"`
+		Workers    int     `json:"workers"`
+		Iterations int     `json:"iterations"`
+		NsPerOp    int64   `json:"ns_per_op"`
+		SpeedupVs1 float64 `json:"speedup_vs_1"`
+		JobsPerSec float64 `json:"jobs_per_sec"`
+	}
+	doc := struct {
+		Benchmark  string  `json:"benchmark"`
+		Dataset    string  `json:"dataset"`
+		Rows       int     `json:"rows"`
+		Tables     int     `json:"joinable_tables"`
+		Lakes      int     `json:"lakes"`
+		Scrapes    int     `json:"scrapes"`
+		GOMAXPROCS int     `json:"gomaxprocs"`
+		NumCPU     int     `json:"num_cpu"`
+		Results    []entry `json:"results"`
+	}{
+		Benchmark:  "BenchmarkFederationScrape",
+		Dataset:    spec.Name,
+		Rows:       spec.Rows,
+		Tables:     spec.JoinableTables,
+		Lakes:      len(lakes),
+		Scrapes:    scrapes,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Results: []entry{
+			{Mode: "scrape_idle", Workers: workers, Iterations: scrapes, NsPerOp: int64(nsIdle), SpeedupVs1: 1, JobsPerSec: 1e9 / nsIdle},
+			{Mode: "scrape_load", Workers: workers, Iterations: scrapes, NsPerOp: int64(nsLoad), SpeedupVs1: 1 / overhead, JobsPerSec: 1e9 / nsLoad},
+		},
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("baseline written to %s", out)
+}

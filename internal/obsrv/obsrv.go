@@ -216,7 +216,7 @@ func (s *Server) handleRuns(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	p := s.Run(r.PathValue("id"))
 	if p == nil {
-		http.NotFound(w, r)
+		writeError(w, http.StatusNotFound, "unknown run "+r.PathValue("id"))
 		return
 	}
 	writeJSON(w, p.Snapshot())
@@ -227,4 +227,12 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
+}
+
+// writeError answers with the machine-readable {"error": ...} body the
+// rest of the service uses, instead of http.NotFound's plain text.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }

@@ -105,3 +105,101 @@ func sortedNames[V any](m map[string]V) []string {
 	sort.Strings(out)
 	return out
 }
+
+// NodeSnapshot pairs one cluster node's ID with its telemetry snapshot
+// for federated rendering: the coordinator collects one per worker
+// (plus its own) and WritePrometheusNodes renders them as one
+// exposition.
+type NodeSnapshot struct {
+	Node string
+	Snap *telemetry.Snapshot
+}
+
+// WritePrometheusNodes renders several nodes' snapshots as one
+// Prometheus text exposition, every series labelled with its node of
+// origin ({node="worker-a"}). Each metric family appears once (a
+// single "# TYPE" header across all nodes), then one series per node
+// holding it, in node order as given; histogram buckets carry both
+// node and le labels. Families are emitted in sorted name order and
+// nil snapshots are skipped, so the output is stable.
+func WritePrometheusNodes(w io.Writer, nodes []NodeSnapshot) error {
+	live := make([]NodeSnapshot, 0, len(nodes))
+	for _, n := range nodes {
+		if n.Snap != nil {
+			live = append(live, n)
+		}
+	}
+	counters := map[string]bool{}
+	gauges := map[string]bool{}
+	hists := map[string]bool{}
+	for _, n := range live {
+		for name := range n.Snap.Counters {
+			counters[name] = true
+		}
+		for name := range n.Snap.Gauges {
+			gauges[name] = true
+		}
+		for name := range n.Snap.Histograms {
+			hists[name] = true
+		}
+	}
+	for _, name := range sortedNames(counters) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", pn); err != nil {
+			return err
+		}
+		for _, n := range live {
+			v, ok := n.Snap.Counters[name]
+			if !ok {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s{node=%q} %d\n", pn, n.Node, v); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range sortedNames(gauges) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", pn); err != nil {
+			return err
+		}
+		for _, n := range live {
+			v, ok := n.Snap.Gauges[name]
+			if !ok {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s{node=%q} %s\n", pn, n.Node, promFloat(v)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range sortedNames(hists) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		for _, n := range live {
+			h, ok := n.Snap.Histograms[name]
+			if !ok {
+				continue
+			}
+			var cum int64
+			for i, bound := range h.Bounds {
+				if i < len(h.Counts) {
+					cum += h.Counts[i]
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{node=%q,le=%q} %d\n", pn, n.Node, promFloat(bound), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{node=%q,le=\"+Inf\"} %d\n", pn, n.Node, h.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum{node=%q} %s\n%s_count{node=%q} %d\n",
+				pn, n.Node, promFloat(h.Sum), pn, n.Node, h.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package obsrv
+
+import (
+	"strings"
+	"testing"
+
+	"autofeat/internal/telemetry"
+)
+
+// TestWritePrometheusNodes pins the federated exposition format: one
+// "# TYPE" header per family across all nodes, one node-labelled series
+// per holder, cumulative histogram buckets carrying node and le labels,
+// and nil snapshots skipped.
+func TestWritePrometheusNodes(t *testing.T) {
+	coord := &telemetry.Snapshot{
+		Counters: map[string]int64{"cluster.dispatches": 4},
+		Gauges:   map[string]float64{"cluster.workers_alive": 2},
+	}
+	worker := &telemetry.Snapshot{
+		Counters: map[string]int64{"cluster.dispatches": 0, "serve.jobs": 9},
+		Histograms: map[string]telemetry.HistogramSnapshot{
+			"serve.http_seconds.discoveries": {
+				Count: 3, Sum: 0.75,
+				Bounds: []float64{0.1, 1},
+				Counts: []int64{2, 1},
+			},
+		},
+	}
+	var sb strings.Builder
+	err := WritePrometheusNodes(&sb, []NodeSnapshot{
+		{Node: "coordinator", Snap: coord},
+		{Node: "worker-a", Snap: worker},
+		{Node: "worker-dead", Snap: nil},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE autofeat_cluster_dispatches counter\n",
+		`autofeat_cluster_dispatches{node="coordinator"} 4`,
+		`autofeat_cluster_dispatches{node="worker-a"} 0`,
+		`autofeat_cluster_workers_alive{node="coordinator"} 2`,
+		`autofeat_serve_jobs{node="worker-a"} 9`,
+		`autofeat_serve_http_seconds_discoveries_bucket{node="worker-a",le="0.1"} 2`,
+		`autofeat_serve_http_seconds_discoveries_bucket{node="worker-a",le="1"} 3`,
+		`autofeat_serve_http_seconds_discoveries_bucket{node="worker-a",le="+Inf"} 3`,
+		`autofeat_serve_http_seconds_discoveries_sum{node="worker-a"} 0.75`,
+		`autofeat_serve_http_seconds_discoveries_count{node="worker-a"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE autofeat_cluster_dispatches counter"); n != 1 {
+		t.Errorf("family header emitted %d times, want once", n)
+	}
+	if strings.Contains(out, "worker-dead") {
+		t.Error("nil snapshot's node leaked into the exposition")
+	}
+	// A node without a family contributes no series for it.
+	if strings.Contains(out, `autofeat_serve_jobs{node="coordinator"}`) {
+		t.Error("coordinator got a series for a family it does not hold")
+	}
+}

@@ -48,7 +48,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	spans := s.cfg.Traces.Spans(id)
 	if spans == nil {
-		http.NotFound(w, r)
+		writeError(w, http.StatusNotFound, "unknown trace "+id)
 		return
 	}
 	writeJSON(w, traceDoc{TraceID: id, Spans: len(spans), Roots: telemetry.BuildSpanTree(spans)})

@@ -41,6 +41,11 @@ type AgentConfig struct {
 	// records. Both may be nil.
 	Collector *telemetry.Collector
 	Logger    *slog.Logger
+	// Traces, when non-nil, serves this worker's retained spans at GET
+	// /cluster/v1/traces/{id} so the coordinator can assemble
+	// cross-node traces. Attach the same store the worker's obsrv
+	// server renders.
+	Traces *telemetry.TraceStore
 	// Client performs the heartbeat HTTP; nil defaults to a 10s client.
 	Client *http.Client
 }
@@ -73,6 +78,8 @@ func (a *Agent) Mount(srv *obsrv.Server) {
 	srv.Handle("GET /cluster/v1/info", http.HandlerFunc(a.handleInfo))
 	srv.Handle("POST /cluster/v1/jobstore", http.HandlerFunc(a.handleReplicaPut))
 	srv.Handle("GET /cluster/v1/jobstore", http.HandlerFunc(a.handleReplicaGet))
+	srv.Handle("GET /cluster/v1/telemetry", http.HandlerFunc(a.handleTelemetry))
+	srv.Handle("GET /cluster/v1/traces/{id}", http.HandlerFunc(a.handleTraceSpans))
 }
 
 // status assembles the worker's current heartbeat document.
@@ -174,16 +181,58 @@ func (a *Agent) handleReplicaPut(w http.ResponseWriter, r *http.Request) {
 
 // handleReplicaGet serves the last replicated snapshot, or 404 if none
 // arrived yet.
-func (a *Agent) handleReplicaGet(w http.ResponseWriter, r *http.Request) {
+func (a *Agent) handleReplicaGet(w http.ResponseWriter, _ *http.Request) {
 	a.mu.Lock()
 	snap := a.replica
 	a.mu.Unlock()
 	if snap == nil {
-		http.NotFound(w, r)
+		writeError(w, http.StatusNotFound, "no job-store replica received yet")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(snap)
+}
+
+// telemetryMsg is the GET /cluster/v1/telemetry response body: one
+// worker's metric registry, stamped with the wire-protocol version and
+// the worker's identity so the coordinator can label the merged series.
+type telemetryMsg struct {
+	Proto    string              `json:"proto"`
+	Node     string              `json:"node"`
+	Snapshot *telemetry.Snapshot `json:"snapshot"`
+}
+
+// handleTelemetry serves the worker's current telemetry snapshot for
+// coordinator-side metrics federation. Spans are stripped: traces
+// travel per trace ID over /cluster/v1/traces/{id}, not in bulk on
+// every sweep.
+func (a *Agent) handleTelemetry(w http.ResponseWriter, _ *http.Request) {
+	snap := a.cfg.Collector.Snapshot()
+	snap.Spans = nil
+	writeJSON(w, http.StatusOK, telemetryMsg{Proto: ProtoVersion, Node: a.cfg.ID, Snapshot: snap})
+}
+
+// traceSpansMsg is the GET /cluster/v1/traces/{id} response body: the
+// worker's retained spans for one trace, flat (the coordinator builds
+// the merged tree).
+type traceSpansMsg struct {
+	Proto   string                 `json:"proto"`
+	Node    string                 `json:"node"`
+	TraceID string                 `json:"trace_id"`
+	Spans   []telemetry.SpanRecord `json:"spans"`
+}
+
+// handleTraceSpans serves this worker's spans for one trace ID — the
+// fan-out target of the coordinator's cross-node trace assembly. 404
+// when the worker holds no spans for the trace (or has no trace store).
+func (a *Agent) handleTraceSpans(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	spans := a.cfg.Traces.Spans(id)
+	if spans == nil {
+		writeError(w, http.StatusNotFound, "unknown trace "+id)
+		return
+	}
+	writeJSON(w, http.StatusOK, traceSpansMsg{Proto: ProtoVersion, Node: a.cfg.ID, TraceID: id, Spans: spans})
 }
 
 // Replica returns the latest stored snapshot (nil if none), for tests

@@ -31,7 +31,6 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
-	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -130,10 +129,28 @@ type ClusterConfig struct {
 	// memory (queued jobs then survive worker deaths but not a
 	// coordinator restart).
 	StorePath string
+	// StoreRetention caps how many terminal job documents the job store
+	// retains (oldest evicted FIFO, surfaced as
+	// cluster.store_jobs_evicted). 0 = unbounded.
+	StoreRetention int
 	// Collector receives the cluster.* metrics; Logger the lifecycle
 	// records. Both may be nil.
 	Collector *telemetry.Collector
 	Logger    *slog.Logger
+	// Traces, when non-nil, is the coordinator's own span store: it
+	// holds the relay and dispatch spans that GET /v1/traces/{id}
+	// merges with worker-held spans into one cross-node tree. Attach it
+	// to the Collector with ObserveSpans; leave the obsrv server's
+	// Traces nil so the coordinator's federated routes own the
+	// /v1/traces patterns.
+	Traces *telemetry.TraceStore
+	// Events is the cluster event journal served at
+	// GET /v1/cluster/events; nil gets a DefaultEventLogSize ring
+	// mirroring to Logger.
+	Events *telemetry.EventLog
+	// NodeID labels the coordinator's own series in the federated
+	// metrics exposition. "" defaults to "coordinator".
+	NodeID string
 	// Client performs all coordinator -> worker HTTP; nil defaults to a
 	// 30s-timeout client.
 	Client *http.Client
@@ -151,13 +168,18 @@ type Coordinator struct {
 	client *http.Client
 	store  *JobStore
 	clock  func() time.Time
+	events *telemetry.EventLog
 
 	mu      sync.Mutex
 	workers map[string]*workerState
 	order   []string
 
-	draining   atomic.Bool
-	replicated atomic.Int64 // last store version pushed to workers
+	snapMu      sync.Mutex
+	workerSnaps map[string]*telemetry.Snapshot // last federated pull, by worker ID
+
+	draining    atomic.Bool
+	replicated  atomic.Int64 // last store version pushed to workers
+	lastEvicted atomic.Int64 // store evictions already counted
 }
 
 // NewCoordinator builds a Coordinator around the given job store.
@@ -177,15 +199,30 @@ func NewCoordinator(cfg ClusterConfig, store *JobStore) *Coordinator {
 	if cfg.clock == nil {
 		cfg.clock = time.Now
 	}
+	if cfg.NodeID == "" {
+		cfg.NodeID = "coordinator"
+	}
+	if cfg.Events == nil {
+		cfg.Events = telemetry.NewEventLog(0, cfg.Logger)
+	}
+	cfg.Events.SetClock(cfg.clock)
+	if cfg.StoreRetention > 0 {
+		store.SetRetention(cfg.StoreRetention)
+	}
 	return &Coordinator{
-		cfg:     cfg,
-		log:     telemetry.OrNop(cfg.Logger),
-		client:  cfg.Client,
-		store:   store,
-		clock:   cfg.clock,
-		workers: map[string]*workerState{},
+		cfg:         cfg,
+		log:         telemetry.OrNop(cfg.Logger),
+		client:      cfg.Client,
+		store:       store,
+		clock:       cfg.clock,
+		events:      cfg.Events,
+		workers:     map[string]*workerState{},
+		workerSnaps: map[string]*telemetry.Snapshot{},
 	}
 }
+
+// Events returns the coordinator's cluster event journal.
+func (c *Coordinator) Events() *telemetry.EventLog { return c.events }
 
 // Store returns the coordinator's job store.
 func (c *Coordinator) Store() *JobStore { return c.store }
@@ -206,6 +243,11 @@ func (c *Coordinator) Mount(srv *obsrv.Server) {
 	srv.Handle("POST /cluster/v1/heartbeat", http.HandlerFunc(c.handleHeartbeat))
 	srv.Handle("GET /cluster/v1/workers", http.HandlerFunc(c.handleWorkers))
 	srv.Handle("GET /cluster/v1/jobs", http.HandlerFunc(c.handleStoreDump))
+	srv.Handle("GET /v1/cluster/metrics", http.HandlerFunc(c.handleClusterMetrics))
+	srv.Handle("GET /v1/cluster/events", http.HandlerFunc(c.handleClusterEvents))
+	srv.Handle("GET /v1/cluster/status", http.HandlerFunc(c.handleClusterStatus))
+	srv.Handle("GET /v1/traces", http.HandlerFunc(c.handleTraceList))
+	srv.Handle("GET /v1/traces/{id}", http.HandlerFunc(c.handleFederatedTrace))
 }
 
 // Run drives the coordinator's background loop — membership sweeps,
@@ -271,18 +313,25 @@ func (c *Coordinator) observeHeartbeat(hb heartbeatMsg) {
 	now := c.clock()
 	c.mu.Lock()
 	w, ok := c.workers[hb.ID]
+	joined, rejoined := false, false
 	if !ok {
 		w = &workerState{}
 		c.workers[hb.ID] = w
 		c.order = append(c.order, hb.ID)
-		c.log.Info("cluster worker joined", "worker", hb.ID, "addr", hb.Addr)
+		joined = true
 	} else if !w.alive {
-		c.log.Info("cluster worker rejoined", "worker", hb.ID, "addr", hb.Addr)
+		rejoined = true
 	}
 	w.heartbeatMsg = hb
 	w.lastSeen = now
 	w.alive = true
 	c.mu.Unlock()
+	if joined {
+		c.events.Record(telemetry.Event{Type: telemetry.EventWorkerJoined, Node: hb.ID, Detail: hb.Addr})
+	}
+	if rejoined {
+		c.events.Record(telemetry.Event{Type: telemetry.EventWorkerRejoined, Node: hb.ID, Detail: hb.Addr})
+	}
 	c.cfg.Collector.Meter().Inc(telemetry.CtrClusterHeartbeats)
 	c.updateGauges()
 }
@@ -340,12 +389,32 @@ func (c *Coordinator) ownerFor(lakeID string) (workerState, bool) {
 }
 
 // updateGauges refreshes the cluster-level metrics: live workers, store
-// size, and per-worker lake placement counts.
+// size, per-worker lake placement counts, and the store's eviction
+// counter.
 func (c *Coordinator) updateGauges() {
 	mx := c.cfg.Collector.Meter()
 	_, alive := c.aliveWorkers()
 	mx.SetGauge(telemetry.GaugeClusterWorkersUp, float64(alive))
 	mx.SetGauge(telemetry.GaugeClusterStoreJobs, float64(c.store.Len()))
+	// Fold the store's cumulative eviction count into the counter (and
+	// the journal) exactly once per eviction, even with concurrent
+	// callers: only the CAS winner adds the delta.
+	if evicted := c.store.Evicted(); evicted > 0 {
+		for {
+			last := c.lastEvicted.Load()
+			if evicted <= last {
+				break
+			}
+			if c.lastEvicted.CompareAndSwap(last, evicted) {
+				mx.Add(telemetry.CtrClusterStoreJobsEvicted, evicted-last)
+				c.events.Record(telemetry.Event{
+					Type:   telemetry.EventJobsEvicted,
+					Detail: fmt.Sprintf("%d terminal job docs evicted (retention cap %d)", evicted-last, c.cfg.StoreRetention),
+				})
+				break
+			}
+		}
+	}
 	counts := map[string]int{}
 	for _, l := range c.store.Lakes() {
 		if owner, ok := c.ownerFor(l.ID); ok {
@@ -593,6 +662,10 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	tenant := tenantOf(r)
 	if q := c.cfg.TenantQuota; q > 0 && c.store.InFlight(tenant) >= q {
 		c.cfg.Collector.Meter().Inc(telemetry.CtrClusterQuotaRejected)
+		c.events.Record(telemetry.Event{
+			Type:   telemetry.EventQuotaRejected,
+			Detail: fmt.Sprintf("tenant %q at quota %d", tenant, q),
+		})
 		retry := int(c.cfg.RetryBackoff/time.Second) + 1
 		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		writeJSON(w, http.StatusTooManyRequests, map[string]any{
@@ -656,9 +729,32 @@ func (c *Coordinator) dispatch(ctx context.Context, jobID string) {
 		mx.Inc(telemetry.CtrClusterDispatchRetries)
 	}
 	mx.Inc(telemetry.CtrClusterDispatches)
+	// A traced job gets an explicit cluster.dispatch span between the
+	// coordinator's relay span and the worker's serve.http span, so the
+	// assembled cross-node tree reads relay -> dispatch -> worker.
+	// forward picks the span's context up from dctx; untraced jobs
+	// forward without one.
+	dctx := ctx
+	var dsp telemetry.Span
+	traced := false
+	if sc, ok := telemetry.ParseTraceparent(job.Traceparent); ok {
+		dctx = telemetry.ContextWithRemote(ctx, sc)
+		dctx, dsp = telemetry.StartSpan(dctx, c.cfg.Collector, telemetry.SpanClusterDispatch)
+		dsp.SetStr("job", jobID)
+		dsp.SetStr("worker", owner.ID)
+		traced = true
+	}
 	start := c.clock()
-	resp, err := c.forward(ctx, owner, http.MethodPost, "/v1/discoveries", job.Traceparent, job.Body)
+	resp, err := c.forward(dctx, owner, http.MethodPost, "/v1/discoveries", "", job.Body)
 	mx.Observe(telemetry.HistClusterDispatchSeconds, c.clock().Sub(start).Seconds())
+	if traced {
+		if err != nil {
+			dsp.SetStr("error", err.Error())
+		} else {
+			dsp.SetInt("status", resp.StatusCode)
+		}
+		dsp.End()
+	}
 	if err != nil {
 		mx.Inc(telemetry.CtrClusterProxyErrors)
 		c.retryLater(jobID, owner.ID, err.Error())
@@ -702,14 +798,16 @@ func (c *Coordinator) retryLater(jobID, worker, reason string) {
 		j.Attempts++
 		j.NotBeforeUnixMS = now.Add(c.backoffFor(j.Attempts)).UnixMilli()
 	})
+	c.events.Record(telemetry.Event{Type: telemetry.EventDispatchRetry, Node: worker, Job: jobID, Detail: reason})
 	c.log.Info("cluster dispatch deferred", "id", jobID, "worker", worker, "reason", reason)
 }
 
 // Sweep runs one pass of the coordinator's background maintenance:
 // expire silent workers (rerouting their unfinished jobs), dispatch
 // queued jobs whose backoff gate has passed, replicate the store when
-// it changed, refresh gauges. It is called periodically by Run and
-// directly by tests.
+// it changed, pull worker telemetry for the federated metrics view,
+// refresh gauges. It is called periodically by Run and directly by
+// tests.
 func (c *Coordinator) Sweep() {
 	now := c.clock()
 	mx := c.cfg.Collector.Meter()
@@ -732,6 +830,10 @@ func (c *Coordinator) Sweep() {
 	// (Result recorded in the store) are never re-run.
 	for _, id := range died {
 		c.log.Warn("cluster worker dead", "worker", id, "timeout", c.cfg.HeartbeatTimeout)
+		c.events.Record(telemetry.Event{
+			Type: telemetry.EventWorkerDead, Node: id,
+			Detail: fmt.Sprintf("no heartbeat for %s", c.cfg.HeartbeatTimeout),
+		})
 		for _, j := range c.store.Jobs() {
 			if j.Worker == id && (j.State == ClusterDispatched || j.State == ClusterQueued) {
 				mx.Inc(telemetry.CtrClusterReroutedJobs)
@@ -741,6 +843,7 @@ func (c *Coordinator) Sweep() {
 					sj.Rerouted++
 					sj.NotBeforeUnixMS = 0
 				})
+				c.events.Record(telemetry.Event{Type: telemetry.EventJobRerouted, Node: id, Job: j.ID})
 				c.log.Info("cluster job rerouted", "id", j.ID, "dead_worker", id)
 			}
 		}
@@ -765,6 +868,10 @@ func (c *Coordinator) Sweep() {
 
 	// 5. Replicate the store to alive workers when it changed.
 	c.replicate(ctx)
+
+	// 6. Pull every alive worker's telemetry snapshot for the federated
+	// /v1/cluster/metrics view.
+	c.pullTelemetry(ctx)
 	c.updateGauges()
 }
 
@@ -814,6 +921,7 @@ func (c *Coordinator) replicate(ctx context.Context) {
 	}
 	snap := c.store.Snapshot()
 	workers, _ := c.aliveWorkers()
+	pushed := 0
 	for _, w := range workers {
 		resp, err := c.forward(ctx, w, http.MethodPost, "/cluster/v1/jobstore", "", snap)
 		if err != nil {
@@ -821,6 +929,13 @@ func (c *Coordinator) replicate(ctx context.Context) {
 			continue
 		}
 		resp.Body.Close()
+		pushed++
+	}
+	if pushed > 0 {
+		c.events.Record(telemetry.Event{
+			Type:   telemetry.EventReplicationPush,
+			Detail: fmt.Sprintf("store version %d pushed to %d workers", v, pushed),
+		})
 	}
 	c.replicated.Store(v)
 }
@@ -850,7 +965,7 @@ func (c *Coordinator) handleJobList(w http.ResponseWriter, _ *http.Request) {
 func (c *Coordinator) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	j, ok := c.store.Job(r.PathValue("id"))
 	if !ok {
-		http.NotFound(w, r)
+		writeError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
 		return
 	}
 	if j.State == ClusterDispatched {
@@ -905,7 +1020,7 @@ func (c *Coordinator) refreshLiveDoc(ctx context.Context, j *StoredJob) {
 func (c *Coordinator) handleJobManifest(w http.ResponseWriter, r *http.Request) {
 	j, ok := c.store.Job(r.PathValue("id"))
 	if !ok {
-		http.NotFound(w, r)
+		writeError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
 		return
 	}
 	if j.WorkerJob == "" {
@@ -934,7 +1049,7 @@ func (c *Coordinator) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j, ok := c.store.Job(id)
 	if !ok {
-		http.NotFound(w, r)
+		writeError(w, http.StatusNotFound, "unknown job "+id)
 		return
 	}
 	switch j.State {
@@ -986,23 +1101,7 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 
 // handleWorkers serves the coordinator's membership view.
 func (c *Coordinator) handleWorkers(w http.ResponseWriter, _ *http.Request) {
-	now := c.clock()
-	c.mu.Lock()
-	docs := make([]workerDoc, 0, len(c.order))
-	ids := append([]string(nil), c.order...)
-	sort.Strings(ids)
-	for _, id := range ids {
-		ws := c.workers[id]
-		docs = append(docs, workerDoc{
-			ID: ws.ID, Addr: ws.Addr, Alive: ws.alive, Draining: ws.Draining,
-			Lakes: append([]string(nil), ws.Lakes...),
-			Queued: ws.Queued, Running: ws.Running, Slots: ws.Slots,
-			LastSeenUnixMS:   ws.lastSeen.UnixMilli(),
-			SecondsSinceSeen: now.Sub(ws.lastSeen).Seconds(),
-		})
-	}
-	c.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"proto": ProtoVersion, "workers": docs})
+	writeJSON(w, http.StatusOK, map[string]any{"proto": ProtoVersion, "workers": c.workerDocs()})
 }
 
 // handleStoreDump serves the raw job-store snapshot — the debugging

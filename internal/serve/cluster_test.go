@@ -85,7 +85,12 @@ func newClusterStack(t *testing.T, n int, ccfg ClusterConfig, wcfg Config) *clus
 		if cfg.Collector == nil {
 			cfg.Collector = telemetry.New()
 		}
-		srv := obsrv.NewServer(obsrv.Config{Collector: cfg.Collector})
+		// Every worker keeps a trace store, wired exactly like production:
+		// the obsrv server renders it and the agent serves it to the
+		// coordinator's cross-node trace assembly.
+		traces := telemetry.NewTraceStore(0, 0)
+		cfg.Collector.ObserveSpans(traces)
+		srv := obsrv.NewServer(obsrv.Config{Collector: cfg.Collector, Traces: traces})
 		svc := New(cfg)
 		svc.Mount(srv)
 		ts := httptest.NewServer(srv.Handler())
@@ -94,6 +99,7 @@ func newClusterStack(t *testing.T, n int, ccfg ClusterConfig, wcfg Config) *clus
 			ID:        fmt.Sprintf("worker-%c", 'a'+i),
 			Addr:      ts.URL,
 			Collector: cfg.Collector,
+			Traces:    traces,
 		}, svc)
 		agent.Mount(srv)
 		cs.workers = append(cs.workers, &clusterWorker{svc: svc, agent: agent, ts: ts})
@@ -101,6 +107,12 @@ func newClusterStack(t *testing.T, n int, ccfg ClusterConfig, wcfg Config) *clus
 
 	if ccfg.Collector == nil {
 		ccfg.Collector = telemetry.New()
+	}
+	if ccfg.Traces == nil {
+		// The coordinator's relay and dispatch spans land here; its obsrv
+		// server stays trace-less so Mount owns the /v1/traces patterns.
+		ccfg.Traces = telemetry.NewTraceStore(0, 0)
+		ccfg.Collector.ObserveSpans(ccfg.Traces)
 	}
 	ccfg.clock = cs.clock.now
 	store, err := NewJobStore(ccfg.StorePath)

@@ -112,15 +112,17 @@ type storeDoc struct {
 // version counter (the replication trigger) and, when the store was
 // opened with a path, atomically rewrites the JSON file.
 type JobStore struct {
-	mu       sync.Mutex
-	path     string
-	nextJob  int
-	nextLake int
-	lakes    map[string]*StoredLake
-	lakeIDs  []string
-	jobs     map[string]*StoredJob
-	jobIDs   []string
-	version  int64
+	mu          sync.Mutex
+	path        string
+	nextJob     int
+	nextLake    int
+	lakes       map[string]*StoredLake
+	lakeIDs     []string
+	jobs        map[string]*StoredJob
+	jobIDs      []string
+	version     int64
+	maxTerminal int
+	evicted     int64
 }
 
 // NewJobStore opens the job store at path, loading an existing snapshot
@@ -227,8 +229,72 @@ func (s *JobStore) Version() int64 {
 	return s.version
 }
 
+// SetRetention caps how many terminal job documents the store retains
+// (0 = unbounded, the default). When a mutation pushes the terminal
+// count past the cap, the oldest terminal docs are evicted FIFO;
+// non-terminal jobs are never evicted.
+func (s *JobStore) SetRetention(maxTerminal int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if maxTerminal < 0 {
+		maxTerminal = 0
+	}
+	s.maxTerminal = maxTerminal
+	if s.enforceRetention() {
+		s.persist()
+	}
+}
+
+// Evicted reports how many terminal job documents the retention cap has
+// dropped over the store's lifetime.
+func (s *JobStore) Evicted() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
+}
+
+// terminalJobState reports whether a cluster-level job state is
+// terminal (done, failed or cancelled — no further transitions).
+func terminalJobState(state string) bool {
+	switch state {
+	case StateDone, StateFailed, StateCancelled:
+		return true
+	}
+	return false
+}
+
+// enforceRetention drops the oldest terminal jobs past the cap. Callers
+// hold the lock; reports whether anything was evicted.
+func (s *JobStore) enforceRetention() bool {
+	if s.maxTerminal <= 0 {
+		return false
+	}
+	terminal := 0
+	for _, id := range s.jobIDs {
+		if terminalJobState(s.jobs[id].State) {
+			terminal++
+		}
+	}
+	if terminal <= s.maxTerminal {
+		return false
+	}
+	kept := s.jobIDs[:0]
+	for _, id := range s.jobIDs {
+		if terminal > s.maxTerminal && terminalJobState(s.jobs[id].State) {
+			delete(s.jobs, id)
+			terminal--
+			s.evicted++
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.jobIDs = kept
+	return true
+}
+
 // persist atomically rewrites the store file. Callers hold the lock.
 func (s *JobStore) persist() {
+	s.enforceRetention()
 	s.version++
 	if s.path == "" {
 		return
@@ -365,4 +431,16 @@ func (s *JobStore) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.jobIDs)
+}
+
+// StateCounts tallies the stored jobs by cluster-level state — the
+// queue-depth breakdown the status surface reports.
+func (s *JobStore) StateCounts() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[string]int{}
+	for _, j := range s.jobs {
+		out[j.State]++
+	}
+	return out
 }

@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestEventLogRing pins the bounded-ring semantics: past capacity the
+// oldest entries are evicted, sequence numbers keep counting, and
+// Events returns the retained window oldest first.
+func TestEventLogRing(t *testing.T) {
+	l := NewEventLog(3, nil)
+	for _, typ := range []string{"a", "b", "c", "d", "e"} {
+		l.Record(Event{Type: typ})
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len() = %d, want capacity 3", l.Len())
+	}
+	if l.Total() != 5 {
+		t.Fatalf("Total() = %d, want 5", l.Total())
+	}
+	events := l.Events()
+	if len(events) != 3 {
+		t.Fatalf("Events() returned %d entries, want 3", len(events))
+	}
+	for i, want := range []string{"c", "d", "e"} {
+		if events[i].Type != want {
+			t.Errorf("events[%d].Type = %q, want %q", i, events[i].Type, want)
+		}
+		if events[i].Seq != int64(i+3) {
+			t.Errorf("events[%d].Seq = %d, want %d", i, events[i].Seq, i+3)
+		}
+	}
+}
+
+// TestEventLogClockAndMirror covers the injectable clock and the slog
+// mirroring: recorded events carry the injected timestamp and appear in
+// the logger's output with their fields.
+func TestEventLogClockAndMirror(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	l := NewEventLog(0, logger)
+	fixed := time.Unix(1_700_000_000, 0)
+	l.SetClock(func() time.Time { return fixed })
+
+	l.Record(Event{Type: EventWorkerDead, Node: "worker-a", Detail: "silent for 11s"})
+	events := l.Events()
+	if len(events) != 1 {
+		t.Fatalf("want 1 event, got %d", len(events))
+	}
+	if events[0].TimeUnixMS != fixed.UnixMilli() {
+		t.Errorf("TimeUnixMS = %d, want injected clock %d", events[0].TimeUnixMS, fixed.UnixMilli())
+	}
+	out := buf.String()
+	for _, want := range []string{"cluster event", "type=" + EventWorkerDead, "node=worker-a"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("slog mirror missing %q in %q", want, out)
+		}
+	}
+
+	// A pre-stamped event keeps its timestamp.
+	l.Record(Event{Type: EventWorkerJoined, TimeUnixMS: 42})
+	if got := l.Events()[1].TimeUnixMS; got != 42 {
+		t.Errorf("pre-stamped TimeUnixMS = %d, want 42", got)
+	}
+}
+
+// TestEventLogNilSafe pins the nil-receiver contract shared with the
+// rest of the telemetry layer.
+func TestEventLogNilSafe(t *testing.T) {
+	var l *EventLog
+	l.Record(Event{Type: "x"})
+	l.SetClock(time.Now)
+	if l.Events() != nil || l.Len() != 0 || l.Total() != 0 {
+		t.Error("nil EventLog must report empty")
+	}
+}

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSnapshotMerge covers the cluster rollup semantics: counters and
+// gauges sum per name, histograms with identical bounds merge
+// bucket-wise with folded count/sum/min/max.
+func TestSnapshotMerge(t *testing.T) {
+	a := &Snapshot{
+		Counters: map[string]int64{"jobs": 2, "only_a": 1},
+		Gauges:   map[string]float64{"depth": 3},
+		Histograms: map[string]HistogramSnapshot{
+			"lat": {Count: 2, Sum: 3, Mean: 1.5, Min: 1, Max: 2,
+				Bounds: []float64{1, 5}, Counts: []int64{1, 1}},
+		},
+	}
+	b := &Snapshot{
+		Counters: map[string]int64{"jobs": 5, "only_b": 7},
+		Gauges:   map[string]float64{"depth": 4, "temp": 1},
+		Histograms: map[string]HistogramSnapshot{
+			"lat": {Count: 1, Sum: 4, Mean: 4, Min: 4, Max: 4,
+				Bounds: []float64{1, 5}, Counts: []int64{0, 1}},
+			"fresh": {Count: 3, Sum: 6, Mean: 2, Min: 1, Max: 3,
+				Bounds: []float64{1, 5}, Counts: []int64{2, 1}},
+		},
+	}
+	a.Merge(b)
+
+	if a.Counters["jobs"] != 7 || a.Counters["only_a"] != 1 || a.Counters["only_b"] != 7 {
+		t.Errorf("merged counters %v, want jobs 7, only_a 1, only_b 7", a.Counters)
+	}
+	if a.Gauges["depth"] != 7 || a.Gauges["temp"] != 1 {
+		t.Errorf("merged gauges %v, want depth 7, temp 1", a.Gauges)
+	}
+	lat := a.Histograms["lat"]
+	if lat.Count != 3 || lat.Sum != 7 || lat.Min != 1 || lat.Max != 4 {
+		t.Errorf("merged histogram %+v, want count 3 sum 7 min 1 max 4", lat)
+	}
+	if math.Abs(lat.Mean-7.0/3.0) > 1e-12 {
+		t.Errorf("merged mean %v, want %v", lat.Mean, 7.0/3.0)
+	}
+	if lat.Counts[0] != 1 || lat.Counts[1] != 2 {
+		t.Errorf("merged bucket counts %v, want [1 2]", lat.Counts)
+	}
+	fresh := a.Histograms["fresh"]
+	if fresh.Count != 3 || fresh.Counts[0] != 2 {
+		t.Errorf("first-seen histogram %+v, want a copy of b's", fresh)
+	}
+
+	// The merge copies — mutating the result must not leak into b.
+	lat.Counts[0] = 99
+	if b.Histograms["lat"].Counts[0] == 99 {
+		t.Error("merge aliased b's bucket slice")
+	}
+}
+
+// TestSnapshotMergeMismatchedBounds pins the fallback: differing bucket
+// bounds keep the receiver's buckets and fold only the scalars.
+func TestSnapshotMergeMismatchedBounds(t *testing.T) {
+	a := &Snapshot{Histograms: map[string]HistogramSnapshot{
+		"lat": {Count: 1, Sum: 2, Min: 2, Max: 2, Bounds: []float64{1, 5}, Counts: []int64{0, 1}},
+	}}
+	b := &Snapshot{Histograms: map[string]HistogramSnapshot{
+		"lat": {Count: 1, Sum: 10, Min: 10, Max: 10, Bounds: []float64{1, 5, 10}, Counts: []int64{0, 0, 1}},
+	}}
+	a.Merge(b)
+	lat := a.Histograms["lat"]
+	if len(lat.Bounds) != 2 || lat.Counts[1] != 1 {
+		t.Errorf("mismatched-bounds merge changed the receiver's buckets: %+v", lat)
+	}
+	if lat.Count != 2 || lat.Sum != 12 || lat.Max != 10 {
+		t.Errorf("mismatched-bounds merge scalars %+v, want count 2 sum 12 max 10", lat)
+	}
+}
+
+// TestSnapshotMergeNil pins the nil contract: nil receiver or argument
+// is a no-op, and merging into a zero-value snapshot initialises it.
+func TestSnapshotMergeNil(t *testing.T) {
+	var nilSnap *Snapshot
+	nilSnap.Merge(&Snapshot{Counters: map[string]int64{"x": 1}})
+
+	s := &Snapshot{}
+	s.Merge(nil)
+	s.Merge(&Snapshot{Counters: map[string]int64{"x": 1}, Gauges: map[string]float64{"g": 2}})
+	if s.Counters["x"] != 1 || s.Gauges["g"] != 2 {
+		t.Errorf("merge into zero-value snapshot: %+v", s)
+	}
+}

@@ -63,6 +63,11 @@ const (
 	// SpanQueueWait covers the time a submitted job waits for a
 	// scheduler slot.
 	SpanQueueWait = "serve.queue_wait"
+	// SpanClusterDispatch covers one coordinator dispatch round-trip:
+	// it parents the owning worker's serve.http/serve.job spans under
+	// the coordinator relay span so a dispatched job reads as a single
+	// trace end to end.
+	SpanClusterDispatch = "cluster.dispatch"
 )
 
 // Metric names emitted by the online pipeline.
@@ -186,6 +191,46 @@ const (
 	// HistClusterDispatchSeconds observes the latency of one dispatch
 	// round-trip to a worker (POST /v1/discoveries on the worker).
 	HistClusterDispatchSeconds = "cluster.dispatch_seconds"
+	// CtrClusterStoreJobsEvicted counts terminal job documents dropped
+	// from the replicated job store by the retention cap (FIFO, oldest
+	// terminal docs first).
+	CtrClusterStoreJobsEvicted = "cluster.store_jobs_evicted"
+	// CtrClusterTelemetryPulls counts worker telemetry snapshots the
+	// coordinator's sweep loop fetched for metrics federation;
+	// CtrClusterTelemetryErrors counts pull attempts that failed
+	// (worker unreachable or wrong proto).
+	CtrClusterTelemetryPulls  = "cluster.telemetry_pulls"
+	CtrClusterTelemetryErrors = "cluster.telemetry_errors"
+)
+
+// Cluster event types recorded in the coordinator's EventLog (served at
+// GET /v1/cluster/events and mirrored to slog). Each value is the
+// `type` field of one journal entry.
+const (
+	// EventWorkerJoined records a worker appearing in the membership
+	// table for the first time.
+	EventWorkerJoined = "worker_joined"
+	// EventWorkerRejoined records a previously-dead worker resuming
+	// heartbeats.
+	EventWorkerRejoined = "worker_rejoined"
+	// EventWorkerDead records a worker declared dead after missing its
+	// heartbeat window.
+	EventWorkerDead = "worker_dead"
+	// EventJobRerouted records a job moved off a dead worker back to the
+	// queue for re-placement.
+	EventJobRerouted = "job_rerouted"
+	// EventDispatchRetry records a dispatch attempt deferred for a later
+	// sweep (worker busy, unreachable, or no owner placed yet).
+	EventDispatchRetry = "dispatch_retry"
+	// EventQuotaRejected records a submission rejected with 429 because
+	// the tenant was at its in-flight quota.
+	EventQuotaRejected = "quota_rejected"
+	// EventReplicationPush records one job-store snapshot replication
+	// round to the alive workers.
+	EventReplicationPush = "replication_push"
+	// EventJobsEvicted records terminal job documents evicted by the
+	// store's retention cap.
+	EventJobsEvicted = "jobs_evicted"
 )
 
 // CtrPrunedPrefix prefixes the per-reason pruning counters

@@ -22,7 +22,7 @@ const docPath = "../../docs/TELEMETRY.md"
 
 // vocabPrefixes are the constant-name prefixes that make up the public
 // telemetry vocabulary.
-var vocabPrefixes = []string{"Span", "Ctr", "Gauge", "Hist", "Prune"}
+var vocabPrefixes = []string{"Span", "Ctr", "Gauge", "Hist", "Prune", "Event"}
 
 // telemetryConsts extracts every vocabulary constant (name -> string
 // value) from telemetry.go's AST.
@@ -84,8 +84,9 @@ func TestVocabularyDocumented(t *testing.T) {
 	text := string(doc)
 	for name, value := range telemetryConsts(t) {
 		needle := value
-		if strings.HasPrefix(name, "Prune") {
-			// Reasons are documented as bare backticked words.
+		if strings.HasPrefix(name, "Prune") || strings.HasPrefix(name, "Event") {
+			// Prune reasons and event types are documented as bare
+			// backticked words.
 			needle = "`" + value + "`"
 		}
 		if !strings.Contains(text, needle) {
