@@ -28,7 +28,9 @@ race:
 # core the ratio is core-bound near 1x), and BENCH_federation.json, the
 # federated-scrape overhead baseline (one coordinator /v1/cluster/metrics
 # scrape, idle vs under a running workload; the loaded row must stay
-# under 1s per scrape).
+# under 1s per scrape), and BENCH_columnar.json, the columnar cold-open
+# baseline (packed .afc files vs CSV at 64/256 tables; the columnar row
+# must stay >= 3x faster at 256 tables).
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkMicro' -benchmem .
 	AUTOFEAT_BENCH_OUT=BENCH_parallel.json $(GO) test -run TestWriteParallelBench -v .
@@ -37,6 +39,7 @@ bench:
 	AUTOFEAT_INDEX_BENCH_OUT=BENCH_index.json $(GO) test -run TestWriteIndexBench -v .
 	AUTOFEAT_CLUSTER_BENCH_OUT=BENCH_cluster.json $(GO) test -run TestWriteClusterBench -v .
 	AUTOFEAT_FEDERATION_BENCH_OUT=BENCH_federation.json $(GO) test -run TestWriteFederationBench -v .
+	AUTOFEAT_COLUMNAR_BENCH_OUT=BENCH_columnar.json $(GO) test -run TestWriteColumnarBench -v .
 
 # bench-diff regenerates candidate baselines and diffs them against the
 # committed BENCH_parallel.json and BENCH_serve.json; the exit code fails
@@ -55,18 +58,23 @@ bench-diff:
 	$(GO) run ./cmd/benchdiff BENCH_cluster.json BENCH_cluster_candidate.json
 	AUTOFEAT_FEDERATION_BENCH_OUT=BENCH_federation_candidate.json $(GO) test -run TestWriteFederationBench .
 	$(GO) run ./cmd/benchdiff BENCH_federation.json BENCH_federation_candidate.json
+	AUTOFEAT_COLUMNAR_BENCH_OUT=BENCH_columnar_candidate.json $(GO) test -run TestWriteColumnarBench .
+	$(GO) run ./cmd/benchdiff BENCH_columnar.json BENCH_columnar_candidate.json
 
 # docs-check is the documentation gate: a godoc audit over the
 # public-facing packages (exported identifiers must carry doc comments
 # that start with their name), a relative-link check over README,
-# DESIGN and docs/, and the route-sync audit (every HTTP route
+# DESIGN and docs/, the route-sync audit (every HTTP route
 # registered in internal/obsrv and internal/serve must have a matching
-# "### METHOD /path" heading in docs/API.md, and vice versa).
+# "### METHOD /path" heading in docs/API.md, and vice versa), and the
+# format-constant audit (internal/frame's Format* constants must match
+# the file-format specification in DESIGN.md, and vice versa).
 docs-check:
 	$(GO) run ./cmd/doccheck -md README.md,DESIGN.md,docs \
 		-api docs/API.md -routes internal/obsrv,internal/serve \
+		-format internal/frame=DESIGN.md \
 		internal/core internal/relational internal/fselect internal/telemetry \
-		internal/obsrv internal/lake internal/serve .
+		internal/obsrv internal/lake internal/serve internal/frame internal/sketch .
 
 # check is the tier-1 verification gate (see ROADMAP.md).
 check: docs-check

@@ -17,6 +17,43 @@ import (
 // available to end users for literal names in short scripts; this repo's
 // own code is held to the stricter form.
 func TestNoPanickingModelInToolingAndExamples(t *testing.T) {
+	walkToolingCalls(t, func(call *ast.CallExpr, sel *ast.SelectorExpr, pos token.Position) {
+		if sel.Sel.Name != "Model" {
+			return
+		}
+		if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "autofeat" {
+			t.Errorf("%s: calls autofeat.Model — use autofeat.ModelByName and handle the error", pos)
+		}
+	})
+}
+
+// TestNoRawColumnConstructionInToolingAndExamples enforces the view-based
+// column API: tools and examples load tables through ReadCSV/ReadCSVFile,
+// ReadColumnarFile or lake opens — never by assembling columns from raw
+// slices with the New*Column constructors. Raw construction bakes the
+// in-memory backend into caller code; the view methods (Len/At/IsNull/
+// ValueSet/Numeric) work identically over CSV-backed and zero-copy
+// columnar-backed tables, and keeping tooling on them is what lets the
+// storage engine change without touching a single caller.
+func TestNoRawColumnConstructionInToolingAndExamples(t *testing.T) {
+	rawCtors := map[string]bool{
+		"NewFloatColumn":  true,
+		"NewIntColumn":    true,
+		"NewStringColumn": true,
+		"NewBoolColumn":   true,
+	}
+	walkToolingCalls(t, func(call *ast.CallExpr, sel *ast.SelectorExpr, pos token.Position) {
+		if rawCtors[sel.Sel.Name] {
+			t.Errorf("%s: constructs a column from raw slices via %s — tooling and examples must go through the view API (table readers), not the storage constructors",
+				pos, sel.Sel.Name)
+		}
+	})
+}
+
+// walkToolingCalls parses every Go file under cmd/ and examples/ and
+// invokes fn for each selector-style call expression found.
+func walkToolingCalls(t *testing.T, fn func(call *ast.CallExpr, sel *ast.SelectorExpr, pos token.Position)) {
+	t.Helper()
 	fset := token.NewFileSet()
 	for _, root := range []string{"cmd", "examples"} {
 		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
@@ -35,13 +72,8 @@ func TestNoPanickingModelInToolingAndExamples(t *testing.T) {
 				if !ok {
 					return true
 				}
-				sel, ok := call.Fun.(*ast.SelectorExpr)
-				if !ok || sel.Sel.Name != "Model" {
-					return true
-				}
-				if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "autofeat" {
-					t.Errorf("%s: calls autofeat.Model — use autofeat.ModelByName and handle the error",
-						fset.Position(call.Pos()))
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+					fn(call, sel, fset.Position(call.Pos()))
 				}
 				return true
 			})

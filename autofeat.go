@@ -151,12 +151,43 @@ type KeyIndexCache = relational.KeyIndexCache
 // Config.KeyCache; Lakes create and share one automatically.
 func NewKeyIndexCache() *KeyIndexCache { return relational.NewKeyIndexCache() }
 
-// OpenLake loads every *.csv in dir (sorted by name) as a resident Lake
-// session. Options set the lake-wide DRG defaults: matcher kind
-// (WithMatcher), threshold (WithThreshold) or declared constraints
-// (WithKFKs). A directory without CSV files is an error; an unparsable
-// file aborts with an ErrBadInput-matching error naming it.
+// Format selects the on-disk table format OpenLake reads; see
+// WithFormat.
+type Format = lake.Format
+
+// Lake formats selectable with WithFormat.
+const (
+	// FormatAuto (the default) detects per table: *.csv and columnar
+	// *.afc files may coexist, a packed table shadowing its source CSV.
+	FormatAuto = lake.FormatAuto
+	// FormatCSV pins the legacy text path: only *.csv files are read.
+	FormatCSV = lake.FormatCSV
+	// FormatColumnar pins the packed path: only *.afc files are read
+	// (produce them with PackLake or `autofeat pack`).
+	FormatColumnar = lake.FormatColumnar
+)
+
+// OpenLake loads every table file in dir (sorted by table name) as a
+// resident Lake session. By default both *.csv and packed columnar
+// *.afc tables load (WithFormat pins one); packed tables open
+// zero-copy with their discovery sketches precomputed, which is what
+// makes cold opens of large lakes cheap — see PackLake. Options set the
+// lake-wide DRG defaults: matcher kind (WithMatcher), threshold
+// (WithThreshold) or declared constraints (WithKFKs). A directory
+// without table files is an error; an unparsable file aborts with an
+// ErrBadInput-matching error naming it.
 func OpenLake(dir string, opts ...LakeOption) (*Lake, error) { return lake.Open(dir, opts...) }
+
+// PackLake converts a CSV lake directory in place: every *.csv table is
+// rewritten as a columnar *.afc file with persisted per-column stats
+// and MinHash sketches (atomic tmp+rename per table; the CSVs stay, and
+// FormatAuto prefers the packed files from then on). Returns the number
+// of tables packed. The CLI equivalent is `autofeat pack <dir>`.
+func PackLake(dir string) (int, error) { return lake.Pack(dir) }
+
+// WithFormat selects the table format OpenLake reads: FormatAuto (the
+// default), FormatCSV or FormatColumnar.
+func WithFormat(f Format) LakeOption { return lake.WithFormat(f) }
 
 // OpenLakeLenient loads a lake like OpenLake but skips files that fail
 // to parse instead of aborting; each skipped file is reported as an
@@ -202,12 +233,14 @@ func ReadTableCSV(path string) (*Table, error) { return frame.ReadCSVFile(path) 
 func ReadTable(name string, r io.Reader) (*Table, error) { return frame.ReadCSV(name, r) }
 
 // ReadTablesDir loads every *.csv in a directory as tables, sorted by
-// name.
+// name. It is the CSV-only legacy path: columnar *.afc files are
+// ignored even when present.
 //
 // Deprecated: use OpenLake, which loads the same files once into a
-// resident session (Lake.Tables returns this slice).
+// resident session (Lake.Tables returns this slice) and also reads
+// packed columnar tables.
 func ReadTablesDir(dir string) ([]*Table, error) {
-	l, err := lake.Open(dir)
+	l, err := lake.Open(dir, lake.WithFormat(lake.FormatCSV))
 	if err != nil {
 		return nil, err
 	}
@@ -220,10 +253,11 @@ func ReadTablesDir(dir string) ([]*Table, error) {
 // through it. The skipped files are reported as errors (each matching
 // ErrBadInput), so callers can log what was dropped. With every file
 // corrupt, the table slice is empty and errs holds one entry per file.
+// Like ReadTablesDir, this is the CSV-only legacy path.
 //
 // Deprecated: use OpenLakeLenient, the session-returning equivalent.
 func ReadTablesDirLenient(dir string) (tables []*Table, errors []error) {
-	l, errors := lake.OpenLenient(dir)
+	l, errors := lake.OpenLenient(dir, lake.WithFormat(lake.FormatCSV))
 	if l == nil {
 		return nil, errors
 	}

@@ -12,6 +12,7 @@
 //	autofeat -dir lake/credit -base credit -label target -trace-out t.json -metrics-out m.json
 //	autofeat -dir lake/credit -base credit -label target -serve localhost:6060 -manifest-out run_manifest.json
 //	autofeat explain path-001 -manifest run_manifest.json
+//	autofeat pack lake/credit                          # convert a CSV lake to columnar in place
 //	autofeat serve -addr localhost:8080 -jobs 4        # long-lived discovery service
 //	autofeat cluster status -coordinator http://localhost:8080
 //	autofeat cluster trace 4bf92f3577b34da6a3ce929d0e0e4736 -coordinator http://localhost:8080
@@ -53,6 +54,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "cluster" {
 		if err := runCluster(os.Args[2:]); err != nil {
 			fmt.Fprintf(os.Stderr, "autofeat cluster: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "pack" {
+		if err := runPack(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "autofeat pack: %v\n", err)
 			os.Exit(1)
 		}
 		return

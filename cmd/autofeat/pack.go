@@ -1,0 +1,36 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autofeat"
+)
+
+// runPack implements `autofeat pack <dir>`: convert a CSV lake to the
+// columnar format in place. The source CSVs are kept; subsequent opens
+// auto-detect and prefer the packed files.
+func runPack(args []string) error {
+	fs := flag.NewFlagSet("pack", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: autofeat pack <dir>")
+		fmt.Fprintln(os.Stderr, "Rewrites every *.csv table in <dir> as a columnar *.afc file")
+		fmt.Fprintln(os.Stderr, "(atomic per table; CSVs are kept, packed files take precedence).")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one lake directory, got %d args", fs.NArg())
+	}
+	dir := fs.Arg(0)
+	n, err := autofeat.PackLake(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("packed %d tables in %s\n", n, dir)
+	return nil
+}

@@ -21,9 +21,17 @@
 //     correspond to a registered route — two-way, so the reference can
 //     never drift from the mux.
 //
+//   - Format-constant audit (-format PKGDIR=MDFILE): the exported
+//     Format* constants of PKGDIR (the on-disk columnar format's magic,
+//     version and extension) must appear verbatim as "Name = value"
+//     lines inside the file-format section of MDFILE, and every such
+//     line in the section must match a real constant — two-way, so the
+//     format specification can never drift from the code that writes
+//     the bytes.
+//
 // Usage:
 //
-//	doccheck -md README.md,DESIGN.md,docs -api docs/API.md -routes internal/obsrv,internal/serve internal/core internal/telemetry .
+//	doccheck -md README.md,DESIGN.md,docs -api docs/API.md -routes internal/obsrv,internal/serve -format internal/frame=DESIGN.md internal/core internal/telemetry .
 package main
 
 import (
@@ -44,6 +52,7 @@ func main() {
 	md := flag.String("md", "", "comma-separated markdown files or directories to link-check")
 	api := flag.String("api", "", "API reference markdown to route-check against -routes")
 	routes := flag.String("routes", "", "comma-separated package directories whose Handle/HandleFunc registrations must match -api")
+	format := flag.String("format", "", "PKGDIR=MDFILE: audit PKGDIR's Format* constants against MDFILE's file-format section")
 	flag.Parse()
 	if (*api == "") != (*routes == "") {
 		fmt.Fprintln(os.Stderr, "doccheck: -api and -routes must be given together")
@@ -71,6 +80,19 @@ func main() {
 	}
 	if *api != "" {
 		fs, err := auditRoutes(*api, strings.Split(*routes, ","))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	if *format != "" {
+		pkgDir, mdFile, ok := strings.Cut(*format, "=")
+		if !ok {
+			fmt.Fprintln(os.Stderr, "doccheck: -format wants PKGDIR=MDFILE")
+			os.Exit(2)
+		}
+		fs, err := auditFormatConsts(pkgDir, mdFile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
 			os.Exit(2)
@@ -382,4 +404,110 @@ func collectRoutes(dir string, out map[route]string) error {
 		}
 	}
 	return nil
+}
+
+// formatHeadingRe matches the markdown heading that opens the on-disk
+// file-format specification section ("## 14. Columnar lake file format"
+// in DESIGN.md); sectionRe ends it at the next same-level heading.
+var formatHeadingRe = regexp.MustCompile(`(?i)^##\s+.*file format`)
+
+// formatLineRe matches one documented constant line inside the format
+// section's fenced blocks: "FormatMagic = \"AFCL\"".
+var formatLineRe = regexp.MustCompile(`^\s*(Format\w+)\s*=\s*(\S+)\s*$`)
+
+// auditFormatConsts cross-checks the Format* constants declared in
+// pkgDir against the "Name = value" lines of mdFile's file-format
+// section, in both directions. Values are compared as source literals
+// (quotes included), so the doc must quote strings exactly as Go does.
+func auditFormatConsts(pkgDir, mdFile string) ([]string, error) {
+	declared, sites, err := collectFormatConsts(pkgDir)
+	if err != nil {
+		return nil, err
+	}
+	if len(declared) == 0 {
+		return nil, fmt.Errorf("format audit: no Format* constants found under %s", pkgDir)
+	}
+	data, err := os.ReadFile(mdFile)
+	if err != nil {
+		return nil, err
+	}
+	documented := map[string]int{} // "Name = value" -> line number
+	inSection, found := false, false
+	for i, line := range strings.Split(string(data), "\n") {
+		switch {
+		case formatHeadingRe.MatchString(line):
+			inSection, found = true, true
+			continue
+		case inSection && strings.HasPrefix(line, "## "):
+			inSection = false
+		}
+		if !inSection {
+			continue
+		}
+		if m := formatLineRe.FindStringSubmatch(line); m != nil {
+			documented[m[1]+" = "+m[2]] = i + 1
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("format audit: %s has no \"## ... file format\" section", mdFile)
+	}
+	var findings []string
+	for rendered, site := range declared {
+		if _, ok := documented[rendered]; !ok {
+			findings = append(findings, fmt.Sprintf("%s: constant %q is not specified in %s's file-format section", site, rendered, mdFile))
+		}
+	}
+	for rendered, line := range documented {
+		if _, ok := declared[rendered]; !ok {
+			name := strings.SplitN(rendered, " ", 2)[0]
+			hint := ""
+			if site, ok := sites[name]; ok {
+				hint = fmt.Sprintf(" (declared at %s with a different value)", site)
+			}
+			findings = append(findings, fmt.Sprintf("%s:%d: documented constant %q does not match %s%s", mdFile, line, rendered, pkgDir, hint))
+		}
+	}
+	return findings, nil
+}
+
+// collectFormatConsts AST-scans one package directory (test files
+// excluded) for exported constants named Format* with literal values and
+// returns them rendered as "Name = value" -> declaration site, plus a
+// name -> site index for mismatch hints.
+func collectFormatConsts(dir string) (map[string]string, map[string]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("parse %s: %w", dir, err)
+	}
+	rendered := map[string]string{}
+	sites := map[string]string{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs := spec.(*ast.ValueSpec)
+					for i, name := range vs.Names {
+						if !strings.HasPrefix(name.Name, "Format") || i >= len(vs.Values) {
+							continue
+						}
+						lit, ok := vs.Values[i].(*ast.BasicLit)
+						if !ok {
+							continue
+						}
+						p := fset.Position(name.Pos())
+						rendered[name.Name+" = "+lit.Value] = fmt.Sprintf("%s:%d", p.Filename, p.Line)
+						sites[name.Name] = fmt.Sprintf("%s:%d", p.Filename, p.Line)
+					}
+				}
+			}
+		}
+	}
+	return rendered, sites, nil
 }

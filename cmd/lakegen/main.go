@@ -6,6 +6,7 @@
 //
 //	lakegen -list
 //	lakegen -dataset credit -out ./lake/credit
+//	lakegen -dataset credit -out ./lake/credit -format columnar
 //	lakegen -dataset all -out ./lake
 package main
 
@@ -16,6 +17,7 @@ import (
 	"path/filepath"
 
 	"autofeat/internal/datagen"
+	"autofeat/internal/frame"
 )
 
 func main() {
@@ -24,6 +26,7 @@ func main() {
 		out     = flag.String("out", "lake", "output directory")
 		list    = flag.Bool("list", false, "list available datasets and exit")
 		quick   = flag.Bool("quick", false, "generate the reduced quick-scale variants")
+		format  = flag.String("format", "csv", "table file format: csv or columnar")
 	)
 	flag.Parse()
 
@@ -64,22 +67,37 @@ func main() {
 		if *dataset == "all" {
 			dir = filepath.Join(*out, spec.Name)
 		}
-		if err := writeDataset(spec, dir); err != nil {
+		if err := writeDataset(spec, dir, *format); err != nil {
 			fmt.Fprintf(os.Stderr, "lakegen: %s: %v\n", spec.Name, err)
 			os.Exit(1)
 		}
 	}
 }
 
-func writeDataset(spec datagen.Spec, dir string) error {
+func writeDataset(spec datagen.Spec, dir, format string) error {
 	d, err := datagen.Generate(spec)
 	if err != nil {
 		return err
 	}
-	for _, t := range d.Tables {
-		if err := t.WriteCSVFile(filepath.Join(dir, t.Name()+".csv")); err != nil {
+	switch format {
+	case "csv":
+		for _, t := range d.Tables {
+			if err := t.WriteCSVFile(filepath.Join(dir, t.Name()+".csv")); err != nil {
+				return err
+			}
+		}
+	case "columnar":
+		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err
 		}
+		w := frame.NewWriter(dir)
+		for _, t := range d.Tables {
+			if _, err := w.Put(t); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown -format %q (csv or columnar)", format)
 	}
 	// Ground-truth KFK constraints, for the benchmark setting.
 	kfk, err := os.Create(filepath.Join(dir, "constraints.txt"))

@@ -1,0 +1,142 @@
+package autofeat
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestWriteColumnarBench regenerates BENCH_columnar.json, the committed
+// cold-open baseline behind the columnar lake format. It is gated behind
+// AUTOFEAT_COLUMNAR_BENCH_OUT so plain `go test` stays fast:
+//
+//	AUTOFEAT_COLUMNAR_BENCH_OUT=BENCH_columnar.json go test -run TestWriteColumnarBench .
+//
+// (or `make bench`, which does the same). Each row is the min-of-N cost
+// of a cold OpenLake — read every table file from disk into frames — at
+// 64 and 256 tables, once over the CSV files and once over the packed
+// .afc files in the same directory. The Workers field carries the table
+// count so cmd/benchdiff pairs rows by (mode, table count). The columnar
+// row must stay >= 3x faster than CSV at 256 tables: that margin is the
+// point of packing — parsing and re-inferring every cell on each open is
+// the cost the binary format deletes. Ranking bit-identity between the
+// two backends is pinned separately by TestDiscoverDeterministicAcrossBackends.
+func TestWriteColumnarBench(t *testing.T) {
+	out := os.Getenv("AUTOFEAT_COLUMNAR_BENCH_OUT")
+	if out == "" {
+		t.Skip("set AUTOFEAT_COLUMNAR_BENCH_OUT=<path> to write the columnar cold-open baseline")
+	}
+	const rows = 1000
+	sizes := []int{64, 256}
+
+	type entry struct {
+		Mode       string  `json:"mode"`
+		Workers    int     `json:"workers"` // table count, for benchdiff row pairing
+		Iterations int     `json:"iterations"`
+		NsPerOp    int64   `json:"ns_per_op"`
+		SpeedupVs1 float64 `json:"speedup_vs_1"`
+	}
+	var results []entry
+	var speedup256 float64
+
+	for _, nTables := range sizes {
+		dir := t.TempDir()
+		writeBenchLakeCSV(t, dir, nTables, rows)
+		if n, err := PackLake(dir); err != nil || n != nTables {
+			t.Fatalf("PackLake packed %d tables (err %v), want %d", n, err, nTables)
+		}
+
+		// Min over fixed repetitions rather than a testing.Benchmark mean:
+		// each op reads hundreds of files, so the minimum is the
+		// reproducible cost of the work, not of page-cache warmup spikes.
+		const iters = 5
+		open := func(f Format) func() error {
+			return func() error {
+				l, err := OpenLake(dir, WithFormat(f))
+				if err != nil {
+					return err
+				}
+				if got := len(l.Tables()); got != nTables {
+					return fmt.Errorf("opened %d tables, want %d", got, nTables)
+				}
+				return nil
+			}
+		}
+		csvNs := minNsPerOp(t, iters, open(FormatCSV))
+		colrNs := minNsPerOp(t, iters, open(FormatColumnar))
+		speedup := csvNs / colrNs
+		t.Logf("%d tables: csv %.0f ns/op, columnar %.0f ns/op (%.2fx faster)", nTables, csvNs, colrNs, speedup)
+		if nTables == 256 {
+			speedup256 = speedup
+		}
+		results = append(results,
+			entry{Mode: "csv", Workers: nTables, Iterations: iters, NsPerOp: int64(csvNs), SpeedupVs1: 1},
+			entry{Mode: "columnar", Workers: nTables, Iterations: iters, NsPerOp: int64(colrNs), SpeedupVs1: speedup},
+		)
+	}
+	if speedup256 < 3 {
+		t.Errorf("columnar cold-open speedup %.2fx at 256 tables, want >= 3x", speedup256)
+	}
+
+	doc := struct {
+		Benchmark  string  `json:"benchmark"`
+		Dataset    string  `json:"dataset"`
+		Rows       int     `json:"rows"`
+		Tables     int     `json:"joinable_tables"`
+		GOMAXPROCS int     `json:"gomaxprocs"`
+		NumCPU     int     `json:"num_cpu"`
+		Speedup256 float64 `json:"speedup_columnar_256"`
+		Results    []entry `json:"results"`
+	}{
+		Benchmark:  "BenchmarkColumnarColdOpen",
+		Dataset:    "synthetic-lake",
+		Rows:       rows,
+		Tables:     sizes[len(sizes)-1],
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Speedup256: speedup256,
+		Results:    results,
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("baseline written to %s", out)
+}
+
+// writeBenchLakeCSV writes nTables CSV tables of rows rows each, mixing
+// the four column kinds the way real lakes do (an integer key, floats,
+// a low-cardinality string and a bool) so the CSV open pays realistic
+// parse-and-infer cost per cell and the columnar open pays a realistic
+// dictionary decode.
+func writeBenchLakeCSV(t *testing.T, dir string, nTables, rows int) {
+	t.Helper()
+	words := []string{"oslo", "lima", "quito", "dakar", "hanoi", "cairo", "perth", "tunis"}
+	for ti := 0; ti < nTables; ti++ {
+		rng := rand.New(rand.NewSource(int64(7000 + ti)))
+		var sb strings.Builder
+		sb.WriteString("k,f1,f2,s1,b1\n")
+		for r := 0; r < rows; r++ {
+			// A sprinkle of null tokens keeps the validity bitmaps honest.
+			f2 := fmt.Sprintf("%.6f", rng.NormFloat64())
+			if r%97 == 0 {
+				f2 = "NA"
+			}
+			fmt.Fprintf(&sb, "%d,%.6f,%s,%s,%t\n",
+				rng.Intn(rows*4), rng.Float64()*100, f2,
+				words[rng.Intn(len(words))], rng.Intn(2) == 0)
+		}
+		name := fmt.Sprintf("tbl%03d.csv", ti)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -213,7 +213,7 @@ func (x *LSHIndex) addColumn(table string, c *frame.Column) {
 	e := &colEntry{table: table, col: c, sketch: s}
 	e.bandKeys = make([]uint64, x.bands)
 	for b := 0; b < x.bands; b++ {
-		key := bandKey(s.mins, b, x.rows)
+		key := bandKey(s.Mins, b, x.rows)
 		e.bandKeys[b] = key
 		x.slot[b][key] = append(x.slot[b][key], e)
 	}

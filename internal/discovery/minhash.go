@@ -1,40 +1,42 @@
 package discovery
 
 import (
-	"hash/fnv"
 	"math"
 	"sync"
 
 	"autofeat/internal/frame"
 	"autofeat/internal/graph"
+	"autofeat/internal/sketch"
 )
 
 // MinHashSketch is a fixed-size signature of a column's distinct value
 // set, supporting constant-time Jaccard and containment estimation — the
 // technique Lazo (Castro Fernandez et al., ICDE 2019) uses to scale
-// joinability discovery to large lakes. Sketching a column is O(values);
-// comparing two sketches is O(k) regardless of column size.
-type MinHashSketch struct {
-	mins []uint64
-	// Cardinality is the exact distinct count observed while sketching
-	// (cheap to carry along and needed for containment estimation).
-	Cardinality int
-}
+// joinability discovery to large lakes. It is an alias of sketch.MinHash
+// so the columnar lake format (internal/frame) and the matcher share one
+// hash family: a sketch persisted in a columnar footer is bit-identical
+// to the one Sketch would compute, which is what lets cold opens skip
+// re-sketching entirely.
+type MinHashSketch = sketch.MinHash
 
 // DefaultSketchSize is the number of hash slots; 128 gives a standard
 // error of about 1/sqrt(128) ≈ 0.09 on Jaccard estimates.
-const DefaultSketchSize = 128
+const DefaultSketchSize = sketch.DefaultSize
 
 // Sketch builds a MinHash signature of the column's distinct join keys.
-// k <= 0 uses DefaultSketchSize.
+// k <= 0 uses DefaultSketchSize. A column carrying a persisted signature
+// of at least k slots (loaded from a columnar lake footer) is served
+// from that signature's prefix without rescanning any values — slot j is
+// the same permutation at every sketch size, so the prefix is exact, not
+// an approximation.
 func Sketch(c *frame.Column, k int) *MinHashSketch {
 	if k <= 0 {
 		k = DefaultSketchSize
 	}
-	s := &MinHashSketch{mins: make([]uint64, k)}
-	for i := range s.mins {
-		s.mins[i] = math.MaxUint64
+	if st := c.Stats(); st != nil && st.Sketch != nil && len(st.Sketch.Mins) >= k {
+		return st.Sketch.Prefix(k)
 	}
+	s := sketch.New(k)
 	seen := make(map[string]struct{}, 256)
 	for i, n := 0, c.Len(); i < n; i++ {
 		key, ok := c.Key(i)
@@ -45,79 +47,20 @@ func Sketch(c *frame.Column, k int) *MinHashSketch {
 			continue
 		}
 		seen[key] = struct{}{}
-		h := hash64(key)
-		// k permutations simulated by k cheap derived hashes
-		// (h XOR salt, remixed), the standard one-hash trick.
-		for j := range s.mins {
-			hj := remix(h ^ salts[j%len(salts)]*uint64(j+1))
-			if hj < s.mins[j] {
-				s.mins[j] = hj
-			}
-		}
+		s.AddHash(sketch.Hash64(key))
 	}
 	s.Cardinality = len(seen)
 	return s
 }
 
-var salts = [...]uint64{
-	0x9e3779b97f4a7c15, 0xbf58476d1ce4e5b9, 0x94d049bb133111eb,
-	0x2545f4914f6cdd1d, 0xd6e8feb86659fd93, 0xa5a5a5a5a5a5a5a5,
-	0x123456789abcdef1, 0xfedcba9876543211,
-}
+// hash64 is the index-local alias of the shared base hash; the LSH
+// value-anchor buckets use it so anchors and signatures stay in one
+// hash family.
+func hash64(s string) uint64 { return sketch.Hash64(s) }
 
-func hash64(s string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	return h.Sum64()
-}
-
-// remix is a 64-bit finaliser (splitmix64's last stage) giving each slot
-// an independent-looking permutation.
-func remix(z uint64) uint64 {
-	z ^= z >> 30
-	z *= 0xbf58476d1ce4e5b9
-	z ^= z >> 27
-	z *= 0x94d049bb133111eb
-	z ^= z >> 31
-	return z
-}
-
-// Jaccard estimates |A ∩ B| / |A ∪ B| as the fraction of matching slots.
-// Sketches of different sizes compare over their common slot prefix:
-// slot j is the same permutation regardless of sketch size, so the
-// prefix is itself a valid (smaller, higher-variance) MinHash signature.
-// Silently returning 0 here would erase all instance evidence whenever a
-// lake-default sketch met a request-override SketchSize.
-func (s *MinHashSketch) Jaccard(o *MinHashSketch) float64 {
-	n := len(s.mins)
-	if len(o.mins) < n {
-		n = len(o.mins)
-	}
-	if n == 0 || s.Cardinality == 0 || o.Cardinality == 0 {
-		return 0
-	}
-	match := 0
-	for i := 0; i < n; i++ {
-		if s.mins[i] == o.mins[i] {
-			match++
-		}
-	}
-	return float64(match) / float64(n)
-}
-
-// Containment estimates |A ∩ B| / |A| (how much of s is inside o) from
-// the Jaccard estimate and the two cardinalities — the Lazo rescaling:
-//
-//	|A ∩ B| = J/(1+J) · (|A| + |B|),   containment = |A ∩ B| / |A|.
-func (s *MinHashSketch) Containment(o *MinHashSketch) float64 {
-	if s.Cardinality == 0 {
-		return 0
-	}
-	j := s.Jaccard(o)
-	inter := j / (1 + j) * float64(s.Cardinality+o.Cardinality)
-	c := inter / float64(s.Cardinality)
-	return math.Max(0, math.Min(1, c))
-}
+// remix is the index-local alias of the shared slot finaliser, used by
+// multi-row band folding.
+func remix(z uint64) uint64 { return sketch.Remix(z) }
 
 // SketchMatcher is an alternative Matcher backend that estimates instance
 // similarity from MinHash sketches instead of exact value sets, trading a

@@ -3,8 +3,16 @@
 // original system: typed columns with null bitmaps, CSV ingestion with schema
 // inference, group-by, imputation, stratified sampling and numeric encoding.
 //
-// The package is deliberately self-contained (stdlib only) and deterministic:
-// every operation that involves randomness takes an explicit *rand.Rand.
+// Columns are views: the public surface (Len/At/IsNull/ValueSet/Numeric and
+// the typed accessors) is backed by one of two storage engines — in-memory
+// slices for CSV-ingested and derived columns, or a zero-copy window into a
+// mapped columnar lake file (see columnar.go) for packed lakes. Callers
+// cannot tell the backends apart; join, selection and discovery code reads
+// through the same methods either way.
+//
+// The package is deliberately self-contained (stdlib plus the sibling sketch
+// package) and deterministic: every operation that involves randomness takes
+// an explicit *rand.Rand.
 package frame
 
 import (
@@ -13,6 +21,8 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+
+	"autofeat/internal/sketch"
 )
 
 // Kind enumerates the physical column types supported by the engine.
@@ -46,22 +56,86 @@ func (k Kind) String() string {
 // numeric features without label encoding.
 func (k Kind) IsNumeric() bool { return k == Float || k == Int || k == Bool }
 
-// Column is a single named, typed column with an optional null bitmap.
-// Exactly one of the backing slices is populated, matching the column kind.
-// A nil valid slice means every cell is valid (non-null).
+// View is the read surface every column backend provides. *Column is the
+// only implementation handed out by this package — the concrete type stays
+// exported because downstream caches key on *Column identity — but tooling
+// and examples are held to this interface (see api_guard_test.go) so they
+// never depend on which storage engine backs a table.
+type View interface {
+	// Name returns the column name.
+	Name() string
+	// Kind returns the physical type of the column.
+	Kind() Kind
+	// Len returns the number of cells.
+	Len() int
+	// At returns cell i boxed as any, nil for null cells.
+	At(i int) any
+	// IsNull reports whether cell i is null.
+	IsNull(i int) bool
+	// ValueSet returns the distinct non-null join keys (read-only).
+	ValueSet() map[string]struct{}
+	// Numeric returns the column as a dense []float64 with NaN nulls.
+	Numeric() []float64
+}
+
+var _ View = (*Column)(nil)
+
+// colData is the storage engine behind a Column: either in-memory slices
+// (memData, the CSV/derived path) or a zero-copy window into a mapped
+// columnar file (the colr* types in columnar.go). Accessors for the wrong
+// kind panic, matching the out-of-range panic the slice-backed column
+// always had; Column's public methods dispatch on kind first.
+type colData interface {
+	len() int
+	// allValid reports that no cell is null (the nil-bitmap fast path).
+	allValid() bool
+	valid(i int) bool
+	float(i int) float64
+	intAt(i int) int64
+	str(i int) string
+	boolAt(i int) bool
+}
+
+// Column is a single named, typed column view with an optional null bitmap.
+// The storage behind it is one of two engines (see colData); everything
+// above the data field is backend-agnostic.
 type Column struct {
-	name   string
-	kind   Kind
-	floats []float64
-	ints   []int64
-	strs   []string
-	bools  []bool
-	valid  []bool
+	name string
+	kind Kind
+	data colData
+	// stats holds per-column statistics persisted in a columnar footer
+	// (distinct count, min/max, MinHash sketch); nil for in-memory columns.
+	stats *ColStats
 	// memo caches derived read-only views of the column. It lives behind a
 	// pointer so WithName copies share the cache (the backing storage is
 	// shared too) and so copying a Column never copies a sync.Once.
 	memo *colMemo
 }
+
+// ColStats carries the per-column statistics a columnar lake file persists
+// in its footer. Discovery reads them to skip whole-column scans on cold
+// open: Distinct seeds DistinctCount, Sketch stands in for a fresh MinHash
+// signature (bit-identical by construction — both sides use
+// internal/sketch), and Min/Max support quick range pruning.
+type ColStats struct {
+	// Distinct is the exact distinct non-null key count.
+	Distinct int
+	// Nulls is the null-cell count.
+	Nulls int
+	// Min and Max bound the numeric values (valid only when HasRange;
+	// string and all-null columns have no range).
+	Min, Max float64
+	// HasRange reports whether Min/Max are meaningful.
+	HasRange bool
+	// Sketch is the persisted MinHash signature of the distinct key set,
+	// or nil when the file predates sketch persistence.
+	Sketch *sketch.MinHash
+}
+
+// Stats returns the persisted statistics for a columnar-backed column, or
+// nil for in-memory columns (derive stats via DistinctCount/ValueSet
+// instead). The returned struct is shared and read-only.
+func (c *Column) Stats() *ColStats { return c.stats }
 
 // colMemo holds lazily computed, immutable derivations of a column.
 type colMemo struct {
@@ -71,24 +145,61 @@ type colMemo struct {
 	distinct     int
 }
 
+// memData is the in-memory storage engine: exactly one of the value slices
+// is populated, matching the column kind. A nil validB means every cell is
+// valid.
+type memData struct {
+	floats []float64
+	ints   []int64
+	strs   []string
+	bools  []bool
+	validB []bool
+}
+
+func (m *memData) len() int {
+	switch {
+	case m.floats != nil:
+		return len(m.floats)
+	case m.ints != nil:
+		return len(m.ints)
+	case m.strs != nil:
+		return len(m.strs)
+	default:
+		return len(m.bools)
+	}
+}
+
+func (m *memData) allValid() bool      { return m.validB == nil }
+func (m *memData) valid(i int) bool    { return m.validB == nil || m.validB[i] }
+func (m *memData) float(i int) float64 { return m.floats[i] }
+func (m *memData) intAt(i int) int64   { return m.ints[i] }
+func (m *memData) str(i int) string    { return m.strs[i] }
+func (m *memData) boolAt(i int) bool   { return m.bools[i] }
+
+// newMemColumn assembles an in-memory column; the d.len() must already
+// agree with the valid bitmap (use normalizeValid).
+func newMemColumn(name string, kind Kind, d *memData) *Column {
+	return &Column{name: name, kind: kind, data: d, memo: new(colMemo)}
+}
+
 // NewFloatColumn builds a float column. valid may be nil (all valid).
 func NewFloatColumn(name string, values []float64, valid []bool) *Column {
-	return &Column{name: name, kind: Float, floats: values, valid: normalizeValid(len(values), valid), memo: new(colMemo)}
+	return newMemColumn(name, Float, &memData{floats: values, validB: normalizeValid(len(values), valid)})
 }
 
 // NewIntColumn builds an int column. valid may be nil (all valid).
 func NewIntColumn(name string, values []int64, valid []bool) *Column {
-	return &Column{name: name, kind: Int, ints: values, valid: normalizeValid(len(values), valid), memo: new(colMemo)}
+	return newMemColumn(name, Int, &memData{ints: values, validB: normalizeValid(len(values), valid)})
 }
 
 // NewStringColumn builds a string column. valid may be nil (all valid).
 func NewStringColumn(name string, values []string, valid []bool) *Column {
-	return &Column{name: name, kind: String, strs: values, valid: normalizeValid(len(values), valid), memo: new(colMemo)}
+	return newMemColumn(name, String, &memData{strs: values, validB: normalizeValid(len(values), valid)})
 }
 
 // NewBoolColumn builds a bool column. valid may be nil (all valid).
 func NewBoolColumn(name string, values []bool, valid []bool) *Column {
-	return &Column{name: name, kind: Bool, bools: values, valid: normalizeValid(len(values), valid), memo: new(colMemo)}
+	return newMemColumn(name, Bool, &memData{bools: values, validB: normalizeValid(len(values), valid)})
 }
 
 // normalizeValid reconciles a bitmap whose length disagrees with the
@@ -111,18 +222,7 @@ func (c *Column) Name() string { return c.name }
 func (c *Column) Kind() Kind { return c.kind }
 
 // Len returns the number of cells in the column.
-func (c *Column) Len() int {
-	switch c.kind {
-	case Float:
-		return len(c.floats)
-	case Int:
-		return len(c.ints)
-	case String:
-		return len(c.strs)
-	default:
-		return len(c.bools)
-	}
-}
+func (c *Column) Len() int { return c.data.len() }
 
 // WithName returns a shallow copy of the column under a new name. The backing
 // storage is shared; columns are treated as immutable once inside a Frame.
@@ -133,18 +233,23 @@ func (c *Column) WithName(name string) *Column {
 }
 
 // IsValid reports whether cell i holds a non-null value.
-func (c *Column) IsValid(i int) bool {
-	return c.valid == nil || c.valid[i]
-}
+func (c *Column) IsValid(i int) bool { return c.data.valid(i) }
+
+// IsNull reports whether cell i is null — the View-facing negation of
+// IsValid.
+func (c *Column) IsNull(i int) bool { return !c.data.valid(i) }
 
 // NullCount returns the number of null cells.
 func (c *Column) NullCount() int {
-	if c.valid == nil {
+	if c.data.allValid() {
 		return 0
 	}
+	if c.stats != nil {
+		return c.stats.Nulls
+	}
 	n := 0
-	for _, v := range c.valid {
-		if !v {
+	for i, l := 0, c.data.len(); i < l; i++ {
+		if !c.data.valid(i) {
 			n++
 		}
 	}
@@ -161,48 +266,52 @@ func (c *Column) NullRatio() float64 {
 }
 
 // Float returns cell i as float64. The column must be of kind Float.
-func (c *Column) Float(i int) float64 { return c.floats[i] }
+func (c *Column) Float(i int) float64 { return c.data.float(i) }
 
 // Int returns cell i as int64. The column must be of kind Int.
-func (c *Column) Int(i int) int64 { return c.ints[i] }
+func (c *Column) Int(i int) int64 { return c.data.intAt(i) }
 
 // Str returns cell i as string. The column must be of kind String.
-func (c *Column) Str(i int) string { return c.strs[i] }
+func (c *Column) Str(i int) string { return c.data.str(i) }
 
 // Bool returns cell i as bool. The column must be of kind Bool.
-func (c *Column) Bool(i int) bool { return c.bools[i] }
+func (c *Column) Bool(i int) bool { return c.data.boolAt(i) }
 
 // Value returns cell i boxed as any, or nil when the cell is null.
 func (c *Column) Value(i int) any {
-	if !c.IsValid(i) {
+	if !c.data.valid(i) {
 		return nil
 	}
 	switch c.kind {
 	case Float:
-		return c.floats[i]
+		return c.data.float(i)
 	case Int:
-		return c.ints[i]
+		return c.data.intAt(i)
 	case String:
-		return c.strs[i]
+		return c.data.str(i)
 	default:
-		return c.bools[i]
+		return c.data.boolAt(i)
 	}
 }
 
+// At returns cell i boxed as any, or nil when the cell is null. It is the
+// View-interface name for Value.
+func (c *Column) At(i int) any { return c.Value(i) }
+
 // FormatCell renders cell i for CSV output. Nulls render as the empty string.
 func (c *Column) FormatCell(i int) string {
-	if !c.IsValid(i) {
+	if !c.data.valid(i) {
 		return ""
 	}
 	switch c.kind {
 	case Float:
-		return strconv.FormatFloat(c.floats[i], 'g', -1, 64)
+		return strconv.FormatFloat(c.data.float(i), 'g', -1, 64)
 	case Int:
-		return strconv.FormatInt(c.ints[i], 10)
+		return strconv.FormatInt(c.data.intAt(i), 10)
 	case String:
-		return c.strs[i]
+		return c.data.str(i)
 	default:
-		return strconv.FormatBool(c.bools[i])
+		return strconv.FormatBool(c.data.boolAt(i))
 	}
 }
 
@@ -210,31 +319,32 @@ func (c *Column) FormatCell(i int) string {
 // false). Int and Float cells that hold the same integral value produce the
 // same key, so an int64 FK can join a float64 PK.
 func (c *Column) Key(i int) (string, bool) {
-	if !c.IsValid(i) {
+	if !c.data.valid(i) {
 		return "", false
 	}
 	switch c.kind {
 	case Float:
-		f := c.floats[i]
+		f := c.data.float(i)
 		if f == math.Trunc(f) && !math.IsInf(f, 0) && math.Abs(f) < 1e15 {
 			return strconv.FormatInt(int64(f), 10), true
 		}
 		return strconv.FormatFloat(f, 'g', -1, 64), true
 	case Int:
-		return strconv.FormatInt(c.ints[i], 10), true
+		return strconv.FormatInt(c.data.intAt(i), 10), true
 	case String:
-		return c.strs[i], true
+		return c.data.str(i), true
 	default:
-		return strconv.FormatBool(c.bools[i]), true
+		return strconv.FormatBool(c.data.boolAt(i)), true
 	}
 }
 
 // Take returns a new column containing the cells at the given row indices, in
 // order. An index of -1 yields a null cell (used by left joins for unmatched
-// rows).
+// rows). The result is always in-memory, regardless of the source backend:
+// join outputs are request-scoped, not lake-resident.
 func (c *Column) Take(idx []int) *Column {
-	out := &Column{name: c.name, kind: c.kind, memo: new(colMemo)}
-	needValid := c.valid != nil
+	d := &memData{}
+	needValid := !c.data.allValid()
 	for _, i := range idx {
 		if i < 0 {
 			needValid = true
@@ -242,17 +352,17 @@ func (c *Column) Take(idx []int) *Column {
 		}
 	}
 	if needValid {
-		out.valid = make([]bool, len(idx))
+		d.validB = make([]bool, len(idx))
 	}
 	switch c.kind {
 	case Float:
-		out.floats = make([]float64, len(idx))
+		d.floats = make([]float64, len(idx))
 	case Int:
-		out.ints = make([]int64, len(idx))
+		d.ints = make([]int64, len(idx))
 	case String:
-		out.strs = make([]string, len(idx))
+		d.strs = make([]string, len(idx))
 	default:
-		out.bools = make([]bool, len(idx))
+		d.bools = make([]bool, len(idx))
 	}
 	for j, i := range idx {
 		if i < 0 {
@@ -260,19 +370,19 @@ func (c *Column) Take(idx []int) *Column {
 		}
 		switch c.kind {
 		case Float:
-			out.floats[j] = c.floats[i]
+			d.floats[j] = c.data.float(i)
 		case Int:
-			out.ints[j] = c.ints[i]
+			d.ints[j] = c.data.intAt(i)
 		case String:
-			out.strs[j] = c.strs[i]
+			d.strs[j] = c.data.str(i)
 		default:
-			out.bools[j] = c.bools[i]
+			d.bools[j] = c.data.boolAt(i)
 		}
-		if out.valid != nil {
-			out.valid[j] = c.IsValid(i)
+		if d.validB != nil {
+			d.validB[j] = c.data.valid(i)
 		}
 	}
-	return out
+	return newMemColumn(c.name, c.kind, d)
 }
 
 // Floats returns the column as a dense []float64 suitable for statistics.
@@ -285,16 +395,16 @@ func (c *Column) Floats() []float64 {
 	switch c.kind {
 	case Float:
 		for i := 0; i < n; i++ {
-			if c.IsValid(i) {
-				out[i] = c.floats[i]
+			if c.data.valid(i) {
+				out[i] = c.data.float(i)
 			} else {
 				out[i] = math.NaN()
 			}
 		}
 	case Int:
 		for i := 0; i < n; i++ {
-			if c.IsValid(i) {
-				out[i] = float64(c.ints[i])
+			if c.data.valid(i) {
+				out[i] = float64(c.data.intAt(i))
 			} else {
 				out[i] = math.NaN()
 			}
@@ -302,16 +412,16 @@ func (c *Column) Floats() []float64 {
 	case Bool:
 		for i := 0; i < n; i++ {
 			switch {
-			case !c.IsValid(i):
+			case !c.data.valid(i):
 				out[i] = math.NaN()
-			case c.bools[i]:
+			case c.data.boolAt(i):
 				out[i] = 1
 			}
 		}
 	case String:
 		codes := c.stringCodes()
 		for i := 0; i < n; i++ {
-			if c.IsValid(i) {
+			if c.data.valid(i) {
 				out[i] = float64(codes[i])
 			} else {
 				out[i] = math.NaN()
@@ -321,12 +431,17 @@ func (c *Column) Floats() []float64 {
 	return out
 }
 
+// Numeric returns the column as a dense []float64 with NaN nulls. It is the
+// View-interface name for Floats.
+func (c *Column) Numeric() []float64 { return c.Floats() }
+
 // stringCodes label-encodes a string column by sorted distinct value.
 func (c *Column) stringCodes() []int {
+	n := c.Len()
 	distinct := make(map[string]struct{}, 16)
-	for i, s := range c.strs {
-		if c.IsValid(i) {
-			distinct[s] = struct{}{}
+	for i := 0; i < n; i++ {
+		if c.data.valid(i) {
+			distinct[c.data.str(i)] = struct{}{}
 		}
 	}
 	vals := make([]string, 0, len(distinct))
@@ -338,21 +453,27 @@ func (c *Column) stringCodes() []int {
 	for i, s := range vals {
 		code[s] = i
 	}
-	out := make([]int, len(c.strs))
-	for i, s := range c.strs {
-		if c.IsValid(i) {
-			out[i] = code[s]
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		if c.data.valid(i) {
+			out[i] = code[c.data.str(i)]
 		}
 	}
 	return out
 }
 
-// DistinctCount returns the number of distinct non-null values. The
-// count is computed once and memoised through the column's memo (the
-// same sync.Once discipline as ValueSet): the discovery matcher probes
-// it per column per table pair, so an unmemoised count would rescan the
-// column quadratically during DRG construction. Safe for concurrent use.
+// DistinctCount returns the number of distinct non-null values. A column
+// loaded from a columnar lake file answers from its persisted footer stats
+// without touching cell data — the seed that lets DRG construction probe
+// join candidates on a cold open without scanning every column. Otherwise
+// the count is computed once and memoised through the column's memo (the
+// same sync.Once discipline as ValueSet): the discovery matcher probes it
+// per column per table pair, so an unmemoised count would rescan the column
+// quadratically during DRG construction. Safe for concurrent use.
 func (c *Column) DistinctCount() int {
+	if c.stats != nil {
+		return c.stats.Distinct
+	}
 	if c.memo == nil {
 		return len(c.buildValueSet())
 	}
@@ -384,13 +505,14 @@ func (c *Column) Mode() (string, bool) {
 
 // Imputed returns a copy of the column with nulls replaced by the most
 // frequent value (the paper's imputation strategy). Columns without nulls
-// are returned unchanged. If every cell is null, zeros are imputed.
+// are returned unchanged. If every cell is null, zeros are imputed. The
+// copy is in-memory regardless of the source backend.
 func (c *Column) Imputed() *Column {
-	if c.valid == nil || c.NullCount() == 0 {
+	if c.data.allValid() || c.NullCount() == 0 {
 		return c
 	}
 	mode, ok := c.Mode()
-	out := &Column{name: c.name, kind: c.kind, memo: new(colMemo)}
+	d := &memData{}
 	n := c.Len()
 	switch c.kind {
 	case Float:
@@ -398,11 +520,12 @@ func (c *Column) Imputed() *Column {
 		if ok {
 			fill, _ = strconv.ParseFloat(mode, 64)
 		}
-		out.floats = make([]float64, n)
-		copy(out.floats, c.floats)
+		d.floats = make([]float64, n)
 		for i := 0; i < n; i++ {
-			if !c.valid[i] {
-				out.floats[i] = fill
+			if c.data.valid(i) {
+				d.floats[i] = c.data.float(i)
+			} else {
+				d.floats[i] = fill
 			}
 		}
 	case Int:
@@ -410,32 +533,35 @@ func (c *Column) Imputed() *Column {
 		if ok {
 			fill, _ = strconv.ParseInt(mode, 10, 64)
 		}
-		out.ints = make([]int64, n)
-		copy(out.ints, c.ints)
+		d.ints = make([]int64, n)
 		for i := 0; i < n; i++ {
-			if !c.valid[i] {
-				out.ints[i] = fill
+			if c.data.valid(i) {
+				d.ints[i] = c.data.intAt(i)
+			} else {
+				d.ints[i] = fill
 			}
 		}
 	case String:
-		out.strs = make([]string, n)
-		copy(out.strs, c.strs)
+		d.strs = make([]string, n)
 		for i := 0; i < n; i++ {
-			if !c.valid[i] {
-				out.strs[i] = mode
+			if c.data.valid(i) {
+				d.strs[i] = c.data.str(i)
+			} else {
+				d.strs[i] = mode
 			}
 		}
 	case Bool:
 		fill := mode == "true"
-		out.bools = make([]bool, n)
-		copy(out.bools, c.bools)
+		d.bools = make([]bool, n)
 		for i := 0; i < n; i++ {
-			if !c.valid[i] {
-				out.bools[i] = fill
+			if c.data.valid(i) {
+				d.bools[i] = c.data.boolAt(i)
+			} else {
+				d.bools[i] = fill
 			}
 		}
 	}
-	return out
+	return newMemColumn(c.name, c.kind, d)
 }
 
 // ValueSet returns the set of distinct non-null join keys, used by the
@@ -463,33 +589,35 @@ func (c *Column) buildValueSet() map[string]struct{} {
 
 // Equal reports deep equality of names, kinds, validity and values.
 // Float cells compare with exact equality except that two NaNs are equal.
+// Backends are not compared: a CSV-backed and a columnar-backed column
+// holding the same cells are equal.
 func (c *Column) Equal(o *Column) bool {
 	if c.name != o.name || c.kind != o.kind || c.Len() != o.Len() {
 		return false
 	}
 	for i, n := 0, c.Len(); i < n; i++ {
-		if c.IsValid(i) != o.IsValid(i) {
+		if c.data.valid(i) != o.data.valid(i) {
 			return false
 		}
-		if !c.IsValid(i) {
+		if !c.data.valid(i) {
 			continue
 		}
 		switch c.kind {
 		case Float:
-			a, b := c.floats[i], o.floats[i]
+			a, b := c.data.float(i), o.data.float(i)
 			if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
 				return false
 			}
 		case Int:
-			if c.ints[i] != o.ints[i] {
+			if c.data.intAt(i) != o.data.intAt(i) {
 				return false
 			}
 		case String:
-			if c.strs[i] != o.strs[i] {
+			if c.data.str(i) != o.data.str(i) {
 				return false
 			}
 		case Bool:
-			if c.bools[i] != o.bools[i] {
+			if c.data.boolAt(i) != o.data.boolAt(i) {
 				return false
 			}
 		}

@@ -1,0 +1,321 @@
+package frame
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"autofeat/internal/sketch"
+)
+
+// mixedFrame builds a table exercising every kind and null placement.
+func mixedFrame(name string) *Frame {
+	f := New(name)
+	f.AddColumn(NewIntColumn("id", []int64{1, 2, 3, 4, 5}, nil))
+	f.AddColumn(NewFloatColumn("score", []float64{0.5, math.NaN(), -3.25, 1e18, 0},
+		[]bool{true, true, true, true, false}))
+	f.AddColumn(NewStringColumn("city", []string{"oslo", "", "lima", "oslo", "quito"},
+		[]bool{true, false, true, true, true}))
+	f.AddColumn(NewBoolColumn("flag", []bool{true, false, true, false, true},
+		[]bool{true, true, false, true, true}))
+	return f
+}
+
+func TestColumnarRoundTrip(t *testing.T) {
+	src := mixedFrame("trip")
+	b, err := EncodeColumnar(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeColumnar("trip", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !src.Equal(got) {
+		t.Fatal("decoded frame differs from source")
+	}
+	// Cell-by-cell including null positions (Equal also checks them, but
+	// the bitmap bits are the round-trip's riskiest part — assert
+	// directly).
+	for ci := 0; ci < src.NumCols(); ci++ {
+		cs, cg := src.ColumnAt(ci), got.ColumnAt(ci)
+		for i := 0; i < cs.Len(); i++ {
+			if cs.IsNull(i) != cg.IsNull(i) {
+				t.Fatalf("col %q row %d: null bit differs", cs.Name(), i)
+			}
+			ks, oks := cs.Key(i)
+			kg, okg := cg.Key(i)
+			if ks != kg || oks != okg {
+				t.Fatalf("col %q row %d: key %q/%v vs %q/%v", cs.Name(), i, ks, oks, kg, okg)
+			}
+		}
+	}
+}
+
+// TestColumnarStatsMatchRecomputation pins the tentpole contract: the
+// persisted footer stats (distinct count, sketch, range) must be exactly
+// what a fresh scan would produce, so discovery can serve from them
+// without validation.
+func TestColumnarStatsMatchRecomputation(t *testing.T) {
+	src := mixedFrame("stats")
+	b, err := EncodeColumnar(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeColumnar("stats", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := 0; ci < src.NumCols(); ci++ {
+		cs, cg := src.ColumnAt(ci), got.ColumnAt(ci)
+		st := cg.Stats()
+		if st == nil {
+			t.Fatalf("col %q: no persisted stats", cg.Name())
+		}
+		if st.Distinct != cs.DistinctCount() {
+			t.Errorf("col %q: persisted distinct %d, recomputed %d", cg.Name(), st.Distinct, cs.DistinctCount())
+		}
+		if st.Nulls != cs.NullCount() {
+			t.Errorf("col %q: persisted nulls %d, recomputed %d", cg.Name(), st.Nulls, cs.NullCount())
+		}
+		if st.Sketch == nil {
+			t.Fatalf("col %q: no persisted sketch", cg.Name())
+		}
+		// Recompute the signature the way discovery.Sketch does and
+		// require bit-identity.
+		fresh := sketch.New(sketch.DefaultSize)
+		seen := make(map[string]struct{})
+		for i := 0; i < cs.Len(); i++ {
+			if k, ok := cs.Key(i); ok {
+				if _, dup := seen[k]; !dup {
+					seen[k] = struct{}{}
+					fresh.AddHash(sketch.Hash64(k))
+				}
+			}
+		}
+		for j := range fresh.Mins {
+			if st.Sketch.Mins[j] != fresh.Mins[j] {
+				t.Fatalf("col %q: persisted sketch slot %d differs from fresh computation", cg.Name(), j)
+			}
+		}
+		if st.Sketch.Cardinality != len(seen) {
+			t.Errorf("col %q: sketch cardinality %d, want %d", cg.Name(), st.Sketch.Cardinality, len(seen))
+		}
+	}
+	// DistinctCount on the columnar column must answer from stats.
+	if got.Column("city").DistinctCount() != 3 {
+		t.Errorf("columnar DistinctCount = %d, want 3", got.Column("city").DistinctCount())
+	}
+}
+
+func TestColumnarVersionExactMatch(t *testing.T) {
+	b, err := EncodeColumnar(mixedFrame("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), b...)
+	bad[len(FormatMagic)] = FormatVersion + 1
+	if _, err := DecodeColumnar("v", bad); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version must be rejected by exact match, got %v", err)
+	}
+	// A version bump in the trailer alone means a torn write.
+	bad2 := append([]byte(nil), b...)
+	bad2[len(bad2)-len(FormatMagic)-1] = FormatVersion + 1
+	if _, err := DecodeColumnar("v", bad2); err == nil {
+		t.Fatal("trailer version mismatch must be rejected")
+	}
+}
+
+func TestColumnarCorruptInputs(t *testing.T) {
+	b, err := EncodeColumnar(mixedFrame("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":      {},
+		"short":      b[:8],
+		"bad magic":  append([]byte("NOPE"), b[4:]...),
+		"truncated":  b[:len(b)-3],
+		"footer cut": b[:len(b)-colrTrailerSize],
+	}
+	for name, buf := range cases {
+		if _, err := DecodeColumnar(name, buf); err == nil {
+			t.Errorf("%s: corrupt buffer decoded without error", name)
+		}
+	}
+}
+
+func TestColumnarAllNullStringColumn(t *testing.T) {
+	f := New("nulls")
+	f.AddColumn(NewStringColumn("s", []string{"", ""}, []bool{false, false}))
+	b, err := EncodeColumnar(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeColumnar("nulls", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := got.Column("s")
+	// The dictionary is empty; reading through Take (which fetches values
+	// before validity) must not panic.
+	taken := c.Take([]int{1, 0, -1})
+	if taken.NullCount() != 3 {
+		t.Fatalf("all-null take has %d nulls, want 3", taken.NullCount())
+	}
+	if c.DistinctCount() != 0 {
+		t.Fatalf("all-null distinct = %d", c.DistinctCount())
+	}
+}
+
+func TestWriterPutAndReadFile(t *testing.T) {
+	dir := t.TempDir()
+	w := NewWriter(dir)
+	src := mixedFrame("tbl")
+	path, err := w.Put(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "tbl"+FormatExt {
+		t.Fatalf("unexpected path %q", path)
+	}
+	got, err := ReadColumnarFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != "tbl" {
+		t.Fatalf("table name %q, want tbl (from filename)", got.Name())
+	}
+	if !src.Equal(got) {
+		t.Fatal("file round trip differs")
+	}
+	// No temp droppings from the atomic write.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".afc-tmp-") {
+			t.Fatalf("leftover temp file %q", e.Name())
+		}
+	}
+}
+
+func TestWriterAppendCompacts(t *testing.T) {
+	dir := t.TempDir()
+	w := NewWriter(dir)
+	a := New("t")
+	a.AddColumn(NewIntColumn("k", []int64{1, 2}, nil))
+	a.AddColumn(NewStringColumn("s", []string{"x", "y"}, nil))
+	if _, err := w.Append(a); err != nil { // no file yet: behaves as Put
+		t.Fatal(err)
+	}
+	b := New("t")
+	b.AddColumn(NewIntColumn("k", []int64{3}, []bool{false}))
+	b.AddColumn(NewStringColumn("s", []string{"z"}, nil))
+	if _, err := w.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadColumnarFile(w.Path("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 3 {
+		t.Fatalf("appended table has %d rows, want 3", got.NumRows())
+	}
+	k := got.Column("k")
+	if !k.IsNull(2) || k.Int(0) != 1 || k.Int(1) != 2 {
+		t.Fatal("appended int column wrong")
+	}
+	s := got.Column("s")
+	if s.Str(0) != "x" || s.Str(2) != "z" {
+		t.Fatal("appended string column wrong")
+	}
+	// Stats were recomputed over the merged table (compact rewrite).
+	if st := k.Stats(); st == nil || st.Distinct != 2 {
+		t.Fatalf("merged stats not recomputed: %+v", k.Stats())
+	}
+
+	// Schema drift is rejected.
+	c := New("t")
+	c.AddColumn(NewFloatColumn("k", []float64{9}, nil))
+	c.AddColumn(NewStringColumn("s", []string{"w"}, nil))
+	if _, err := w.Append(c); err == nil {
+		t.Fatal("kind drift must be rejected")
+	}
+}
+
+// TestColumnarCSVRoundTripProperty is the pack round-trip property test:
+// CSV text → frame → columnar bytes → frame must preserve every cell and
+// every null bit, for tables mixing all kinds, null tokens and a BOM.
+func TestColumnarCSVRoundTripProperty(t *testing.T) {
+	csvText := "\ufeffid,score,city,flag\n" +
+		"1,0.5,oslo,true\n" +
+		"2,NA,,false\n" +
+		"null,2.25,lima,null\n" +
+		"4,-1,oslo,true\n"
+	f, err := ReadCSV("t", strings.NewReader(csvText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ColumnNames()[0] != "id" {
+		t.Fatalf("BOM not stripped: first column %q", f.ColumnNames()[0])
+	}
+	if got := f.Column("id").NullCount(); got != 1 {
+		t.Fatalf("null token \"null\" not null in int column: %d nulls", got)
+	}
+	if got := f.Column("score").NullCount(); got != 1 {
+		t.Fatalf("null token NA not null in float column: %d nulls", got)
+	}
+	b, err := EncodeColumnar(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeColumnar("t", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := 0; ci < f.NumCols(); ci++ {
+		cs, cg := f.ColumnAt(ci), got.ColumnAt(ci)
+		for i := 0; i < cs.Len(); i++ {
+			if cs.IsNull(i) != cg.IsNull(i) {
+				t.Fatalf("col %q row %d: null bitmap disagrees between CSV and columnar backends", cs.Name(), i)
+			}
+			if av, gv := cs.At(i), cg.At(i); av != gv {
+				t.Fatalf("col %q row %d: %v != %v", cs.Name(), i, av, gv)
+			}
+		}
+	}
+}
+
+// TestColumnarViewInterface pins the public view contract both backends
+// satisfy.
+func TestColumnarViewInterface(t *testing.T) {
+	src := mixedFrame("view")
+	b, _ := EncodeColumnar(src)
+	got, err := DecodeColumnar("view", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := 0; ci < src.NumCols(); ci++ {
+		var mem View = src.ColumnAt(ci)
+		var colr View = got.ColumnAt(ci)
+		if mem.Len() != colr.Len() || mem.Kind() != colr.Kind() {
+			t.Fatal("view shape differs between backends")
+		}
+		mn, cn := mem.Numeric(), colr.Numeric()
+		for i := range mn {
+			if mn[i] != cn[i] && !(math.IsNaN(mn[i]) && math.IsNaN(cn[i])) {
+				t.Fatalf("col %q Numeric()[%d]: %v vs %v", mem.Name(), i, mn[i], cn[i])
+			}
+		}
+		ms, cs := mem.ValueSet(), colr.ValueSet()
+		if len(ms) != len(cs) {
+			t.Fatalf("col %q value sets differ", mem.Name())
+		}
+		for k := range ms {
+			if _, ok := cs[k]; !ok {
+				t.Fatalf("col %q key %q missing from columnar value set", mem.Name(), k)
+			}
+		}
+	}
+}

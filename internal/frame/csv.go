@@ -10,9 +10,21 @@ import (
 	"strings"
 )
 
+// IsNullToken reports whether a raw CSV cell denotes a null: the empty
+// string and the conventional NA/null markers. It is the single null
+// predicate for every ingest path — CSV inference and the columnar pack
+// pipeline both route through it, so a CSV-backed table and its packed
+// columnar twin carry bit-identical null bitmaps.
+func IsNullToken(s string) bool {
+	return s == "" || s == "NA" || s == "null"
+}
+
 // ReadCSV parses a CSV stream with a header row into a Frame, inferring a
-// type per column: int64 if every non-empty cell parses as an integer, else
-// float64, else bool, else string. Empty cells are nulls.
+// type per column: int64 if every non-null cell parses as an integer, else
+// float64, else bool, else string. Cells matching IsNullToken are nulls. A
+// leading UTF-8 byte-order mark is stripped from the header (spreadsheet
+// exports routinely prepend one, which would otherwise mangle the first
+// column's name and break name-based join matching).
 func ReadCSV(name string, r io.Reader) (*Frame, error) {
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = false
@@ -20,6 +32,9 @@ func ReadCSV(name string, r io.Reader) (*Frame, error) {
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("frame: read csv header for %q: %w", name, err)
+	}
+	if len(header) > 0 {
+		header[0] = strings.TrimPrefix(header[0], "\ufeff")
 	}
 	raw := make([][]string, len(header))
 	for {
@@ -95,12 +110,15 @@ func (f *Frame) WriteCSVFile(path string) error {
 	return fh.Close()
 }
 
-// inferColumn picks the narrowest type that parses every non-empty cell.
+// inferColumn picks the narrowest type that parses every non-null cell.
+// Null detection goes through IsNullToken so every representation of a
+// null ("", NA, null) lands in the bitmap identically, whichever storage
+// backend the table later ends up in.
 func inferColumn(name string, cells []string) *Column {
 	allInt, allFloat, allBool := true, true, true
 	anyNull := false
 	for _, s := range cells {
-		if s == "" {
+		if IsNullToken(s) {
 			anyNull = true
 			continue
 		}
@@ -124,14 +142,14 @@ func inferColumn(name string, cells []string) *Column {
 	if anyNull {
 		valid = make([]bool, len(cells))
 		for i, s := range cells {
-			valid[i] = s != ""
+			valid[i] = !IsNullToken(s)
 		}
 	}
 	switch {
 	case allInt:
 		vals := make([]int64, len(cells))
 		for i, s := range cells {
-			if s != "" {
+			if !IsNullToken(s) {
 				vals[i], _ = strconv.ParseInt(s, 10, 64)
 			}
 		}
@@ -139,7 +157,7 @@ func inferColumn(name string, cells []string) *Column {
 	case allFloat:
 		vals := make([]float64, len(cells))
 		for i, s := range cells {
-			if s != "" {
+			if !IsNullToken(s) {
 				vals[i], _ = strconv.ParseFloat(s, 64)
 			}
 		}
@@ -147,14 +165,18 @@ func inferColumn(name string, cells []string) *Column {
 	case allBool:
 		vals := make([]bool, len(cells))
 		for i, s := range cells {
-			if s != "" {
+			if !IsNullToken(s) {
 				vals[i] = s == "true"
 			}
 		}
 		return NewBoolColumn(name, vals, valid)
 	default:
 		vals := make([]string, len(cells))
-		copy(vals, cells)
+		for i, s := range cells {
+			if !IsNullToken(s) {
+				vals[i] = s
+			}
+		}
 		return NewStringColumn(name, vals, valid)
 	}
 }

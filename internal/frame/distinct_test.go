@@ -31,7 +31,7 @@ func TestDistinctCountMemoised(t *testing.T) {
 		t.Fatal("count not stored in the column memo")
 	}
 	// Columns detached from a frame memo still answer correctly.
-	raw := &Column{name: "raw", kind: Int, ints: []int64{1, 2, 2, 3}, valid: normalizeValid(4, nil)}
+	raw := &Column{name: "raw", kind: Int, data: &memData{ints: []int64{1, 2, 2, 3}}}
 	if got := raw.DistinctCount(); got != 3 {
 		t.Fatalf("memo-less DistinctCount = %d, want 3", got)
 	}

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package frame
+
+import "os"
+
+// mapFile reads path into memory on platforms without the mmap fast path;
+// the columnar reader works identically either way, just without the
+// zero-copy page-cache sharing.
+func mapFile(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

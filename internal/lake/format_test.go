@@ -1,0 +1,131 @@
+package lake
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"autofeat/internal/frame"
+)
+
+func TestPackAndAutoDetect(t *testing.T) {
+	dir, ds := writeLakeDir(t)
+	n, err := Pack(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(ds.Tables) {
+		t.Fatalf("packed %d tables, want %d", n, len(ds.Tables))
+	}
+	// The CSVs stay; the packed files sit alongside them.
+	entries, _ := os.ReadDir(dir)
+	csvs, afcs := 0, 0
+	for _, e := range entries {
+		switch {
+		case strings.HasSuffix(e.Name(), ".csv"):
+			csvs++
+		case strings.HasSuffix(e.Name(), frame.FormatExt):
+			afcs++
+		}
+	}
+	if csvs != len(ds.Tables) || afcs != len(ds.Tables) {
+		t.Fatalf("after pack: %d csv + %d afc files, want %d each", csvs, afcs, len(ds.Tables))
+	}
+
+	// Auto mode prefers the packed files and loads identical tables.
+	auto, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvLake, err := Open(dir, WithFormat(FormatCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	colr, err := Open(dir, WithFormat(FormatColumnar))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range csvLake.Tables() {
+		for _, l := range []*Lake{auto, colr} {
+			got := l.Table(want.Name())
+			if got == nil {
+				t.Fatalf("table %q missing from packed lake", want.Name())
+			}
+			if !want.Equal(got) {
+				t.Fatalf("table %q differs between CSV and columnar backends", want.Name())
+			}
+		}
+	}
+	// The columnar tables carry persisted stats — the proof auto picked
+	// the packed file over the CSV.
+	at := auto.Tables()[0]
+	if at.ColumnAt(0).Stats() == nil {
+		t.Fatal("auto-opened table has no persisted stats: CSV was preferred over the packed file")
+	}
+}
+
+func TestOpenFormatErrors(t *testing.T) {
+	dir, _ := writeLakeDir(t)
+	if _, err := Open(dir, WithFormat(Format("parquet"))); err == nil {
+		t.Error("unknown format must be rejected")
+	}
+	if _, err := Open(dir, WithFormat(FormatColumnar)); err == nil {
+		t.Error("columnar open of an unpacked lake must fail (no .afc files)")
+	}
+	if _, err := Pack(t.TempDir()); err == nil {
+		t.Error("packing an empty dir must fail")
+	}
+}
+
+func TestPackedLakeSkipsResketching(t *testing.T) {
+	dir, _ := writeLakeDir(t)
+	if _, err := Pack(dir); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(dir, WithFormat(FormatColumnar))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range l.Tables() {
+		for ci := 0; ci < tb.NumCols(); ci++ {
+			st := tb.ColumnAt(ci).Stats()
+			if st == nil || st.Sketch == nil {
+				t.Fatalf("column %s.%s has no persisted sketch", tb.Name(), tb.ColumnAt(ci).Name())
+			}
+		}
+	}
+	// A sketched DRG build runs entirely from the persisted signatures.
+	if _, err := l.DRG(WithMatcher(MatcherSketched)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLakePathsShadowing(t *testing.T) {
+	dir := t.TempDir()
+	f := frame.New("tbl")
+	f.AddColumn(frame.NewIntColumn("k", []int64{1, 2, 3}, nil))
+	if err := f.WriteCSVFile(filepath.Join(dir, "tbl.csv")); err != nil {
+		t.Fatal(err)
+	}
+	// A second table exists only as CSV.
+	g := frame.New("other")
+	g.AddColumn(frame.NewIntColumn("k", []int64{9}, nil))
+	if err := g.WriteCSVFile(filepath.Join(dir, "other.csv")); err != nil {
+		t.Fatal(err)
+	}
+	if err := frame.WriteColumnarFile(f, filepath.Join(dir, "tbl"+frame.FormatExt)); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := lakePaths(dir, FormatAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		filepath.Join(dir, "other.csv"),
+		filepath.Join(dir, "tbl"+frame.FormatExt),
+	}
+	if len(paths) != 2 || paths[0] != want[0] || paths[1] != want[1] {
+		t.Fatalf("lakePaths = %v, want %v", paths, want)
+	}
+}

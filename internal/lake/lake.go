@@ -62,12 +62,33 @@ const (
 // setting ("to encourage spurious, but not irrelevant, connections").
 const DefaultThreshold = 0.55
 
+// Format selects the on-disk table format a lake directory is opened
+// with.
+type Format string
+
+// Supported lake formats.
+const (
+	// FormatAuto detects per table: a directory may mix *.csv and *.afc
+	// files, and a packed (columnar) table shadows a CSV table of the
+	// same name.
+	FormatAuto Format = "auto"
+	// FormatCSV reads only *.csv files — the legacy text path.
+	FormatCSV Format = "csv"
+	// FormatColumnar reads only *.afc files (see Pack and the format
+	// specification in DESIGN.md §14).
+	FormatColumnar Format = "columnar"
+)
+
 // settings is the resolved DRG-construction configuration of a Lake (or
-// of one DRG call overriding the Lake's defaults).
+// of one DRG call overriding the Lake's defaults). format participates
+// only at open time; it is deliberately excluded from the DRG memo key
+// because the storage backend never changes discovery results, only how
+// fast the tables load.
 type settings struct {
 	matcher   MatcherKind
 	threshold float64
 	kfks      []discovery.KFK
+	format    Format
 }
 
 // key is the DRG memo key: two settings with equal keys build the same
@@ -106,6 +127,12 @@ func WithThreshold(t float64) Option {
 // matcher path.
 func WithKFKs(constraints []discovery.KFK) Option {
 	return func(s *settings) { s.kfks = constraints }
+}
+
+// WithFormat selects the table format Open reads (FormatAuto by
+// default: columnar files shadow CSV files of the same table name).
+func WithFormat(f Format) Option {
+	return func(s *settings) { s.format = f }
 }
 
 // graphEntry is one memoised DRG with single-flight construction. eff
@@ -190,20 +217,27 @@ func New(tables []*frame.Frame, opts ...Option) *Lake {
 	return l
 }
 
-// Open loads every *.csv in dir (sorted by name) as the Lake's resident
-// tables. A directory without CSV files is an error; a file that fails
-// to parse aborts with an errs.ErrBadInput-matching error naming it.
+// Open loads every table file in dir (sorted by table name) as the
+// Lake's resident tables. The default FormatAuto reads both *.csv and
+// columnar *.afc files, a columnar file shadowing a CSV table of the
+// same name; WithFormat pins one format. A directory without table
+// files is an error; a file that fails to parse aborts with an
+// errs.ErrBadInput-matching error naming it.
 func Open(dir string, opts ...Option) (*Lake, error) {
-	paths, err := csvPaths(dir)
+	def := defaultSettings()
+	for _, o := range opts {
+		o(&def)
+	}
+	paths, err := lakePaths(dir, def.format)
 	if err != nil {
 		return nil, err
 	}
 	if len(paths) == 0 {
-		return nil, fmt.Errorf("autofeat: no CSV files in %q", dir)
+		return nil, fmt.Errorf("autofeat: no %s table files in %q", formatNoun(def.format), dir)
 	}
 	tables := make([]*frame.Frame, 0, len(paths))
 	for _, p := range paths {
-		t, err := frame.ReadCSVFile(p)
+		t, err := readTableFile(p)
 		if err != nil {
 			return nil, errs.BadInput("autofeat: read %q: %w", p, err)
 		}
@@ -214,18 +248,22 @@ func Open(dir string, opts ...Option) (*Lake, error) {
 	return l, nil
 }
 
-// OpenLenient loads every *.csv in dir like Open but skips files that
-// fail to parse instead of aborting the whole lake; each skipped file is
-// reported as an errs.ErrBadInput-matching error. With every file
-// corrupt the Lake has no tables and errors holds one entry per file.
+// OpenLenient loads dir like Open but skips files that fail to parse
+// instead of aborting the whole lake; each skipped file is reported as
+// an errs.ErrBadInput-matching error. With every file corrupt the Lake
+// has no tables and errors holds one entry per file.
 func OpenLenient(dir string, opts ...Option) (l *Lake, errors []error) {
-	paths, derr := csvPaths(dir)
+	def := defaultSettings()
+	for _, o := range opts {
+		o(&def)
+	}
+	paths, derr := lakePaths(dir, def.format)
 	if derr != nil {
 		return nil, []error{errs.BadInput("autofeat: read dir %q: %w", dir, derr)}
 	}
 	var tables []*frame.Frame
 	for _, p := range paths {
-		t, rerr := frame.ReadCSVFile(p)
+		t, rerr := readTableFile(p)
 		if rerr != nil {
 			errors = append(errors, errs.BadInput("autofeat: read %q: %w", p, rerr))
 			continue
@@ -237,20 +275,96 @@ func OpenLenient(dir string, opts ...Option) (l *Lake, errors []error) {
 	return l, errors
 }
 
-// csvPaths lists dir's *.csv files sorted by name.
-func csvPaths(dir string) ([]string, error) {
+// formatNoun names a format in error messages.
+func formatNoun(f Format) string {
+	switch f {
+	case FormatCSV:
+		return "CSV"
+	case FormatColumnar:
+		return "columnar"
+	default:
+		return "CSV or columnar"
+	}
+}
+
+// readTableFile loads one table, dispatching on extension.
+func readTableFile(path string) (*frame.Frame, error) {
+	if strings.HasSuffix(path, frame.FormatExt) {
+		return frame.ReadColumnarFile(path)
+	}
+	return frame.ReadCSVFile(path)
+}
+
+// lakePaths lists dir's table files for the given format, sorted by
+// table name. Under FormatAuto a columnar file wins over a CSV file of
+// the same basename, so a packed lake keeps working with its source
+// CSVs still present.
+func lakePaths(dir string, format Format) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	var paths []string
+	wantCSV := format == FormatAuto || format == FormatCSV || format == ""
+	wantColr := format == FormatAuto || format == FormatColumnar || format == ""
+	if !wantCSV && !wantColr {
+		return nil, errs.BadInput("autofeat: unknown lake format %q (supported: %s, %s, %s)",
+			format, FormatAuto, FormatCSV, FormatColumnar)
+	}
+	byTable := make(map[string]string)
 	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".csv") {
-			paths = append(paths, filepath.Join(dir, e.Name()))
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		switch {
+		case wantColr && strings.HasSuffix(name, frame.FormatExt):
+			table := strings.TrimSuffix(name, frame.FormatExt)
+			byTable[table] = filepath.Join(dir, name)
+		case wantCSV && strings.HasSuffix(name, ".csv"):
+			table := strings.TrimSuffix(name, ".csv")
+			if _, packed := byTable[table]; !packed {
+				byTable[table] = filepath.Join(dir, name)
+			}
 		}
 	}
-	sort.Strings(paths)
+	tables := make([]string, 0, len(byTable))
+	for t := range byTable {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	paths := make([]string, len(tables))
+	for i, t := range tables {
+		paths[i] = byTable[t]
+	}
 	return paths, nil
+}
+
+// Pack converts a CSV lake directory in place: every *.csv table is
+// rewritten as a columnar *.afc file (atomically, tmp+rename) alongside
+// it. The source CSVs are left untouched — FormatAuto prefers the packed
+// file, so the directory serves columnar immediately while remaining
+// usable as a CSV lake via WithFormat(FormatCSV). Tables that already
+// have a columnar file are re-packed from CSV. Returns the number of
+// tables packed.
+func Pack(dir string) (int, error) {
+	paths, err := lakePaths(dir, FormatCSV)
+	if err != nil {
+		return 0, err
+	}
+	if len(paths) == 0 {
+		return 0, fmt.Errorf("autofeat: no CSV files to pack in %q", dir)
+	}
+	w := frame.NewWriter(dir)
+	for i, p := range paths {
+		t, err := frame.ReadCSVFile(p)
+		if err != nil {
+			return i, errs.BadInput("autofeat: pack %q: %w", p, err)
+		}
+		if _, err := w.Put(t); err != nil {
+			return i, fmt.Errorf("autofeat: pack %q: %w", p, err)
+		}
+	}
+	return len(paths), nil
 }
 
 // FromGraph wraps an externally constructed DRG as a Lake session: the

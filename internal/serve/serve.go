@@ -26,6 +26,7 @@ package serve
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"log/slog"
@@ -248,7 +249,7 @@ func (s *Service) Drain(ctx context.Context) error {
 
 // lakeCreateRequest is the POST /v1/lakes body.
 type lakeCreateRequest struct {
-	// Dir is the CSV directory to open (required).
+	// Dir is the lake directory to open (required).
 	Dir string `json:"dir"`
 	// ID optionally fixes the lake's id instead of letting the service
 	// assign the next "lake-NNN". The cluster coordinator uses it so a
@@ -260,6 +261,9 @@ type lakeCreateRequest struct {
 	Matcher string `json:"matcher,omitempty"`
 	// Threshold is the default matcher threshold (0 = 0.55).
 	Threshold float64 `json:"threshold,omitempty"`
+	// Format selects the table file format: "auto" (default; columnar
+	// .afc files shadow same-named CSVs), "csv" or "columnar".
+	Format string `json:"format,omitempty"`
 }
 
 // lakeDoc describes one registered lake in responses.
@@ -290,6 +294,9 @@ func (s *Service) handleLakeCreate(w http.ResponseWriter, r *http.Request) {
 	if req.Threshold > 0 {
 		opts = append(opts, lake.WithThreshold(req.Threshold))
 	}
+	if req.Format != "" {
+		opts = append(opts, lake.WithFormat(lake.Format(req.Format)))
+	}
 	l, err := lake.Open(req.Dir, opts...)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -318,12 +325,17 @@ func (s *Service) handleLakeList(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"lakes": docs})
 }
 
-// tableUpsertRequest is the POST /v1/lakes/{id}/tables body.
+// tableUpsertRequest is the POST /v1/lakes/{id}/tables body. Exactly one
+// of CSV or Columnar carries the table content.
 type tableUpsertRequest struct {
 	// Name is the table (node) name to register (required).
 	Name string `json:"name"`
-	// CSV is the table content, header row first (required).
-	CSV string `json:"csv"`
+	// CSV is the table content, header row first.
+	CSV string `json:"csv,omitempty"`
+	// Columnar is a base64-encoded columnar table file (the format
+	// frame.EncodeColumnar writes; see DESIGN.md §14) — the binary
+	// alternative to CSV for pre-packed tables.
+	Columnar string `json:"columnar,omitempty"`
 	// Replace selects ReplaceTable semantics: the named table must
 	// already exist and is swapped for the uploaded one. Without it the
 	// name must be new (RegisterTable).
@@ -385,14 +397,30 @@ func (s *Service) handleTableUpsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 		return
 	}
-	if req.Name == "" || req.CSV == "" {
-		writeError(w, http.StatusBadRequest, "name and csv are required")
+	if req.Name == "" || (req.CSV == "") == (req.Columnar == "") {
+		writeError(w, http.StatusBadRequest, "name and exactly one of csv or columnar are required")
 		return
 	}
-	f, err := frame.ReadCSV(req.Name, strings.NewReader(req.CSV))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "parse csv: "+err.Error())
-		return
+	var f *frame.Frame
+	var err error
+	if req.Columnar != "" {
+		var raw []byte
+		raw, err = base64.StdEncoding.DecodeString(req.Columnar)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "decode columnar: "+err.Error())
+			return
+		}
+		f, err = frame.DecodeColumnar(req.Name, raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "parse columnar: "+err.Error())
+			return
+		}
+	} else {
+		f, err = frame.ReadCSV(req.Name, strings.NewReader(req.CSV))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "parse csv: "+err.Error())
+			return
+		}
 	}
 	op := "register"
 	if req.Replace {

@@ -1,0 +1,139 @@
+// Package sketch implements the MinHash primitives shared by the
+// discovery matcher (internal/discovery) and the columnar lake format
+// (internal/frame). Both sides must produce bit-identical signatures —
+// discovery so that a persisted sketch can stand in for a freshly
+// computed one, frame so that the sketches it writes into columnar
+// footers are exactly the ones DRG construction would have built — so
+// the hash family lives here, in one leaf package, instead of being
+// duplicated.
+//
+// The design is the standard one-hash trick: one 64-bit FNV-1a hash per
+// key, remixed per slot with a salted splitmix64 finaliser, simulating k
+// independent permutations. Slot j is the same permutation at every
+// sketch size, so a length-k prefix of a longer signature is itself a
+// valid (smaller, higher-variance) MinHash signature — the property
+// both the cross-size Jaccard comparison and the persisted-sketch reuse
+// path rely on.
+package sketch
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// DefaultSize is the default number of signature slots; 128 gives a
+// standard error of about 1/sqrt(128) ≈ 0.09 on Jaccard estimates.
+const DefaultSize = 128
+
+// MinHash is a fixed-size signature of a distinct-value set, supporting
+// constant-time Jaccard and containment estimation — the technique Lazo
+// (Castro Fernandez et al., ICDE 2019) uses to scale joinability
+// discovery to large lakes. Building a signature is O(values); comparing
+// two is O(k) regardless of set size.
+type MinHash struct {
+	// Mins holds the per-slot minima. Exposed so the columnar format can
+	// serialise signatures verbatim; treat as read-only once built.
+	Mins []uint64
+	// Cardinality is the exact distinct count observed while sketching
+	// (cheap to carry along and needed for containment estimation).
+	Cardinality int
+}
+
+// New returns an empty k-slot signature (k <= 0 uses DefaultSize) with
+// every slot at MaxUint64, ready for AddHash.
+func New(k int) *MinHash {
+	if k <= 0 {
+		k = DefaultSize
+	}
+	s := &MinHash{Mins: make([]uint64, k)}
+	for i := range s.Mins {
+		s.Mins[i] = math.MaxUint64
+	}
+	return s
+}
+
+// AddHash folds one distinct value's base hash into every slot. Callers
+// are responsible for deduplication (feed each distinct value exactly
+// once) and for setting Cardinality afterwards.
+func (s *MinHash) AddHash(h uint64) {
+	for j := range s.Mins {
+		hj := Remix(h ^ salts[j%len(salts)]*uint64(j+1))
+		if hj < s.Mins[j] {
+			s.Mins[j] = hj
+		}
+	}
+}
+
+// Prefix returns the length-k prefix view of the signature — a valid
+// smaller signature of the same set (slot j is the same permutation at
+// every size). The slots are shared, not copied; k larger than the
+// signature returns the signature itself.
+func (s *MinHash) Prefix(k int) *MinHash {
+	if k <= 0 || k >= len(s.Mins) {
+		return s
+	}
+	return &MinHash{Mins: s.Mins[:k], Cardinality: s.Cardinality}
+}
+
+// Jaccard estimates |A ∩ B| / |A ∪ B| as the fraction of matching slots.
+// Signatures of different sizes compare over their common slot prefix:
+// slot j is the same permutation regardless of sketch size, so the
+// prefix is itself a valid (smaller, higher-variance) MinHash signature.
+// Silently returning 0 here would erase all instance evidence whenever a
+// lake-default sketch met a request-override sketch size.
+func (s *MinHash) Jaccard(o *MinHash) float64 {
+	n := len(s.Mins)
+	if len(o.Mins) < n {
+		n = len(o.Mins)
+	}
+	if n == 0 || s.Cardinality == 0 || o.Cardinality == 0 {
+		return 0
+	}
+	match := 0
+	for i := 0; i < n; i++ {
+		if s.Mins[i] == o.Mins[i] {
+			match++
+		}
+	}
+	return float64(match) / float64(n)
+}
+
+// Containment estimates |A ∩ B| / |A| (how much of s is inside o) from
+// the Jaccard estimate and the two cardinalities — the Lazo rescaling:
+//
+//	|A ∩ B| = J/(1+J) · (|A| + |B|),   containment = |A ∩ B| / |A|.
+func (s *MinHash) Containment(o *MinHash) float64 {
+	if s.Cardinality == 0 {
+		return 0
+	}
+	j := s.Jaccard(o)
+	inter := j / (1 + j) * float64(s.Cardinality+o.Cardinality)
+	c := inter / float64(s.Cardinality)
+	return math.Max(0, math.Min(1, c))
+}
+
+var salts = [...]uint64{
+	0x9e3779b97f4a7c15, 0xbf58476d1ce4e5b9, 0x94d049bb133111eb,
+	0x2545f4914f6cdd1d, 0xd6e8feb86659fd93, 0xa5a5a5a5a5a5a5a5,
+	0x123456789abcdef1, 0xfedcba9876543211,
+}
+
+// Hash64 is the base hash of one value (64-bit FNV-1a), the input to
+// AddHash. It is also the hash the LSH index uses for its value-anchor
+// buckets, so anchors and signatures stay in the same hash family.
+func Hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Remix is a 64-bit finaliser (splitmix64's last stage) giving each slot
+// an independent-looking permutation.
+func Remix(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

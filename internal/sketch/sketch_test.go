@@ -1,0 +1,89 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// build sketches a synthetic distinct-value set of the given size with
+// the given key prefix.
+func build(k int, prefix string, n int) *MinHash {
+	s := New(k)
+	for i := 0; i < n; i++ {
+		s.AddHash(Hash64(fmt.Sprintf("%s%d", prefix, i)))
+	}
+	s.Cardinality = n
+	return s
+}
+
+func TestNewDefaultsAndEmpty(t *testing.T) {
+	s := New(0)
+	if len(s.Mins) != DefaultSize {
+		t.Fatalf("New(0) has %d slots, want %d", len(s.Mins), DefaultSize)
+	}
+	for _, v := range s.Mins {
+		if v != math.MaxUint64 {
+			t.Fatal("empty sketch slot not MaxUint64")
+		}
+	}
+	if j := s.Jaccard(build(DefaultSize, "x", 10)); j != 0 {
+		t.Fatalf("empty sketch Jaccard = %v, want 0", j)
+	}
+}
+
+func TestJaccardIdenticalAndDisjoint(t *testing.T) {
+	a := build(128, "k", 500)
+	b := build(128, "k", 500)
+	if j := a.Jaccard(b); j != 1 {
+		t.Fatalf("identical sets Jaccard = %v, want 1", j)
+	}
+	c := build(128, "other", 500)
+	if j := a.Jaccard(c); j > 0.15 {
+		t.Fatalf("disjoint sets Jaccard = %v, want near 0", j)
+	}
+}
+
+func TestContainmentSubset(t *testing.T) {
+	small := build(128, "k", 100)
+	big := New(128)
+	for i := 0; i < 1000; i++ {
+		big.AddHash(Hash64(fmt.Sprintf("k%d", i)))
+	}
+	big.Cardinality = 1000
+	if c := small.Containment(big); c < 0.7 {
+		t.Fatalf("subset containment = %v, want near 1", c)
+	}
+	if c := big.Containment(small); c > 0.35 {
+		t.Fatalf("superset containment = %v, want near 0.1", c)
+	}
+}
+
+// TestPrefixIsSlotIdentical pins the property both the cross-size
+// comparison and the persisted-sketch reuse path depend on: slot j of a
+// k-slot signature equals slot j of any longer signature over the same
+// set.
+func TestPrefixIsSlotIdentical(t *testing.T) {
+	long := build(256, "k", 300)
+	short := build(64, "k", 300)
+	p := long.Prefix(64)
+	if len(p.Mins) != 64 || p.Cardinality != 300 {
+		t.Fatalf("prefix shape wrong: %d slots, card %d", len(p.Mins), p.Cardinality)
+	}
+	for j := range p.Mins {
+		if p.Mins[j] != short.Mins[j] {
+			t.Fatalf("slot %d differs between prefix and direct sketch", j)
+		}
+	}
+	if got := long.Prefix(512); got != long {
+		t.Fatal("oversized prefix should return the signature itself")
+	}
+}
+
+func TestHash64Stable(t *testing.T) {
+	// FNV-1a of "a" is a published constant; pinning it guards the
+	// persisted-sketch format against an accidental hash swap.
+	if got := Hash64("a"); got != 0xaf63dc4c8601ec8c {
+		t.Fatalf("Hash64(\"a\") = %#x, want 0xaf63dc4c8601ec8c", got)
+	}
+}
