@@ -145,9 +145,10 @@ type colrStringData struct {
 
 func (d *colrStringData) str(i int) string {
 	code := binary.LittleEndian.Uint32(d.buf[d.codesOff+4*i:])
-	// An all-null column has an empty dictionary and zero codes; guard so
-	// bulk readers (Take) that fetch values before checking validity see
-	// "" instead of panicking.
+	// decodeColumn validated the codes of every valid row, so this guard
+	// can only fire on null rows, whose codes bulk readers (Take) may
+	// fetch before checking validity — e.g. the empty dictionary of an
+	// all-null column. Returning "" there never masks corruption.
 	if int(code) >= len(d.dict) {
 		return ""
 	}
@@ -389,6 +390,13 @@ func DecodeColumnar(name string, buf []byte) (*Frame, error) {
 	if err := json.Unmarshal(buf[fstart:fstart+flen], &footer); err != nil {
 		return nil, fmt.Errorf("frame: %q: decode columnar footer: %w", name, err)
 	}
+	// Every column kind stores at least one byte per row, so a row count
+	// beyond the file size is corrupt. Rejecting it here also keeps the
+	// per-block size arithmetic in decodeColumn (rows*8 etc.) far from int
+	// overflow: rows is bounded by the length of a real in-memory buffer.
+	if footer.Rows < 0 || footer.Rows > len(buf) {
+		return nil, fmt.Errorf("frame: %q: footer row count %d out of bounds for %d-byte file", name, footer.Rows, len(buf))
+	}
 
 	f := New(name)
 	for _, m := range footer.Columns {
@@ -414,9 +422,13 @@ func decodeColumn(buf []byte, rows, limit int, m colrColMeta) (*Column, error) {
 		return nil, err
 	}
 	base := colrBase{buf: buf, n: rows, validOff: m.ValidOff}
+	// The footer is untrusted input (serve accepts uploaded buffers), so
+	// the bound is phrased as off > limit-size rather than off+size > limit:
+	// with size >= 0 and limit <= len(buf) the subtraction cannot overflow,
+	// whereas a huge off or size could wrap off+size negative and slip past.
 	check := func(off, size int, what string) error {
-		if off < colrHeaderSize || off+size > limit {
-			return fmt.Errorf("%s block [%d,%d) out of bounds", what, off, off+size)
+		if size < 0 || off < colrHeaderSize || off > limit-size {
+			return fmt.Errorf("%s block (%d bytes at %d) out of bounds", what, size, off)
 		}
 		return nil
 	}
@@ -457,6 +469,17 @@ func decodeColumn(buf []byte, rows, limit int, m colrColMeta) (*Column, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Validate every valid row's code against the dictionary now, so
+		// corruption surfaces as a decode error here instead of a panic or
+		// a silent empty string at first access.
+		for i := 0; i < rows; i++ {
+			if !base.valid(i) {
+				continue
+			}
+			if code := binary.LittleEndian.Uint32(buf[m.DataOff+4*i:]); int(code) >= len(dict) {
+				return nil, fmt.Errorf("row %d dictionary code %d out of range (%d entries)", i, code, len(dict))
+			}
+		}
 		data = &colrStringData{colrBase: base, dict: dict, codesOff: m.DataOff}
 	}
 
@@ -481,6 +504,15 @@ func decodeColumn(buf []byte, rows, limit int, m colrColMeta) (*Column, error) {
 // are copied out of the buffer: Go strings must not alias a mapping whose
 // lifetime the garbage collector cannot see.
 func decodeDict(buf []byte, m colrColMeta, limit int) ([]string, error) {
+	if m.DictLen == 0 {
+		return nil, nil
+	}
+	// Each entry costs at least its one-byte length prefix, so DictLen can
+	// never exceed the bytes between DictOff and the footer; checking that
+	// first also bounds the allocation below against a corrupt footer.
+	if m.DictLen < 0 || m.DictOff < colrHeaderSize || m.DictOff > limit || m.DictLen > limit-m.DictOff {
+		return nil, fmt.Errorf("dictionary (%d entries at %d) out of bounds", m.DictLen, m.DictOff)
+	}
 	dict := make([]string, 0, m.DictLen)
 	off := m.DictOff
 	for i := 0; i < m.DictLen; i++ {
@@ -488,7 +520,10 @@ func decodeDict(buf []byte, m colrColMeta, limit int) ([]string, error) {
 			return nil, fmt.Errorf("dictionary entry %d out of bounds", i)
 		}
 		l, n := binary.Uvarint(buf[off:limit])
-		if n <= 0 || off+n+int(l) > limit {
+		// l stays uint64 until it is proven to fit the remaining bytes —
+		// a huge length must not wrap negative through int conversion and
+		// slip past the bound.
+		if n <= 0 || l > uint64(limit-off-n) {
 			return nil, fmt.Errorf("dictionary entry %d corrupt", i)
 		}
 		off += n
@@ -580,13 +615,18 @@ func (w *Writer) Put(f *Frame) (string, error) {
 // no file exists yet it behaves like Put.
 func (w *Writer) Append(f *Frame) (string, error) {
 	path := w.Path(f.Name())
-	if _, err := os.Stat(path); err != nil {
+	// The old table is read with os.ReadFile, not the mmap fast path: the
+	// decoded frame only lives until the merge below materialises every
+	// cell, and ReadColumnarFile's mappings are process-lifetime — going
+	// through it here would leak a whole-file mapping per Append.
+	raw, err := os.ReadFile(path)
+	if err != nil {
 		if os.IsNotExist(err) {
 			return w.Put(f)
 		}
 		return "", err
 	}
-	base, err := ReadColumnarFile(path)
+	base, err := DecodeColumnar(f.Name(), raw)
 	if err != nil {
 		return "", err
 	}

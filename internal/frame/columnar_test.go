@@ -1,6 +1,7 @@
 package frame
 
 import (
+	"encoding/binary"
 	"math"
 	"os"
 	"path/filepath"
@@ -143,6 +144,63 @@ func TestColumnarCorruptInputs(t *testing.T) {
 	for name, buf := range cases {
 		if _, err := DecodeColumnar(name, buf); err == nil {
 			t.Errorf("%s: corrupt buffer decoded without error", name)
+		}
+	}
+}
+
+// craftColumnar assembles a columnar buffer from raw block bytes and a
+// hand-written footer, so tests can express footers no writer would emit.
+func craftColumnar(payload []byte, footerJSON string) []byte {
+	var b []byte
+	b = append(b, FormatMagic...)
+	b = append(b, FormatVersion)
+	b = append(b, payload...)
+	b = append(b, footerJSON...)
+	var tr [4]byte
+	binary.LittleEndian.PutUint32(tr[:], uint32(len(footerJSON)))
+	b = append(b, tr[:]...)
+	b = append(b, FormatVersion)
+	b = append(b, FormatMagic...)
+	return b
+}
+
+// TestColumnarMaliciousFooter pins the decoder against hostile footers:
+// serve feeds uploaded bytes straight to DecodeColumnar, so every case here
+// must return an error — never panic, and never a frame claiming absurd
+// shape.
+func TestColumnarMaliciousFooter(t *testing.T) {
+	hugeLen := make([]byte, binary.MaxVarintLen64)
+	hugeLen = hugeLen[:binary.PutUvarint(hugeLen, math.MaxUint64)]
+	smallDict := append([]byte{1, 'a'}, 0, 0, 0, 5) // dict ["a"], then code 5 for row 0
+
+	cases := map[string][]byte{
+		// rows*8 used to wrap negative and pass the bounds check, yielding
+		// a frame reporting 2^61 rows that panics on first iteration.
+		"huge row count": craftColumnar(make([]byte, 16),
+			`{"rows":2305843009213693952,"columns":[{"name":"x","kind":"int","valid_off":-1,"data_off":5,"sketch_off":5,"sketch_k":0}]}`),
+		"negative row count": craftColumnar(make([]byte, 16),
+			`{"rows":-1,"columns":[{"name":"x","kind":"int","valid_off":-1,"data_off":5,"sketch_off":5,"sketch_k":0}]}`),
+		"negative data off": craftColumnar(make([]byte, 16),
+			`{"rows":1,"columns":[{"name":"x","kind":"int","valid_off":-1,"data_off":-8,"sketch_off":5,"sketch_k":0}]}`),
+		// A dictionary entry length near 2^64 used to wrap negative through
+		// int conversion and panic on the slice expression.
+		"huge dict entry length": craftColumnar(hugeLen,
+			`{"rows":0,"columns":[{"name":"s","kind":"string","valid_off":-1,"dict_off":5,"dict_len":1,"data_off":5,"sketch_off":5,"sketch_k":0}]}`),
+		"negative dict off": craftColumnar(make([]byte, 16),
+			`{"rows":0,"columns":[{"name":"s","kind":"string","valid_off":-1,"dict_off":-4,"dict_len":1,"data_off":5,"sketch_off":5,"sketch_k":0}]}`),
+		// DictLen far beyond the file must fail before the allocation it
+		// sizes, not during entry decoding.
+		"huge dict len": craftColumnar(make([]byte, 16),
+			`{"rows":0,"columns":[{"name":"s","kind":"string","valid_off":-1,"dict_off":5,"dict_len":1099511627776,"data_off":5,"sketch_off":5,"sketch_k":0}]}`),
+		// A valid row whose code exceeds the dictionary must fail the open,
+		// not read as "".
+		"code out of range": craftColumnar(smallDict,
+			`{"rows":1,"columns":[{"name":"s","kind":"string","valid_off":-1,"dict_off":5,"dict_len":1,"data_off":7,"sketch_off":5,"sketch_k":0}]}`),
+	}
+	for name, buf := range cases {
+		f, err := DecodeColumnar(name, buf)
+		if err == nil {
+			t.Errorf("%s: hostile footer decoded without error (frame reports %d rows)", name, f.NumRows())
 		}
 	}
 }

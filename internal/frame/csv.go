@@ -11,12 +11,26 @@ import (
 )
 
 // IsNullToken reports whether a raw CSV cell denotes a null: the empty
-// string and the conventional NA/null markers. It is the single null
+// string plus the NA, N/A and null markers in any letter case. The marker
+// spellings are matched case-insensitively so the set is consistent ("NA"
+// and "na" cannot disagree); "NaN" is deliberately NOT a null — it is a
+// representable float value and is stored as one. It is the single null
 // predicate for every ingest path — CSV inference and the columnar pack
 // pipeline both route through it, so a CSV-backed table and its packed
 // columnar twin carry bit-identical null bitmaps.
+//
+// Lakes ingested before the marker set grew beyond "" may see cells like
+// "NA" shift from string values to nulls on re-ingest, which can change a
+// column's inferred type and its discovery ranking; see CHANGES.md for the
+// migration note.
 func IsNullToken(s string) bool {
-	return s == "" || s == "NA" || s == "null"
+	if s == "" {
+		return true
+	}
+	if len(s) > 4 {
+		return false
+	}
+	return strings.EqualFold(s, "NA") || strings.EqualFold(s, "N/A") || strings.EqualFold(s, "null")
 }
 
 // ReadCSV parses a CSV stream with a header row into a Frame, inferring a

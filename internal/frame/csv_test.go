@@ -100,6 +100,21 @@ func TestReadCSVAllNullColumn(t *testing.T) {
 	}
 }
 
+func TestIsNullTokenVariants(t *testing.T) {
+	for _, s := range []string{"", "NA", "na", "nA", "N/A", "n/a", "null", "NULL", "Null"} {
+		if !IsNullToken(s) {
+			t.Errorf("%q must be a null token", s)
+		}
+	}
+	// NaN is a representable float value, not a missing-value marker; the
+	// rest are plausible real data that must survive ingestion.
+	for _, s := range []string{"NaN", "nan", "None", "none", "NAs", "0", " ", "N\\A"} {
+		if IsNullToken(s) {
+			t.Errorf("%q must not be a null token", s)
+		}
+	}
+}
+
 func TestInferColumnMixedIntFloat(t *testing.T) {
 	c := inferColumn("x", []string{"1", "2.5", "3"})
 	if c.Kind() != Float {
